@@ -1,0 +1,107 @@
+// E11 - engine throughput (google-benchmark): node-rounds per second
+// of the synchronous beeping engine across topology shapes and sizes,
+// plus the stone-age engine and the invariant-checker overhead. This
+// is the "laptop-scale pure-algorithm build" sanity check: all paper
+// experiments run in seconds.
+#include <benchmark/benchmark.h>
+
+#include "beeping/engine.hpp"
+#include "core/bfw.hpp"
+#include "core/bfw_stoneage.hpp"
+#include "core/invariants.hpp"
+#include "graph/generators.hpp"
+#include "stoneage/stoneage.hpp"
+
+namespace {
+
+using namespace beepkit;
+
+void run_bfw_rounds(benchmark::State& state, const graph::graph& g) {
+  const core::bfw_machine machine(0.5);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 42);
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(sim.leader_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.node_count()));
+}
+
+void BM_BfwOnPath(benchmark::State& state) {
+  const auto g = graph::make_path(static_cast<std::size_t>(state.range(0)));
+  run_bfw_rounds(state, g);
+}
+BENCHMARK(BM_BfwOnPath)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BfwOnGrid(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_grid(side, side);
+  run_bfw_rounds(state, g);
+}
+BENCHMARK(BM_BfwOnGrid)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BfwOnComplete(benchmark::State& state) {
+  const auto g =
+      graph::make_complete(static_cast<std::size_t>(state.range(0)));
+  run_bfw_rounds(state, g);
+}
+BENCHMARK(BM_BfwOnComplete)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BfwOnRandomRegular(benchmark::State& state) {
+  support::rng rng(7);
+  const auto g = graph::make_random_regular(
+      static_cast<std::size_t>(state.range(0)), 4, rng);
+  run_bfw_rounds(state, g);
+}
+BENCHMARK(BM_BfwOnRandomRegular)->Arg(256)->Arg(4096);
+
+void BM_StoneAgeOnGrid(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_grid(side, side);
+  const core::bfw_stone_automaton automaton(0.5);
+  stoneage::engine sim(g, automaton, 1, 42);
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(sim.leader_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_StoneAgeOnGrid)->Arg(16)->Arg(64);
+
+void BM_BfwWithInvariantChecker(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_grid(side, side);
+  const core::bfw_machine machine(0.5);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 42);
+  core::invariant_checker checker(g, proto, core::invariant_options{});
+  sim.add_observer(&checker);
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(checker.ok());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_BfwWithInvariantChecker)->Arg(16)->Arg(64);
+
+void BM_FullElection(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_grid(side, side);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const core::bfw_machine machine(0.5);
+    beeping::fsm_protocol proto(machine);
+    beeping::engine sim(g, proto, seed++);
+    const auto result = sim.run_until_single_leader(10000000);
+    benchmark::DoNotOptimize(result.rounds);
+  }
+}
+BENCHMARK(BM_FullElection)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,173 @@
+// EX1 (extension) - BFW under reception noise. The paper's model
+// assumes a perfect channel; Section 5 motivates asking how fragile
+// the guarantees are. Two noise axes:
+//
+//   erasures (miss): a real beep goes unheard. Counter-intuitively
+//   these break Lemma 9 too - an erased relay desynchronizes a wave,
+//   and the echo can return to its origin AFTER the frozen window
+//   (smallest case: a triangle with one erasure). At low rates
+//   elections still usually finish first; at high rates leaders go
+//   extinct.
+//
+//   hallucinations: silence heard as a beep eliminates leaders
+//   directly; even small rates are fatal quickly.
+//
+// The table reports, per noise rate: elections completed, median
+// rounds, extinctions (zero leaders - impossible in the noiseless
+// model), and extinction time.
+//
+//   ./build/bench/noise_robustness [--trials 30] [--seed 11]
+#include <cstdio>
+#include <vector>
+
+#include "beeping/engine.hpp"
+#include "core/bfw.hpp"
+#include "graph/generators.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace beepkit;
+
+struct noise_outcome {
+  std::size_t elected = 0;
+  std::size_t extinct = 0;
+  std::vector<double> election_rounds;
+  std::vector<double> extinction_rounds;
+};
+
+noise_outcome run_batch(const graph::graph& g, beeping::noise_model noise,
+                        std::size_t trials, std::uint64_t seed,
+                        std::uint64_t horizon) {
+  noise_outcome out;
+  support::rng seeder(seed);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const core::bfw_machine machine(0.5);
+    beeping::fsm_protocol proto(machine);
+    beeping::engine sim(g, proto, seeder.next_u64(), noise);
+    while (sim.round() < horizon) {
+      if (sim.leader_count() == 1) {
+        ++out.elected;
+        out.election_rounds.push_back(static_cast<double>(sim.round()));
+        break;
+      }
+      if (sim.leader_count() == 0) {
+        ++out.extinct;
+        out.extinction_rounds.push_back(static_cast<double>(sim.round()));
+        break;
+      }
+      sim.step();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::cli args(argc, argv);
+  const auto trials = static_cast<std::size_t>(args.get_int("trials", 30));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+
+  std::printf("=== EX1: BFW under reception noise (model extension) ===\n\n");
+  const auto g = graph::make_grid(6, 6);
+  constexpr std::uint64_t horizon = 50000;
+
+  support::table erasure({"miss rate", "elected first", "median rounds",
+                          "extinct first", "median extinction"});
+  erasure.set_title("Erasure channel on grid(6x6), " + std::to_string(trials) +
+                    " trials, horizon 50k (first event wins)");
+  for (const double miss : {0.0, 0.01, 0.05, 0.1, 0.2, 0.4}) {
+    const auto out = run_batch(g, beeping::noise_model{miss, 0.0}, trials,
+                               seed, horizon);
+    erasure.add_row(
+        {support::table::num(miss, 2),
+         std::to_string(out.elected) + "/" + std::to_string(trials),
+         out.elected
+             ? support::table::num(
+                   support::quantile(out.election_rounds, 0.5), 0)
+             : "-",
+         std::to_string(out.extinct) + "/" + std::to_string(trials),
+         out.extinct
+             ? support::table::num(
+                   support::quantile(out.extinction_rounds, 0.5), 0)
+             : "-"});
+  }
+  std::printf("%s\n", erasure.to_string().c_str());
+
+  support::table halluc({"hallucination rate", "elected first",
+                         "median rounds", "extinct first",
+                         "median extinction"});
+  halluc.set_title("False-positive channel on grid(6x6)");
+  for (const double rate : {0.0, 0.0001, 0.001, 0.01, 0.1}) {
+    const auto out = run_batch(g, beeping::noise_model{0.0, rate}, trials,
+                               seed + 1, horizon);
+    halluc.add_row(
+        {support::table::num(rate, 4),
+         std::to_string(out.elected) + "/" + std::to_string(trials),
+         out.elected
+             ? support::table::num(
+                   support::quantile(out.election_rounds, 0.5), 0)
+             : "-",
+         std::to_string(out.extinct) + "/" + std::to_string(trials),
+         out.extinct
+             ? support::table::num(
+                   support::quantile(out.extinction_rounds, 0.5), 0)
+             : "-"});
+  }
+  std::printf("%s\n", halluc.to_string().c_str());
+
+  // Persistence: Definition 1 needs the single-leader configuration to
+  // last forever. Continue each elected run and ask how often (and how
+  // soon) noise later kills the elected leader.
+  support::table persist({"channel", "rate", "leader died within 100k",
+                          "median survival"});
+  persist.set_title("Post-election persistence (runs that elected, then "
+                    "kept going)");
+  for (const auto& [label, noise] :
+       std::vector<std::pair<std::string, beeping::noise_model>>{
+           {"miss", {0.05, 0.0}},
+           {"miss", {0.2, 0.0}},
+           {"hallucinate", {0.0, 0.001}},
+           {"hallucinate", {0.0, 0.01}}}) {
+    std::size_t died = 0;
+    std::vector<double> survival;
+    support::rng seeder(seed + 7);
+    std::size_t elected_runs = 0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      const core::bfw_machine machine(0.5);
+      beeping::fsm_protocol proto(machine);
+      beeping::engine sim(g, proto, seeder.next_u64(), noise);
+      while (sim.round() < horizon && sim.leader_count() > 1) sim.step();
+      if (sim.leader_count() != 1) continue;
+      ++elected_runs;
+      const auto elected_at = sim.round();
+      while (sim.round() < elected_at + 100000 && sim.leader_count() == 1) {
+        sim.step();
+      }
+      if (sim.leader_count() == 0) {
+        ++died;
+        survival.push_back(static_cast<double>(sim.round() - elected_at));
+      }
+    }
+    persist.add_row(
+        {label,
+         support::table::num(noise.miss > 0 ? noise.miss : noise.hallucinate,
+                             4),
+         std::to_string(died) + "/" + std::to_string(elected_runs),
+         died ? support::table::num(support::quantile(survival, 0.5), 0)
+              : "-"});
+  }
+  std::printf("%s\n", persist.to_string().c_str());
+
+  std::printf("takeaways: the noiseless rows match Theorem 2; low erasure\n"
+              "rates usually elect before the first desynchronized echo\n"
+              "lands, but the Lemma 9 floor is gone in ANY noise - the\n"
+              "frozen state only shields synchronized echoes. Eventual LE\n"
+              "(Definition 1) additionally needs the elected configuration\n"
+              "to persist, which noise also denies: these runs stop at the\n"
+              "first single-leader or zero-leader event.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "analysis/experiment.hpp"
+
+#include <sstream>
+
+#include "baselines/clique_lottery.hpp"
+#include "baselines/id_broadcast.hpp"
+#include "beeping/engine.hpp"
+#include "core/bfw.hpp"
+#include "graph/algorithms.hpp"
+
+namespace beepkit::analysis {
+
+namespace {
+
+core::election_outcome run_protocol(const graph::graph& g,
+                                    beeping::protocol& proto,
+                                    std::uint64_t seed,
+                                    std::uint64_t max_rounds) {
+  beeping::engine sim(g, proto, seed);
+  const auto result = sim.run_until_single_leader(max_rounds);
+  core::election_outcome outcome;
+  outcome.converged = result.converged;
+  outcome.rounds = result.rounds;
+  outcome.final_leader_count = sim.leader_count();
+  outcome.total_coins = sim.total_coins_consumed();
+  if (result.converged && sim.leader_count() == 1) {
+    outcome.leader = sim.sole_leader();
+  }
+  return outcome;
+}
+
+}  // namespace
+
+algorithm make_bfw(double p) {
+  std::ostringstream name;
+  name << "BFW(p=" << p << ")";
+  return {name.str(),
+          [p](const graph::graph& g, std::uint64_t seed,
+              std::uint64_t max_rounds) {
+            return core::run_bfw_election(g, p, seed, max_rounds);
+          }};
+}
+
+algorithm make_bfw_known_diameter(std::uint32_t diameter) {
+  std::ostringstream name;
+  name << "BFW(p=1/(D+1), D=" << diameter << ")";
+  return {name.str(),
+          [diameter](const graph::graph& g, std::uint64_t seed,
+                     std::uint64_t max_rounds) {
+            const auto machine = core::make_known_diameter_bfw(diameter);
+            return core::run_fsm_election(g, machine, seed, max_rounds);
+          }};
+}
+
+algorithm make_id_broadcast(std::uint32_t diameter) {
+  std::ostringstream name;
+  name << "IdBroadcast(D=" << diameter << ")";
+  return {name.str(),
+          [diameter](const graph::graph& g, std::uint64_t seed,
+                     std::uint64_t max_rounds) {
+            baselines::id_broadcast_election proto(diameter);
+            return run_protocol(g, proto, seed, max_rounds);
+          }};
+}
+
+algorithm make_clique_lottery(double epsilon) {
+  std::ostringstream name;
+  name << "CliqueLottery(eps=" << epsilon << ")";
+  return {name.str(),
+          [epsilon](const graph::graph& g, std::uint64_t seed,
+                    std::uint64_t max_rounds) {
+            baselines::clique_lottery proto(epsilon);
+            return run_protocol(g, proto, seed, max_rounds);
+          }};
+}
+
+trial_stats run_trials(const graph::graph& g, std::uint32_t diameter,
+                       const algorithm& algo, std::size_t trials,
+                       std::uint64_t seed, std::uint64_t max_rounds) {
+  trial_stats stats;
+  stats.algorithm_name = algo.name;
+  stats.graph_name = g.name();
+  stats.node_count = g.node_count();
+  stats.diameter = diameter;
+  stats.trials = trials;
+
+  std::vector<double> rounds;
+  rounds.reserve(trials);
+  double coin_rate_sum = 0.0;
+  support::rng seeder(seed);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const auto outcome = algo.run(g, seeder.next_u64(), max_rounds);
+    if (outcome.converged) ++stats.converged;
+    const double r = static_cast<double>(
+        outcome.converged ? outcome.rounds : max_rounds);
+    rounds.push_back(r);
+    const double node_rounds =
+        static_cast<double>(g.node_count()) * std::max(1.0, r);
+    coin_rate_sum += static_cast<double>(outcome.total_coins) / node_rounds;
+  }
+  stats.rounds = support::summarize(rounds);
+  stats.mean_coins_per_node_round =
+      coin_rate_sum / static_cast<double>(std::max<std::size_t>(1, trials));
+  return stats;
+}
+
+instance make_instance(graph::graph g, std::size_t exact_limit) {
+  instance inst;
+  const std::uint32_t diameter = g.node_count() <= exact_limit
+                                     ? graph::diameter_exact(g)
+                                     : graph::diameter_double_sweep(g);
+  inst.g = std::move(g);
+  inst.diameter = diameter;
+  return inst;
+}
+
+}  // namespace beepkit::analysis

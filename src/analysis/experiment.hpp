@@ -1,0 +1,71 @@
+// Experiment harness: named election algorithms behind one facade,
+// multi-trial runners with seed discipline, and the aggregates the
+// bench binaries print. Every binary in bench/ is a thin driver over
+// this module, so the Table-1 comparison, the Theorem-2/3 sweeps and
+// the Section-5 experiments all share trial mechanics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/convergence.hpp"
+#include "graph/graph.hpp"
+#include "support/stats.hpp"
+
+namespace beepkit::analysis {
+
+/// A named, self-contained election algorithm. `run` executes one
+/// trial; it must be deterministic in (graph, seed).
+struct algorithm {
+  std::string name;
+  std::function<core::election_outcome(const graph::graph& g,
+                                       std::uint64_t seed,
+                                       std::uint64_t max_rounds)>
+      run;
+};
+
+/// BFW with fixed p (the paper's uniform protocol; Theorem 2).
+[[nodiscard]] algorithm make_bfw(double p);
+
+/// BFW with p = 1/(D+1) (Theorem 3; D must upper-bound the diameter).
+[[nodiscard]] algorithm make_bfw_known_diameter(std::uint32_t diameter);
+
+/// Unique-ID beep-wave broadcast baseline (Table 1 class [14]/[11]).
+[[nodiscard]] algorithm make_id_broadcast(std::uint32_t diameter);
+
+/// Clique lottery baseline (Table 1 class [17]); clique-only.
+[[nodiscard]] algorithm make_clique_lottery(double epsilon);
+
+/// Aggregates over a batch of trials of one algorithm on one graph.
+struct trial_stats {
+  std::string algorithm_name;
+  std::string graph_name;
+  std::size_t node_count = 0;
+  std::uint32_t diameter = 0;
+  std::size_t trials = 0;
+  std::size_t converged = 0;
+  support::summary rounds;       ///< Convergence rounds (horizon-capped).
+  double mean_coins_per_node_round = 0.0;  ///< Fair-coin rate (E10).
+};
+
+/// Runs `trials` independent elections (seeds derived from `seed`).
+[[nodiscard]] trial_stats run_trials(const graph::graph& g,
+                                     std::uint32_t diameter,
+                                     const algorithm& algo,
+                                     std::size_t trials, std::uint64_t seed,
+                                     std::uint64_t max_rounds);
+
+/// A (graph, diameter) test instance; diameter is computed once.
+struct instance {
+  graph::graph g;
+  std::uint32_t diameter = 0;
+};
+
+/// Computes the diameter (exact up to `exact_limit` nodes, double-sweep
+/// beyond) and bundles it with the graph.
+[[nodiscard]] instance make_instance(graph::graph g,
+                                     std::size_t exact_limit = 4096);
+
+}  // namespace beepkit::analysis

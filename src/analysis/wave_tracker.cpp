@@ -1,0 +1,69 @@
+#include "analysis/wave_tracker.hpp"
+
+#include "core/bfw.hpp"
+
+namespace beepkit::analysis {
+
+void wave_crash_tracker::on_round(const beeping::round_view& view) {
+  const auto& states = proto_->states();
+  const std::size_t n = states.size();
+  colors_.assign(n, no_color);
+
+  for (std::size_t u = 0; u < n; ++u) {
+    if (!core::bfw_is_beeping(states[u])) continue;
+    const bool is_leader_beep = core::bfw_is_leader_state(states[u]);
+    if (is_leader_beep || !have_prev_) {
+      // A source beep (or an injected round-0 beep): colored by side.
+      colors_[u] = (2 * u < n) ? 0 : 1;
+      continue;
+    }
+    // Relay: inherit the color(s) of the beeping neighbors last round.
+    const std::int8_t left = u > 0 ? prev_colors_[u - 1] : no_color;
+    const std::int8_t right = u + 1 < n ? prev_colors_[u + 1] : no_color;
+    if (left != no_color && right != no_color && left != right) {
+      // Head-on through a single waiting node (B W B): the two fronts
+      // merge into one doomed relay - that is the crash.
+      crashes_.push_back({view.round, static_cast<double>(u)});
+      colors_[u] = merged;
+    } else if (left != no_color) {
+      colors_[u] = left;
+    } else if (right != no_color) {
+      colors_[u] = right;
+    } else {
+      // No beeping neighbor last round: a fresh source (e.g. a newly
+      // eliminated leader's farewell beep) - color by side.
+      colors_[u] = (2 * u < n) ? 0 : 1;
+    }
+  }
+
+  // Adjacent opposite-colored fronts (B B): they freeze next round
+  // with frozen tails behind them - annihilation between u and u+1.
+  for (std::size_t u = 0; u + 1 < n; ++u) {
+    const auto a = colors_[u];
+    const auto b = colors_[u + 1];
+    if ((a == 0 && b == 1) || (a == 1 && b == 0)) {
+      crashes_.push_back({view.round, static_cast<double>(u) + 0.5});
+    }
+  }
+
+  prev_colors_ = colors_;
+  have_prev_ = true;
+}
+
+std::vector<double> mean_squared_displacement(
+    std::span<const wave_crash> crashes, std::size_t max_lag) {
+  std::vector<double> msd(max_lag + 1, 0.0);
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    if (crashes.size() <= lag) break;
+    double sum = 0.0;
+    const std::size_t pairs = crashes.size() - lag;
+    for (std::size_t i = 0; i < pairs; ++i) {
+      const double d = crashes[i + lag].position - crashes[i].position;
+      sum += d * d;
+    }
+    msd[lag] = sum / static_cast<double>(pairs);
+  }
+  return msd;
+}
+
+}  // namespace beepkit::analysis

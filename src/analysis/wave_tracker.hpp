@@ -1,0 +1,63 @@
+// Wave provenance tracking on path graphs - instrumentation for the
+// Section-5 tightness heuristic.
+//
+// The paper argues (Discussion, Section 5) that with two leaders at
+// the ends of a path, "the point where the waves emitted by each
+// leader meet appears to move over time like a simple random walk",
+// which would put the elimination time at Theta(D^2). This observer
+// makes that point measurable: every beep is colored by the side it
+// originated from (left = 0 / right = 1); a *crash* is the
+// annihilation of two opposite-colored fronts, recorded with its
+// round and position. The meeting-point trajectory is then just the
+// crash-position sequence, and its mean-squared displacement should
+// grow ~ linearly in lag if the random-walk picture is right
+// (verified in bench/tightness_conjecture part 2).
+//
+// Only meaningful on path topologies (nodes 0..n-1 in line order).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "beeping/observer.hpp"
+#include "beeping/protocol.hpp"
+
+namespace beepkit::analysis {
+
+/// A wave-annihilation event on the path.
+struct wave_crash {
+  std::uint64_t round = 0;
+  double position = 0.0;  ///< .5 offsets = head-on between two nodes.
+};
+
+class wave_crash_tracker final : public beeping::observer {
+ public:
+  /// `proto` must run a BFW-shaped machine on a path graph.
+  explicit wave_crash_tracker(const beeping::fsm_protocol& proto)
+      : proto_(&proto) {}
+
+  void on_round(const beeping::round_view& view) override;
+
+  [[nodiscard]] const std::vector<wave_crash>& crashes() const noexcept {
+    return crashes_;
+  }
+
+ private:
+  static constexpr std::int8_t no_color = -1;
+  static constexpr std::int8_t merged = 2;
+
+  const beeping::fsm_protocol* proto_;
+  std::vector<std::int8_t> colors_;       // per node, this round's beep color
+  std::vector<std::int8_t> prev_colors_;  // previous round
+  bool have_prev_ = false;
+  std::vector<wave_crash> crashes_;
+};
+
+/// Mean squared displacement of the crash-position sequence at lags
+/// 1..max_lag (msd[0] unused = 0). Diffusive (random-walk-like) motion
+/// shows up as ~linear growth in the lag.
+[[nodiscard]] std::vector<double> mean_squared_displacement(
+    std::span<const wave_crash> crashes, std::size_t max_lag);
+
+}  // namespace beepkit::analysis

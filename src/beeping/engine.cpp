@@ -1,0 +1,142 @@
+#include "beeping/engine.hpp"
+
+#include <algorithm>
+
+namespace beepkit::beeping {
+
+engine::engine(const graph::graph& g, protocol& proto, std::uint64_t seed)
+    : engine(g, proto, seed, noise_model{}) {}
+
+engine::engine(const graph::graph& g, protocol& proto, std::uint64_t seed,
+               const noise_model& noise)
+    : g_(&g), proto_(&proto), noise_(noise) {
+  const std::size_t n = g.node_count();
+  rngs_ = support::make_node_streams(seed, n + 1);
+  // Stream n (never a node id) initializes the protocol, so identifier
+  // draws in baselines do not perturb the per-node round streams.
+  proto_->reset(n, rngs_[n]);
+  if (noise_.enabled()) {
+    // Dedicated streams: enabling noise must not perturb the protocol
+    // coins, and a (0, 0) noise model stays bit-identical.
+    noise_rngs_ = support::make_node_streams(seed ^ 0x6e015eULL, n);
+  }
+  beeping_.assign(n, 0);
+  heard_.assign(n, 0);
+  beep_counts_.assign(n, 0);
+  refresh_round_state();
+}
+
+void engine::add_observer(observer* obs) {
+  observers_.push_back(obs);
+  obs->on_round(make_view());
+}
+
+void engine::refresh_round_state() {
+  const std::size_t n = g_->node_count();
+  leader_count_ = 0;
+  for (graph::node_id u = 0; u < n; ++u) {
+    const bool beeps = proto_->beeping(u);
+    beeping_[u] = beeps ? 1 : 0;
+    if (beeps) ++beep_counts_[u];
+    if (proto_->is_leader(u)) ++leader_count_;
+  }
+}
+
+round_view engine::make_view() const {
+  round_view view;
+  view.round = round_;
+  view.g = g_;
+  view.proto = proto_;
+  view.beeping = beeping_;
+  view.beep_counts = beep_counts_;
+  view.leader_count = leader_count_;
+  return view;
+}
+
+void engine::restart_from_protocol() {
+  round_ = 0;
+  std::fill(beep_counts_.begin(), beep_counts_.end(), 0);
+  refresh_round_state();
+  if (!observers_.empty()) {
+    const round_view view = make_view();
+    for (observer* obs : observers_) {
+      obs->on_round(view);
+    }
+  }
+}
+
+void engine::step() {
+  const std::size_t n = g_->node_count();
+  // Phase 1: a node applies delta_top iff it beeped or a neighbor did.
+  for (graph::node_id u = 0; u < n; ++u) {
+    bool heard = beeping_[u] != 0;
+    if (!heard) {
+      bool neighbor_beeped = false;
+      for (graph::node_id v : g_->neighbors(u)) {
+        if (beeping_[v] != 0) {
+          neighbor_beeped = true;
+          break;
+        }
+      }
+      heard = neighbor_beeped;
+      if (noise_.enabled()) {
+        // Reception noise: erase a real beep or hallucinate one. A
+        // node's own beep is never affected (it knows its state).
+        if (neighbor_beeped) {
+          heard = !noise_rngs_[u].bernoulli(noise_.miss);
+        } else {
+          heard = noise_rngs_[u].bernoulli(noise_.hallucinate);
+        }
+      }
+    }
+    heard_[u] = heard ? 1 : 0;
+  }
+  // Phase 2: simultaneous transitions (beep flags are frozen above).
+  for (graph::node_id u = 0; u < n; ++u) {
+    proto_->step(u, heard_[u] != 0, rngs_[u]);
+  }
+  ++round_;
+  refresh_round_state();
+  if (!observers_.empty()) {
+    const round_view view = make_view();
+    for (observer* obs : observers_) {
+      obs->on_round(view);
+    }
+  }
+}
+
+run_result engine::run_until_single_leader(std::uint64_t max_rounds) {
+  while (round_ < max_rounds) {
+    if (leader_count_ <= 1) {
+      return {round_, true};
+    }
+    step();
+  }
+  return {round_, leader_count_ <= 1};
+}
+
+void engine::run_rounds(std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    step();
+  }
+}
+
+graph::node_id engine::sole_leader() const {
+  if (leader_count_ != 1) {
+    return static_cast<graph::node_id>(g_->node_count());
+  }
+  for (graph::node_id u = 0; u < g_->node_count(); ++u) {
+    if (proto_->is_leader(u)) return u;
+  }
+  return static_cast<graph::node_id>(g_->node_count());
+}
+
+std::uint64_t engine::total_coins_consumed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rngs_) {
+    total += r.coins_consumed();
+  }
+  return total;
+}
+
+}  // namespace beepkit::beeping

@@ -1,0 +1,135 @@
+// Synchronous beeping-model engine.
+//
+// Round semantics (paper Section 1.1): the states of round t determine
+// the beep set B_t; each node then transitions with delta_top if it
+// beeped or heard a beep in round t, and with delta_bot otherwise,
+// yielding the states of round t+1. The engine computes the full beep
+// set before any transition, so the update is exactly synchronous.
+//
+// Randomness: node u draws from its own substream seed->substream(u),
+// making every run deterministic in (graph, protocol, seed) and
+// independent of node iteration order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "beeping/observer.hpp"
+#include "beeping/protocol.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace beepkit::beeping {
+
+/// Outcome of a bounded run.
+struct run_result {
+  std::uint64_t rounds = 0;   ///< Round index at which the run stopped.
+  bool converged = false;     ///< True iff the stop condition was met.
+};
+
+/// Reception-noise extension (not part of the paper's model - used by
+/// the robustness experiments): each listening node's "heard a beep"
+/// verdict is flipped adversarially at random. A node always knows
+/// whether it beeped itself; noise only corrupts reception.
+///
+///   miss        - P(a real neighborhood beep goes unheard)  [erasure]
+///   hallucinate - P(silence is perceived as a beep)         [false positive]
+///
+/// Noise coins come from dedicated per-node streams, so a noisy run
+/// with miss = hallucinate = 0 is bit-identical to a noiseless run.
+struct noise_model {
+  double miss = 0.0;
+  double hallucinate = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return miss > 0.0 || hallucinate > 0.0;
+  }
+};
+
+class engine {
+ public:
+  /// Binds a protocol instance to a graph and resets it. Both `g` and
+  /// `proto` must outlive the engine.
+  engine(const graph::graph& g, protocol& proto, std::uint64_t seed);
+
+  /// Same, with reception noise (robustness experiments).
+  engine(const graph::graph& g, protocol& proto, std::uint64_t seed,
+         const noise_model& noise);
+
+  /// Observers fire after every round (and once at attach time for
+  /// round 0). Not owned; must outlive the engine.
+  void add_observer(observer* obs);
+
+  /// Executes one synchronous round transition (round t -> t+1).
+  void step();
+
+  /// Re-reads the protocol's current per-node states as a fresh round-0
+  /// configuration: the round counter and beep counts restart. Call
+  /// after injecting an explicit configuration (e.g. the Section-5
+  /// adversarial initializations) via fsm_protocol::set_states.
+  void restart_from_protocol();
+
+  /// Runs until at most one leader remains, or `max_rounds` elapse.
+  /// For leader-monotone protocols (no transition creates a leader -
+  /// true of BFW and all bundled baselines), reaching exactly one
+  /// leader is permanent by the paper's Lemma 9, so this is the
+  /// election round of Definition 1.
+  run_result run_until_single_leader(std::uint64_t max_rounds);
+
+  /// Runs exactly `count` rounds.
+  void run_rounds(std::uint64_t count);
+
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] const graph::graph& network() const noexcept { return *g_; }
+  [[nodiscard]] protocol& proto() noexcept { return *proto_; }
+  [[nodiscard]] const protocol& proto() const noexcept { return *proto_; }
+
+  /// Number of nodes currently in a leader state.
+  [[nodiscard]] std::size_t leader_count() const noexcept {
+    return leader_count_;
+  }
+  /// The unique leader if leader_count()==1; node_count() otherwise.
+  [[nodiscard]] graph::node_id sole_leader() const;
+
+  /// N_beep_t(u): beeps of u up to and including the current round.
+  [[nodiscard]] std::uint64_t beep_count(graph::node_id u) const {
+    return beep_counts_[u];
+  }
+  [[nodiscard]] std::span<const std::uint64_t> beep_counts() const noexcept {
+    return beep_counts_;
+  }
+
+  /// Whether u beeps in the current round (u in B_t).
+  [[nodiscard]] bool beeping(graph::node_id u) const {
+    return beeping_[u] != 0;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> beep_flags() const noexcept {
+    return beeping_;
+  }
+
+  /// Total fair coins consumed by all nodes so far (Section 1.3: with
+  /// p = 1/2 a waiting leader consumes exactly one coin per round).
+  [[nodiscard]] std::uint64_t total_coins_consumed() const noexcept;
+
+  /// Per-node generator access (tests use this to couple runs).
+  [[nodiscard]] support::rng& node_rng(graph::node_id u) { return rngs_[u]; }
+
+ private:
+  void refresh_round_state();
+  [[nodiscard]] round_view make_view() const;
+
+  const graph::graph* g_;
+  protocol* proto_;
+  std::vector<support::rng> rngs_;
+  std::vector<support::rng> noise_rngs_;  // empty unless noise enabled
+  noise_model noise_;
+  std::vector<std::uint8_t> beeping_;
+  std::vector<std::uint8_t> heard_;
+  std::vector<std::uint64_t> beep_counts_;
+  std::vector<observer*> observers_;
+  std::uint64_t round_ = 0;
+  std::size_t leader_count_ = 0;
+};
+
+}  // namespace beepkit::beeping

@@ -1,0 +1,34 @@
+// Observer hooks on the synchronous engine. Observers see a read-only
+// view of each completed round; they power the invariant checkers
+// (src/core/invariants.hpp), trace recording, and the wave
+// visualizations without the engine knowing about any of them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace beepkit::beeping {
+
+class protocol;
+
+/// Read-only snapshot of the network at the end of round `round`.
+struct round_view {
+  std::uint64_t round = 0;               ///< Current round index t.
+  const graph::graph* g = nullptr;       ///< Topology.
+  const protocol* proto = nullptr;       ///< Per-node state access.
+  std::span<const std::uint8_t> beeping; ///< beeping[u] != 0 iff u in B_t.
+  std::span<const std::uint64_t> beep_counts;  ///< N_beep_t per node.
+  std::size_t leader_count = 0;          ///< |{u : u in a leader state}|.
+};
+
+/// Interface for round observers. `on_round` fires once per round,
+/// including round 0 (the initial configuration) right after attach.
+class observer {
+ public:
+  virtual ~observer() = default;
+  virtual void on_round(const round_view& view) = 0;
+};
+
+}  // namespace beepkit::beeping

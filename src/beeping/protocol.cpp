@@ -1,0 +1,38 @@
+#include "beeping/protocol.hpp"
+
+#include <stdexcept>
+
+namespace beepkit::beeping {
+
+void fsm_protocol::reset(std::size_t node_count, support::rng& /*init_rng*/) {
+  states_.assign(node_count, machine_->initial_state());
+}
+
+bool fsm_protocol::beeping(graph::node_id node) const {
+  return machine_->beeps(states_[node]);
+}
+
+bool fsm_protocol::is_leader(graph::node_id node) const {
+  return machine_->is_leader(states_[node]);
+}
+
+void fsm_protocol::step(graph::node_id node, bool heard,
+                        support::rng& node_rng) {
+  states_[node] = heard ? machine_->delta_top(states_[node], node_rng)
+                        : machine_->delta_bot(states_[node], node_rng);
+}
+
+std::string fsm_protocol::describe(graph::node_id node) const {
+  return machine_->state_name(states_[node]);
+}
+
+void fsm_protocol::set_states(std::vector<state_id> states) {
+  for (state_id s : states) {
+    if (s >= machine_->state_count()) {
+      throw std::invalid_argument("fsm_protocol::set_states: invalid state id");
+    }
+  }
+  states_ = std::move(states);
+}
+
+}  // namespace beepkit::beeping

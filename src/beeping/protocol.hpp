@@ -1,0 +1,121 @@
+// The beeping model of communication (paper Section 1.1).
+//
+// Execution proceeds in discrete rounds. In each round every node
+// either beeps or listens; a listening node hears a beep iff at least
+// one neighbor beeps (it cannot count beepers). A node that beeps in
+// round t, or hears a beep, transitions by delta_top; otherwise by
+// delta_bot.
+//
+// Two protocol layers are provided:
+//
+//  * `state_machine` - the paper's formal object
+//    M = (Q_listen, Q_beep, q_s, delta_bot, delta_top): a probabilistic
+//    finite-state machine, anonymous and uniform. BFW (src/core/bfw.hpp)
+//    is one of these.
+//  * `protocol` - a generic per-node behaviour interface, which also
+//    accommodates the unbounded-state baselines of Table 1 (unique IDs,
+//    phase counters). `fsm_protocol` adapts any state_machine to it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace beepkit::beeping {
+
+using state_id = std::uint16_t;
+
+/// The paper's probabilistic finite-state machine
+/// M = (Q_listen, Q_beep, q_s, delta_bot, delta_top). Implementations
+/// must be stateless (all per-node state lives in the state id), which
+/// is exactly the anonymity/uniformity restriction of the paper.
+class state_machine {
+ public:
+  virtual ~state_machine() = default;
+
+  [[nodiscard]] virtual std::size_t state_count() const = 0;
+  /// q_s; every node starts here (anonymous protocols cannot
+  /// distinguish nodes at start-up).
+  [[nodiscard]] virtual state_id initial_state() const = 0;
+  /// True iff the state belongs to Q_beep.
+  [[nodiscard]] virtual bool beeps(state_id state) const = 0;
+  /// True iff the state belongs to the leader set L of Definition 1.
+  [[nodiscard]] virtual bool is_leader(state_id state) const = 0;
+  /// delta_top: applied when the node beeped or heard a beep.
+  [[nodiscard]] virtual state_id delta_top(state_id state,
+                                           support::rng& rng) const = 0;
+  /// delta_bot: applied when the node and its whole neighborhood were
+  /// silent.
+  [[nodiscard]] virtual state_id delta_bot(state_id state,
+                                           support::rng& rng) const = 0;
+  [[nodiscard]] virtual std::string state_name(state_id state) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Generic per-node protocol behaviour driven by `engine`. One protocol
+/// instance owns the states of all nodes of one simulation.
+class protocol {
+ public:
+  virtual ~protocol() = default;
+
+  /// (Re)initializes per-node state for an n-node network. `init_rng`
+  /// may be used to draw identifiers etc. (baselines); anonymous
+  /// protocols ignore it.
+  virtual void reset(std::size_t node_count, support::rng& init_rng) = 0;
+
+  /// Whether `node` beeps in the current round.
+  [[nodiscard]] virtual bool beeping(graph::node_id node) const = 0;
+
+  /// Whether `node` currently occupies a leader state.
+  [[nodiscard]] virtual bool is_leader(graph::node_id node) const = 0;
+
+  /// Advances `node` to its next-round state. `heard` is true iff the
+  /// node beeped itself or at least one neighbor beeped (the delta_top
+  /// condition).
+  virtual void step(graph::node_id node, bool heard,
+                    support::rng& node_rng) = 0;
+
+  /// Short human-readable state label (for traces/visualization).
+  [[nodiscard]] virtual std::string describe(graph::node_id node) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Adapts a state_machine to the engine's protocol interface, holding
+/// the vector of per-node states. Exposes raw state ids so invariant
+/// checkers and trace recorders can inspect configurations.
+class fsm_protocol final : public protocol {
+ public:
+  /// The machine must outlive this adapter.
+  explicit fsm_protocol(const state_machine& machine) : machine_(&machine) {}
+
+  void reset(std::size_t node_count, support::rng& init_rng) override;
+  [[nodiscard]] bool beeping(graph::node_id node) const override;
+  [[nodiscard]] bool is_leader(graph::node_id node) const override;
+  void step(graph::node_id node, bool heard, support::rng& node_rng) override;
+  [[nodiscard]] std::string describe(graph::node_id node) const override;
+  [[nodiscard]] std::string name() const override { return machine_->name(); }
+
+  [[nodiscard]] state_id state_of(graph::node_id node) const {
+    return states_[node];
+  }
+  [[nodiscard]] const std::vector<state_id>& states() const noexcept {
+    return states_;
+  }
+  /// Overrides the configuration (used by the adversarial-initialization
+  /// experiments of Section 5; values must be valid machine states).
+  void set_states(std::vector<state_id> states);
+
+  [[nodiscard]] const state_machine& machine() const noexcept {
+    return *machine_;
+  }
+
+ private:
+  const state_machine* machine_;
+  std::vector<state_id> states_;
+};
+
+}  // namespace beepkit::beeping

@@ -1,0 +1,69 @@
+// Stock observers: full configuration traces (for the finite-state
+// protocols), round series (leader counts, beep totals), and an ASCII
+// renderer used by the wave-visualization example and Figure-1 bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "beeping/observer.hpp"
+#include "beeping/protocol.hpp"
+
+namespace beepkit::beeping {
+
+/// Records the state vector of an fsm_protocol every round, up to a
+/// cap (0 = unlimited). Round r's configuration is `states(r)`.
+class trace_recorder final : public observer {
+ public:
+  explicit trace_recorder(const fsm_protocol& proto,
+                          std::size_t max_rounds = 0)
+      : proto_(&proto), max_rounds_(max_rounds) {}
+
+  void on_round(const round_view& view) override;
+
+  [[nodiscard]] std::size_t recorded_rounds() const noexcept {
+    return history_.size();
+  }
+  [[nodiscard]] const std::vector<state_id>& states(std::size_t round) const {
+    return history_.at(round);
+  }
+  [[nodiscard]] const std::vector<std::vector<state_id>>& history()
+      const noexcept {
+    return history_;
+  }
+
+  /// One character per node per round; rows are rounds. Leaders are
+  /// upper-case (W/B/F), non-leaders lower-case (w/b/f) when the traced
+  /// machine is BFW-shaped; otherwise digits of the state id.
+  [[nodiscard]] std::string render_ascii() const;
+
+ private:
+  const fsm_protocol* proto_;
+  std::size_t max_rounds_;
+  std::vector<std::vector<state_id>> history_;
+};
+
+/// Records per-round scalars: leader count and number of beeping nodes.
+class series_recorder final : public observer {
+ public:
+  void on_round(const round_view& view) override;
+
+  [[nodiscard]] const std::vector<std::size_t>& leader_counts()
+      const noexcept {
+    return leaders_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& beep_totals() const noexcept {
+    return beeps_;
+  }
+  /// First round with at most one leader, or npos if never observed.
+  [[nodiscard]] std::size_t first_single_leader_round() const noexcept;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::vector<std::size_t> leaders_;
+  std::vector<std::size_t> beeps_;
+};
+
+}  // namespace beepkit::beeping

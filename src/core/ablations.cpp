@@ -1,0 +1,64 @@
+#include "core/ablations.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace beepkit::core {
+
+bw_machine::bw_machine(double p) : p_(p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("bw_machine: p must lie in (0, 1)");
+  }
+}
+
+beeping::state_id bw_machine::delta_top(beeping::state_id state,
+                                        support::rng& /*rng*/) const {
+  switch (state) {
+    case leader_wait:
+      return follower_beep;  // eliminated, relays once
+    case leader_beep:
+      return leader_wait;  // no freeze: straight back to waiting
+    case follower_wait:
+      return follower_beep;
+    case follower_beep:
+      return follower_wait;
+  }
+  throw std::invalid_argument("bw_machine::delta_top: invalid state");
+}
+
+beeping::state_id bw_machine::delta_bot(beeping::state_id state,
+                                        support::rng& rng) const {
+  switch (state) {
+    case leader_wait:
+      return rng.bernoulli(p_) ? leader_beep : leader_wait;
+    case leader_beep:
+      return leader_wait;
+    case follower_wait:
+      return follower_wait;
+    case follower_beep:
+      return follower_wait;
+  }
+  throw std::invalid_argument("bw_machine::delta_bot: invalid state");
+}
+
+std::string bw_machine::state_name(beeping::state_id state) const {
+  switch (state) {
+    case leader_wait:
+      return "W*";
+    case leader_beep:
+      return "B*";
+    case follower_wait:
+      return "Wo";
+    case follower_beep:
+      return "Bo";
+  }
+  return "?";
+}
+
+std::string bw_machine::name() const {
+  std::ostringstream out;
+  out << "BW-ablation(p=" << p_ << ")";
+  return out.str();
+}
+
+}  // namespace beepkit::core

@@ -1,0 +1,51 @@
+// Ablation: BFW without the Frozen state.
+//
+// DESIGN.md calls out the frozen state as the design choice to ablate:
+// F is what prevents a leader's own wave from bouncing back off its
+// neighbors and eliminating it. The four-state variant below ("BW")
+// removes F - after beeping, a node returns straight to waiting. A
+// leader u that beeps in round t has all waiting neighbors beep in
+// round t+1, which u (now waiting, not frozen) hears, eliminating u:
+// leaders self-destruct and the population can reach zero leaders,
+// violating the paper's Lemma 9. Tests and the ablation bench
+// demonstrate exactly this failure.
+#pragma once
+
+#include <string>
+
+#include "beeping/protocol.hpp"
+
+namespace beepkit::core {
+
+/// Four-state broken variant: {W•, B•, W◦, B◦}, no frozen phase.
+class bw_machine final : public beeping::state_machine {
+ public:
+  explicit bw_machine(double p);
+
+  static constexpr beeping::state_id leader_wait = 0;
+  static constexpr beeping::state_id leader_beep = 1;
+  static constexpr beeping::state_id follower_wait = 2;
+  static constexpr beeping::state_id follower_beep = 3;
+
+  [[nodiscard]] std::size_t state_count() const override { return 4; }
+  [[nodiscard]] beeping::state_id initial_state() const override {
+    return leader_wait;
+  }
+  [[nodiscard]] bool beeps(beeping::state_id state) const override {
+    return state == leader_beep || state == follower_beep;
+  }
+  [[nodiscard]] bool is_leader(beeping::state_id state) const override {
+    return state == leader_wait || state == leader_beep;
+  }
+  [[nodiscard]] beeping::state_id delta_top(beeping::state_id state,
+                                            support::rng& rng) const override;
+  [[nodiscard]] beeping::state_id delta_bot(beeping::state_id state,
+                                            support::rng& rng) const override;
+  [[nodiscard]] std::string state_name(beeping::state_id state) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double p_;
+};
+
+}  // namespace beepkit::core

@@ -1,0 +1,75 @@
+#include "core/adversarial.hpp"
+
+#include <stdexcept>
+
+namespace beepkit::core {
+
+namespace {
+
+constexpr beeping::state_id id(bfw_state s) noexcept {
+  return static_cast<beeping::state_id>(s);
+}
+
+}  // namespace
+
+std::vector<beeping::state_id> configuration_with_leaders(
+    std::size_t node_count, const std::vector<graph::node_id>& leaders) {
+  std::vector<beeping::state_id> states(node_count,
+                                        id(bfw_state::follower_wait));
+  for (graph::node_id u : leaders) {
+    if (u >= node_count) {
+      throw std::invalid_argument(
+          "configuration_with_leaders: node out of range");
+    }
+    states[u] = id(bfw_state::leader_wait);
+  }
+  return states;
+}
+
+std::vector<beeping::state_id> two_leaders_at_path_ends(
+    std::size_t node_count) {
+  if (node_count < 2) {
+    throw std::invalid_argument("two_leaders_at_path_ends: need n >= 2");
+  }
+  return configuration_with_leaders(
+      node_count, {0, static_cast<graph::node_id>(node_count - 1)});
+}
+
+std::vector<beeping::state_id> random_leader_configuration(
+    std::size_t node_count, std::size_t k, support::rng& rng) {
+  if (k > node_count) {
+    throw std::invalid_argument("random_leader_configuration: k > n");
+  }
+  const auto perm = rng.permutation(node_count);
+  std::vector<graph::node_id> leaders;
+  leaders.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    leaders.push_back(static_cast<graph::node_id>(perm[i]));
+  }
+  return configuration_with_leaders(node_count, leaders);
+}
+
+std::vector<beeping::state_id> leaderless_wave_on_cycle(
+    std::size_t node_count) {
+  return leaderless_waves_on_cycle(node_count, 1);
+}
+
+std::vector<beeping::state_id> leaderless_waves_on_cycle(
+    std::size_t node_count, std::size_t waves) {
+  if (waves == 0 || node_count < 3 * waves) {
+    throw std::invalid_argument(
+        "leaderless_waves_on_cycle: need n >= 3 * waves, waves >= 1");
+  }
+  std::vector<beeping::state_id> states(node_count,
+                                        id(bfw_state::follower_wait));
+  const std::size_t spacing = node_count / waves;
+  for (std::size_t w = 0; w < waves; ++w) {
+    const std::size_t head = w * spacing;
+    const std::size_t tail = (head + node_count - 1) % node_count;
+    states[head] = id(bfw_state::follower_beep);
+    states[tail] = id(bfw_state::follower_frozen);
+  }
+  return states;
+}
+
+}  // namespace beepkit::core

@@ -1,0 +1,51 @@
+// Initial-configuration builders for the Section-5 experiments.
+//
+// The paper's analysis assumes Eq. (2): every node starts waiting and
+// at least one leader exists. Section 5 observes that relaxing this is
+// the main obstacle to biological plausibility: an arbitrary initial
+// configuration can contain *leaderless persistent beep waves* running
+// around cycles forever, indistinguishable (locally) from waves emitted
+// by a live leader. These builders construct exactly such
+// configurations, plus the controlled starts used by the tightness
+// experiment (two leaders at the ends of a path).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "beeping/protocol.hpp"
+#include "core/bfw.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace beepkit::core {
+
+/// All nodes W◦ except the listed leaders, which start in W•.
+/// Satisfies Eq. (2) whenever `leaders` is non-empty.
+[[nodiscard]] std::vector<beeping::state_id> configuration_with_leaders(
+    std::size_t node_count, const std::vector<graph::node_id>& leaders);
+
+/// Two leaders at the ends of a path of n nodes (the Section-5
+/// tightness construction: elimination time conjectured Theta(D^2)).
+[[nodiscard]] std::vector<beeping::state_id> two_leaders_at_path_ends(
+    std::size_t node_count);
+
+/// `k` leaders placed uniformly at random (without replacement).
+[[nodiscard]] std::vector<beeping::state_id> random_leader_configuration(
+    std::size_t node_count, std::size_t k, support::rng& rng);
+
+/// Leaderless persistent wave on a cycle of n >= 3 nodes: node 0 in
+/// B◦, node n-1 in F◦, everyone else W◦. Under BFW this wave rotates
+/// forever (B at node i implies B at node i+1 next round, with the F
+/// trailing one behind), and since no leader exists and followers
+/// never become leaders, the system never elects anyone - the
+/// counterexample showing Eq. (2) cannot simply be dropped.
+[[nodiscard]] std::vector<beeping::state_id> leaderless_wave_on_cycle(
+    std::size_t node_count);
+
+/// `waves` equally spaced leaderless waves on a cycle (n must be at
+/// least 3 * waves so consecutive waves do not collide).
+[[nodiscard]] std::vector<beeping::state_id> leaderless_waves_on_cycle(
+    std::size_t node_count, std::size_t waves);
+
+}  // namespace beepkit::core

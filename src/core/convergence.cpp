@@ -1,0 +1,86 @@
+#include "core/convergence.hpp"
+
+#include <cmath>
+
+namespace beepkit::core {
+
+std::uint64_t default_horizon(const graph::graph& g, std::uint32_t diameter) {
+  const double n = std::max<double>(2.0, static_cast<double>(g.node_count()));
+  const double d = std::max<double>(1.0, static_cast<double>(diameter));
+  // 64 * D^2 * (log n + 1), floored at 4096 rounds for tiny graphs.
+  const double bound = 64.0 * d * d * (std::log(n) + 1.0);
+  return std::max<std::uint64_t>(4096, static_cast<std::uint64_t>(bound));
+}
+
+namespace {
+
+election_outcome run_engine(const graph::graph& g, beeping::protocol& proto,
+                            std::uint64_t seed, std::uint64_t max_rounds) {
+  beeping::engine sim(g, proto, seed);
+  const auto result = sim.run_until_single_leader(max_rounds);
+  election_outcome outcome;
+  outcome.converged = result.converged;
+  outcome.rounds = result.rounds;
+  outcome.final_leader_count = sim.leader_count();
+  outcome.total_coins = sim.total_coins_consumed();
+  if (result.converged && sim.leader_count() == 1) {
+    outcome.leader = sim.sole_leader();
+  }
+  return outcome;
+}
+
+}  // namespace
+
+election_outcome run_bfw_election(const graph::graph& g, double p,
+                                  std::uint64_t seed,
+                                  std::uint64_t max_rounds) {
+  const bfw_machine machine(p);
+  return run_fsm_election(g, machine, seed, max_rounds);
+}
+
+election_outcome run_fsm_election(const graph::graph& g,
+                                  const beeping::state_machine& machine,
+                                  std::uint64_t seed,
+                                  std::uint64_t max_rounds) {
+  beeping::fsm_protocol proto(machine);
+  return run_engine(g, proto, seed, max_rounds);
+}
+
+election_outcome run_bfw_election_from(const graph::graph& g, double p,
+                                       std::vector<beeping::state_id> initial,
+                                       std::uint64_t seed,
+                                       std::uint64_t max_rounds) {
+  const bfw_machine machine(p);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, seed);
+  proto.set_states(std::move(initial));
+  sim.restart_from_protocol();
+  const auto result = sim.run_until_single_leader(max_rounds);
+  election_outcome outcome;
+  outcome.converged = result.converged;
+  outcome.rounds = result.rounds;
+  outcome.final_leader_count = sim.leader_count();
+  outcome.total_coins = sim.total_coins_consumed();
+  if (result.converged && sim.leader_count() == 1) {
+    outcome.leader = sim.sole_leader();
+  }
+  return outcome;
+}
+
+std::vector<double> convergence_rounds(const graph::graph& g,
+                                       const beeping::state_machine& machine,
+                                       std::size_t trials, std::uint64_t seed,
+                                       std::uint64_t max_rounds) {
+  std::vector<double> rounds;
+  rounds.reserve(trials);
+  support::rng seeder(seed);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const auto outcome =
+        run_fsm_election(g, machine, seeder.next_u64(), max_rounds);
+    rounds.push_back(static_cast<double>(
+        outcome.converged ? outcome.rounds : max_rounds));
+  }
+  return rounds;
+}
+
+}  // namespace beepkit::core

@@ -1,0 +1,55 @@
+// High-level election runners: one call = one election trial. These
+// wrap graph + machine + engine and report the quantities the paper's
+// theorems are about (the round at which a single-leader configuration
+// is reached, Definition 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "beeping/engine.hpp"
+#include "core/bfw.hpp"
+#include "graph/graph.hpp"
+
+namespace beepkit::core {
+
+/// Result of one election trial.
+struct election_outcome {
+  bool converged = false;       ///< Single leader within the horizon.
+  std::uint64_t rounds = 0;     ///< First round with exactly one leader.
+  graph::node_id leader = 0;    ///< The surviving leader (if converged).
+  std::uint64_t total_coins = 0;  ///< Fair coins drawn by all nodes.
+  std::size_t final_leader_count = 0;
+};
+
+/// Default horizon used by the runners when none is given: a generous
+/// multiple of the Theorem-2 bound D^2 log n (never tight in practice).
+[[nodiscard]] std::uint64_t default_horizon(const graph::graph& g,
+                                            std::uint32_t diameter);
+
+/// Runs BFW with parameter `p` from the all-W• initial configuration.
+[[nodiscard]] election_outcome run_bfw_election(const graph::graph& g,
+                                                double p, std::uint64_t seed,
+                                                std::uint64_t max_rounds);
+
+/// Runs any state machine through the beeping engine.
+[[nodiscard]] election_outcome run_fsm_election(
+    const graph::graph& g, const beeping::state_machine& machine,
+    std::uint64_t seed, std::uint64_t max_rounds);
+
+/// Runs BFW from an explicit initial configuration (used by the
+/// Section-5 experiments: two leaders at path ends, adversarial
+/// states, ...). `initial` must hold valid BFW state ids.
+[[nodiscard]] election_outcome run_bfw_election_from(
+    const graph::graph& g, double p, std::vector<beeping::state_id> initial,
+    std::uint64_t seed, std::uint64_t max_rounds);
+
+/// Convergence rounds over `trials` independent seeds (derived from
+/// `seed`); non-converged trials are recorded as `max_rounds`.
+[[nodiscard]] std::vector<double> convergence_rounds(
+    const graph::graph& g, const beeping::state_machine& machine,
+    std::size_t trials, std::uint64_t seed, std::uint64_t max_rounds);
+
+}  // namespace beepkit::core

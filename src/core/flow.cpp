@@ -1,0 +1,74 @@
+#include "core/flow.hpp"
+
+#include "core/bfw.hpp"
+#include "graph/algorithms.hpp"
+
+namespace beepkit::core {
+
+int edge_flow(std::span<const beeping::state_id> states, graph::node_id u,
+              graph::node_id v) {
+  const bool u_beeps = bfw_is_beeping(states[u]);
+  const bool v_beeps = bfw_is_beeping(states[v]);
+  const bool u_waits = bfw_is_waiting(states[u]);
+  const bool v_waits = bfw_is_waiting(states[v]);
+  if (u_beeps && v_waits) return +1;
+  if (u_waits && v_beeps) return -1;
+  return 0;
+}
+
+int path_flow(std::span<const beeping::state_id> states,
+              const vertex_path& path) {
+  int flow = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    flow += edge_flow(states, path[i], path[i + 1]);
+  }
+  return flow;
+}
+
+bool is_valid_path(const graph::graph& g, const vertex_path& path) {
+  for (graph::node_id v : path) {
+    if (v >= g.node_count()) return false;
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!g.has_edge(path[i], path[i + 1])) return false;
+  }
+  return true;
+}
+
+std::vector<vertex_path> sample_paths(const graph::graph& g,
+                                      std::size_t count,
+                                      std::size_t max_length,
+                                      support::rng& rng) {
+  std::vector<vertex_path> paths;
+  if (g.node_count() == 0) return paths;
+  paths.reserve(count);
+  const auto n = static_cast<graph::node_id>(g.node_count());
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto u = static_cast<graph::node_id>(rng.uniform_below(n));
+    if (i % 2 == 0) {
+      // Shortest path between a random pair.
+      const auto v = static_cast<graph::node_id>(rng.uniform_below(n));
+      if (auto sp = graph::shortest_path(g, u, v);
+          sp && sp->size() <= max_length + 1) {
+        paths.push_back(std::move(*sp));
+        continue;
+      }
+    }
+    // Random walk (may revisit vertices and edges - Definition 4
+    // explicitly allows this).
+    vertex_path walk{u};
+    const std::size_t len = 1 + rng.uniform_below(max_length);
+    graph::node_id current = u;
+    for (std::size_t s = 0; s < len; ++s) {
+      const auto adj = g.neighbors(current);
+      if (adj.empty()) break;
+      current = adj[rng.uniform_below(adj.size())];
+      walk.push_back(current);
+    }
+    paths.push_back(std::move(walk));
+  }
+  return paths;
+}
+
+}  // namespace beepkit::core

@@ -1,0 +1,52 @@
+// The flow machinery of paper Sections 2-3.
+//
+// Definition 5: the flow along an oriented edge e = (u, v) in round t is
+// +1 if u beeps and v waits, -1 if u waits and v beeps, 0 otherwise;
+// the flow along a path is the sum over its (oriented, not necessarily
+// distinct) edges. The paper's deterministic results - conservation
+// (Lemma 7), Ohm's law (Corollary 8: flow equals the difference of beep
+// counts at the endpoints), the diameter bound on beep-count spreads
+// (Lemma 11), and wave propagation (Lemma 12) - all reduce to this
+// quantity. Here it is computed directly from configurations so that
+// tests and runtime checkers can confront the implementation with the
+// paper's claims on every round.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "beeping/protocol.hpp"
+#include "graph/graph.hpp"
+
+namespace beepkit::core {
+
+/// A path in the paper's sense (Definition 4): a vertex sequence whose
+/// consecutive pairs are edges of G; vertices/edges may repeat.
+using vertex_path = std::vector<graph::node_id>;
+
+/// Flow over the oriented edge (u, v) for a BFW configuration
+/// (Definition 5). `states[x]` is the BFW state of node x in round t.
+[[nodiscard]] int edge_flow(std::span<const beeping::state_id> states,
+                            graph::node_id u, graph::node_id v);
+
+/// Flow along a vertex path (sum of its edge flows). An empty or
+/// single-vertex path has flow 0.
+[[nodiscard]] int path_flow(std::span<const beeping::state_id> states,
+                            const vertex_path& path);
+
+/// Checks that `path` is a valid paper path in `g` (consecutive
+/// vertices adjacent); single vertices and empty paths are valid.
+[[nodiscard]] bool is_valid_path(const graph::graph& g,
+                                 const vertex_path& path);
+
+/// Samples `count` random valid paths in g: a mix of shortest paths
+/// between random pairs and random (possibly self-intersecting) walks,
+/// exercising the "edges and vertices need not be distinct" clause of
+/// Definition 4. Lengths are capped at `max_length` edges.
+[[nodiscard]] std::vector<vertex_path> sample_paths(const graph::graph& g,
+                                                    std::size_t count,
+                                                    std::size_t max_length,
+                                                    support::rng& rng);
+
+}  // namespace beepkit::core

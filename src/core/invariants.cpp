@@ -1,0 +1,194 @@
+#include "core/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/bfw.hpp"
+#include "graph/algorithms.hpp"
+
+namespace beepkit::core {
+
+invariant_checker::invariant_checker(const graph::graph& g,
+                                     const beeping::fsm_protocol& proto,
+                                     invariant_options options)
+    : g_(&g), proto_(&proto), options_(options) {
+  if (options_.check_ohms_law && options_.sampled_paths > 0) {
+    support::rng path_rng(options_.path_sample_seed);
+    paths_ = sample_paths(g, options_.sampled_paths,
+                          options_.sampled_path_length, path_rng);
+  }
+  if (options_.check_lemma11 || options_.check_lemma12) {
+    distances_ = graph::distance_matrix(g);
+  }
+}
+
+void invariant_checker::report(std::uint64_t round,
+                               const std::string& message) {
+  if (violations_.size() >= max_violations) return;
+  std::ostringstream out;
+  out << "round " << round << ": " << message;
+  violations_.push_back(out.str());
+}
+
+void invariant_checker::on_round(const beeping::round_view& view) {
+  ++rounds_checked_;
+  if (options_.check_leader_floor) check_leader_floor(view);
+  if (options_.check_claim6 && have_previous_) check_claim6(view);
+  if (options_.check_ohms_law) check_ohms_law(view);
+  if (options_.check_lemma11) check_lemma11(view);
+  if (options_.check_lemma12) check_lemma12(view);
+
+  previous_states_ = proto_->states();
+  previous_beeping_.assign(view.beeping.begin(), view.beeping.end());
+  previous_leader_count_ = view.leader_count;
+  have_previous_ = true;
+}
+
+void invariant_checker::check_leader_floor(const beeping::round_view& view) {
+  if (view.leader_count == 0) {
+    report(view.round, "Lemma 9 violated: zero leaders in the population");
+  }
+  if (have_previous_ && view.leader_count > previous_leader_count_) {
+    std::ostringstream out;
+    out << "leader count increased " << previous_leader_count_ << " -> "
+        << view.leader_count;
+    report(view.round, out.str());
+  }
+}
+
+void invariant_checker::check_claim6(const beeping::round_view& view) {
+  const auto& current = proto_->states();
+  const auto& previous = previous_states_;
+  const std::size_t n = g_->node_count();
+
+  for (graph::node_id u = 0; u < n; ++u) {
+    const auto prev = previous[u];
+    const auto curr = current[u];
+    // Eq. (3): u in W_{t-1}  =>  u not in F_t.
+    if (bfw_is_waiting(prev) && bfw_is_frozen(curr)) {
+      report(view.round, "Eq.(3): waiting node froze without beeping");
+    }
+    // Eq. (4): u in B_{t-1}  =>  u in F_t.
+    if (bfw_is_beeping(prev) && !bfw_is_frozen(curr)) {
+      report(view.round, "Eq.(4): beeping node did not freeze");
+    }
+    // Eq. (5): u in F_{t-1}  =>  u in W_t.
+    if (bfw_is_frozen(prev) && !bfw_is_waiting(curr)) {
+      report(view.round, "Eq.(5): frozen node did not return to waiting");
+    }
+    // Eq. (7): u in W_t  =>  u not in B_{t-1}.
+    if (bfw_is_waiting(curr) && bfw_is_beeping(prev)) {
+      report(view.round, "Eq.(7): waiting node was beeping last round");
+    }
+    // Eq. (8): u in B_t  =>  u in W_{t-1}.
+    if (bfw_is_beeping(curr) && !bfw_is_waiting(prev)) {
+      report(view.round, "Eq.(8): beeping node was not waiting last round");
+    }
+    // Eq. (9): u in F_t  =>  u in B_{t-1}.
+    if (bfw_is_frozen(curr) && !bfw_is_beeping(prev)) {
+      report(view.round, "Eq.(9): frozen node was not beeping last round");
+    }
+    // Eq. (11): u in B_follower_t => some neighbor beeped in t-1.
+    if (curr == static_cast<beeping::state_id>(bfw_state::follower_beep)) {
+      bool neighbor_beeped = false;
+      for (graph::node_id v : g_->neighbors(u)) {
+        if (bfw_is_beeping(previous[v])) {
+          neighbor_beeped = true;
+          break;
+        }
+      }
+      if (!neighbor_beeped) {
+        report(view.round,
+               "Eq.(11): relayed beep without a beeping neighbor");
+      }
+    }
+  }
+
+  // Edge relations (6) and (10), previous-round oriented both ways.
+  for (graph::node_id u = 0; u < n; ++u) {
+    for (graph::node_id v : g_->neighbors(u)) {
+      // Eq. (6): u in B_{t-1}, v in W_{t-1}  =>  v in B_follower_t.
+      if (bfw_is_beeping(previous[u]) && bfw_is_waiting(previous[v]) &&
+          current[v] !=
+              static_cast<beeping::state_id>(bfw_state::follower_beep)) {
+        report(view.round, "Eq.(6): waiting neighbor of a beeper did not beep");
+      }
+      // Eq. (10): u in F_t, v in W_t  =>  v in F_{t-1}.
+      if (bfw_is_frozen(current[u]) && bfw_is_waiting(current[v]) &&
+          !bfw_is_frozen(previous[v])) {
+        report(view.round, "Eq.(10): F/W edge without frozen predecessor");
+      }
+    }
+  }
+}
+
+void invariant_checker::check_ohms_law(const beeping::round_view& view) {
+  const auto& states = proto_->states();
+  for (const auto& path : paths_) {
+    if (path.size() < 2) continue;
+    const int flow = path_flow(states, path);
+    const auto first = static_cast<std::int64_t>(view.beep_counts[path.front()]);
+    const auto last = static_cast<std::int64_t>(view.beep_counts[path.back()]);
+    if (flow != first - last) {
+      std::ostringstream out;
+      out << "Corollary 8 (Ohm's law) violated on path " << path.front()
+          << ".." << path.back() << ": flow=" << flow
+          << " but N(v1)-N(vk)=" << (first - last);
+      report(view.round, out.str());
+    }
+  }
+}
+
+void invariant_checker::check_lemma11(const beeping::round_view& view) {
+  const std::size_t n = g_->node_count();
+  for (graph::node_id u = 0; u < n; ++u) {
+    for (graph::node_id v = u + 1; v < n; ++v) {
+      const auto nu = static_cast<std::int64_t>(view.beep_counts[u]);
+      const auto nv = static_cast<std::int64_t>(view.beep_counts[v]);
+      const auto spread = static_cast<std::uint64_t>(nu > nv ? nu - nv
+                                                             : nv - nu);
+      if (spread > distances_[u][v]) {
+        std::ostringstream out;
+        out << "Lemma 11 violated: |N(" << u << ")-N(" << v
+            << ")| = " << spread << " > dis = " << distances_[u][v];
+        report(view.round, out.str());
+      }
+    }
+  }
+}
+
+void invariant_checker::check_lemma12(const beeping::round_view& view) {
+  // Discharge obligations satisfied by a beep this round.
+  std::erase_if(obligations_, [&](const obligation& ob) {
+    return view.beeping[ob.debtor] != 0;
+  });
+  // Anything past its deadline is a violation.
+  for (const auto& ob : obligations_) {
+    if (view.round >= ob.deadline) {
+      std::ostringstream out;
+      out << "Lemma 12 violated: node " << ob.debtor
+          << " owed a beep by round " << ob.deadline << " (creditor "
+          << ob.creditor << ", created round " << ob.created_at << ")";
+      report(view.round, out.str());
+    }
+  }
+  std::erase_if(obligations_,
+                [&](const obligation& ob) { return view.round >= ob.deadline; });
+
+  // Create new obligations on sampled pairs.
+  const auto n = static_cast<graph::node_id>(g_->node_count());
+  if (n < 2) return;
+  support::rng pair_rng(options_.path_sample_seed ^ (view.round * 0x9e37ULL));
+  for (std::size_t i = 0;
+       i < options_.lemma12_pairs && obligations_.size() < 4096; ++i) {
+    const auto u = static_cast<graph::node_id>(pair_rng.uniform_below(n));
+    const auto v = static_cast<graph::node_id>(pair_rng.uniform_below(n));
+    if (u == v) continue;
+    if (view.beep_counts[u] > view.beep_counts[v]) {
+      obligations_.push_back(
+          {v, view.round + distances_[u][v], view.round, u});
+    }
+  }
+}
+
+}  // namespace beepkit::core

@@ -1,0 +1,162 @@
+#include "core/markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace beepkit::core {
+
+std::array<std::array<double, 3>, 3> chain_transition_matrix(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("chain_transition_matrix: p must be in (0,1)");
+  }
+  return {{
+      {1.0 - p, p, 0.0},  // W: stay w.p. 1-p, fire w.p. p
+      {0.0, 0.0, 1.0},    // B -> F
+      {1.0, 0.0, 0.0},    // F -> W
+  }};
+}
+
+std::array<double, 3> chain_stationary(double p) {
+  const double z = 2.0 * p + 1.0;
+  return {1.0 / z, p / z, p / z};
+}
+
+std::array<double, 3> chain_stationary_numeric(double p, int iterations) {
+  const auto matrix = chain_transition_matrix(p);
+  std::array<double, 3> dist = {1.0, 0.0, 0.0};
+  for (int it = 0; it < iterations; ++it) {
+    std::array<double, 3> next = {0.0, 0.0, 0.0};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        next[j] += dist[i] * matrix[i][j];
+      }
+    }
+    dist = next;
+  }
+  return dist;
+}
+
+void leader_chain::start_stationary(support::rng& rng) {
+  const auto pi = chain_stationary(p_);
+  const double u = rng.uniform01();
+  if (u < pi[0]) {
+    state_ = chain_state::wait;
+  } else if (u < pi[0] + pi[1]) {
+    state_ = chain_state::beep;
+  } else {
+    state_ = chain_state::frozen;
+  }
+  visits_ = (state_ == chain_state::beep) ? 1 : 0;
+  steps_ = 1;  // X_1 ~ pi counts as the first step, as in Theorem 13
+}
+
+chain_state leader_chain::step(support::rng& rng) {
+  switch (state_) {
+    case chain_state::wait:
+      state_ = rng.bernoulli(p_) ? chain_state::beep : chain_state::wait;
+      break;
+    case chain_state::beep:
+      state_ = chain_state::frozen;
+      break;
+    case chain_state::frozen:
+      state_ = chain_state::wait;
+      break;
+  }
+  ++steps_;
+  if (state_ == chain_state::beep) ++visits_;
+  return state_;
+}
+
+std::vector<std::uint64_t> sample_visit_counts(double p, std::uint64_t t,
+                                               std::size_t trials,
+                                               std::uint64_t seed,
+                                               bool stationary_start) {
+  support::rng root(seed);
+  std::vector<std::uint64_t> counts;
+  counts.reserve(trials);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    support::rng rng = root.substream(trial);
+    leader_chain chain(p);
+    std::uint64_t start_steps = 0;
+    if (stationary_start) {
+      chain.start_stationary(rng);
+      start_steps = 1;
+    }
+    for (std::uint64_t s = start_steps; s < t; ++s) {
+      chain.step(rng);
+    }
+    counts.push_back(chain.beep_visits());
+  }
+  return counts;
+}
+
+std::vector<std::uint64_t> sample_return_times(double p, std::size_t trials,
+                                               std::uint64_t seed) {
+  support::rng root(seed);
+  std::vector<std::uint64_t> times;
+  times.reserve(trials);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    support::rng rng = root.substream(trial);
+    // From B: deterministically B -> F -> W, then Geom(p) waits until
+    // the next firing. Simulate honestly rather than sampling the
+    // closed form, so the test actually checks the chain.
+    leader_chain chain(p);
+    // Drive the chain into B first.
+    while (chain.state() != chain_state::beep) chain.step(rng);
+    std::uint64_t elapsed = 0;
+    do {
+      chain.step(rng);
+      ++elapsed;
+    } while (chain.state() != chain_state::beep);
+    times.push_back(elapsed);
+  }
+  return times;
+}
+
+double anti_concentration_sup(const std::vector<std::uint64_t>& visit_counts,
+                              double window) {
+  if (visit_counts.empty()) return 0.0;
+  // For each integer center m, count samples with |N - m| <= window.
+  // Only centers near observed values can maximize, so iterate over a
+  // compressed histogram with a sliding window.
+  std::map<std::uint64_t, std::size_t> hist;
+  for (auto v : visit_counts) ++hist[v];
+
+  const auto w = static_cast<std::uint64_t>(std::floor(window));
+  double best = 0.0;
+  for (const auto& [center, _] : hist) {
+    const std::uint64_t lo = center > w ? center - w : 0;
+    const std::uint64_t hi = center + w;
+    std::size_t inside = 0;
+    for (auto it = hist.lower_bound(lo);
+         it != hist.end() && it->first <= hi; ++it) {
+      inside += it->second;
+    }
+    best = std::max(
+        best, static_cast<double>(inside) /
+                  static_cast<double>(visit_counts.size()));
+  }
+  return best;
+}
+
+std::uint64_t sample_divergence_time(double p, std::uint64_t threshold,
+                                     std::uint64_t max_rounds,
+                                     support::rng& rng) {
+  leader_chain a(p);
+  leader_chain b(p);
+  support::rng rng_a = rng.substream(0xaaaa);
+  support::rng rng_b = rng.substream(0xbbbb);
+  for (std::uint64_t t = 1; t <= max_rounds; ++t) {
+    a.step(rng_a);
+    b.step(rng_b);
+    const std::uint64_t na = a.beep_visits();
+    const std::uint64_t nb = b.beep_visits();
+    const std::uint64_t gap = na > nb ? na - nb : nb - na;
+    if (gap > threshold) return t;
+  }
+  return max_rounds;
+}
+
+}  // namespace beepkit::core

@@ -1,0 +1,91 @@
+// The three-state Markov chain of paper Section 4 (Eq. 15):
+//
+//        W --p--> B --1--> F --1--> W        (W self-loops w.p. 1-p)
+//
+// This is the law of an isolated leader's state under BFW. The paper's
+// probabilistic engine room - the stationary distribution pi =
+// (1, p, p)/(2p+1) (Eq. 16), return times tau ~ 2 + Geom(p), the
+// anti-concentration of the visit counts N_t(B) (Theorem 13 /
+// Lemma 14), and the divergence time sigma_{u,v} (Eq. 17) - is made
+// measurable here so the benchmarks can confront each lemma with
+// simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace beepkit::core {
+
+/// Chain states, in the paper's order.
+enum class chain_state : std::uint8_t { wait = 0, beep = 1, frozen = 2 };
+
+/// Row-stochastic transition matrix P of Eq. (15).
+[[nodiscard]] std::array<std::array<double, 3>, 3> chain_transition_matrix(
+    double p);
+
+/// Closed-form stationary distribution of Eq. (16):
+/// pi = (1/(2p+1), p/(2p+1), p/(2p+1)).
+[[nodiscard]] std::array<double, 3> chain_stationary(double p);
+
+/// Stationary distribution computed numerically by power iteration -
+/// used in tests to validate the closed form.
+[[nodiscard]] std::array<double, 3> chain_stationary_numeric(
+    double p, int iterations = 20000);
+
+/// A single walker on the chain.
+class leader_chain {
+ public:
+  /// Starts in W (the paper couples chains to leaders, which start
+  /// in W•; X_1 ~ pi is available via start_stationary).
+  explicit leader_chain(double p) : p_(p) {}
+
+  void start_stationary(support::rng& rng);
+
+  /// One transition; returns the new state.
+  chain_state step(support::rng& rng);
+
+  [[nodiscard]] chain_state state() const noexcept { return state_; }
+  /// N_t: visits to state B so far (including the current round if the
+  /// chain sits in B).
+  [[nodiscard]] std::uint64_t beep_visits() const noexcept { return visits_; }
+  [[nodiscard]] std::uint64_t steps_taken() const noexcept { return steps_; }
+
+ private:
+  double p_;
+  chain_state state_ = chain_state::wait;
+  std::uint64_t visits_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+/// Simulates `trials` independent chains for `t` steps each and
+/// returns the visit counts N_t(B). `stationary_start` draws X_1 ~ pi
+/// as in Theorem 13; otherwise chains start in W as in the coupling of
+/// Theorem 2's proof.
+[[nodiscard]] std::vector<std::uint64_t> sample_visit_counts(
+    double p, std::uint64_t t, std::size_t trials, std::uint64_t seed,
+    bool stationary_start = false);
+
+/// Samples first-return times to B (starting from B); the paper notes
+/// tau ~ 2 + Geom(p) (proof of Lemma 14).
+[[nodiscard]] std::vector<std::uint64_t> sample_return_times(
+    double p, std::size_t trials, std::uint64_t seed);
+
+/// Empirical estimate of sup_m P(|N_t - m| <= window) - the quantity
+/// bounded away from 1 by Lemma 14 (window = sqrt(t)) and Theorem 13.
+/// Returns the maximizing probability over integer centers m.
+[[nodiscard]] double anti_concentration_sup(
+    const std::vector<std::uint64_t>& visit_counts, double window);
+
+/// Empirical sigma_{u,v} (Eq. 17): first round where two independent
+/// chains' visit counts differ by more than `threshold`. Returns
+/// `max_rounds` if it never happens within the horizon.
+[[nodiscard]] std::uint64_t sample_divergence_time(double p,
+                                                   std::uint64_t threshold,
+                                                   std::uint64_t max_rounds,
+                                                   support::rng& rng);
+
+}  // namespace beepkit::core

@@ -1,0 +1,127 @@
+#include "core/timeout_bfw.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace beepkit::core {
+
+timeout_bfw_machine::timeout_bfw_machine(double p, std::uint32_t timeout)
+    : p_(p), timeout_(timeout) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("timeout_bfw_machine: p must lie in (0, 1)");
+  }
+  if (timeout == 0) {
+    throw std::invalid_argument("timeout_bfw_machine: timeout must be >= 1");
+  }
+}
+
+beeping::state_id timeout_bfw_machine::delta_top(beeping::state_id state,
+                                                 support::rng& /*rng*/) const {
+  switch (state) {
+    case leader_wait:
+      return follower_beep;  // eliminated, relays once
+    case leader_beep:
+      return leader_frozen;
+    case leader_frozen:
+      return leader_wait;
+    case follower_beep:
+      return follower_frozen;
+    case follower_frozen:
+      return follower_wait_base;  // patience restarts at 0
+    default:
+      break;
+  }
+  if (state >= follower_wait_base && state < state_count()) {
+    return follower_beep;  // relay; patience resets through Fo -> Wo(0)
+  }
+  throw std::invalid_argument("timeout_bfw_machine::delta_top: bad state");
+}
+
+beeping::state_id timeout_bfw_machine::delta_bot(beeping::state_id state,
+                                                 support::rng& rng) const {
+  switch (state) {
+    case leader_wait:
+      return rng.bernoulli(p_) ? leader_beep : leader_wait;
+    case leader_beep:
+      return leader_frozen;  // unreachable (beeping nodes take delta_top)
+    case leader_frozen:
+      return leader_wait;
+    case follower_beep:
+      return follower_frozen;  // unreachable
+    case follower_frozen:
+      return follower_wait_base;
+    default:
+      break;
+  }
+  if (state >= follower_wait_base && state < state_count()) {
+    const std::uint32_t patience =
+        static_cast<std::uint32_t>(state - follower_wait_base);
+    if (patience + 1 >= timeout_) {
+      return leader_wait;  // timed out: self-promotion
+    }
+    return static_cast<beeping::state_id>(state + 1);
+  }
+  throw std::invalid_argument("timeout_bfw_machine::delta_bot: bad state");
+}
+
+std::string timeout_bfw_machine::state_name(beeping::state_id state) const {
+  switch (state) {
+    case leader_wait:
+      return "W*";
+    case leader_beep:
+      return "B*";
+    case leader_frozen:
+      return "F*";
+    case follower_beep:
+      return "Bo";
+    case follower_frozen:
+      return "Fo";
+    default:
+      break;
+  }
+  if (state >= follower_wait_base && state < state_count()) {
+    return "Wo(" + std::to_string(state - follower_wait_base) + ")";
+  }
+  return "?";
+}
+
+std::string timeout_bfw_machine::name() const {
+  std::ostringstream out;
+  out << "TimeoutBFW(p=" << p_ << ",T=" << timeout_ << ")";
+  return out.str();
+}
+
+std::vector<beeping::state_id> timeout_bfw_machine::dead_configuration(
+    std::size_t node_count) const {
+  return std::vector<beeping::state_id>(node_count, follower_wait_base);
+}
+
+void stabilization_probe::observe(std::uint64_t round,
+                                  std::size_t leader_count) noexcept {
+  last_round_ = round;
+  if (leader_count == 1) {
+    if (!in_streak_) {
+      current_ = {round, 0};
+      in_streak_ = true;
+    }
+    ++current_.length;
+  } else if (in_streak_) {
+    completed_.push_back(current_);
+    in_streak_ = false;
+  }
+}
+
+stabilization_result stabilization_probe::result(
+    std::uint64_t window) const noexcept {
+  for (const auto& s : completed_) {
+    if (s.length >= window + 1) {
+      return {s.start, true};
+    }
+  }
+  if (in_streak_ && current_.length >= window + 1) {
+    return {current_.start, true};
+  }
+  return {last_round_, false};
+}
+
+}  // namespace beepkit::core

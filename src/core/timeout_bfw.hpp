@@ -1,0 +1,116 @@
+// Timeout-BFW: a restart extension probing the paper's Section-5 open
+// problem (recovering from arbitrary initial configurations).
+//
+// The obstruction identified in the paper: from a leaderless
+// configuration, plain BFW is silent (or haunted by phantom waves)
+// forever - followers have no route back to leadership. The natural
+// fix, and the one the related work [12] pays Theta(D) states for, is
+// a *patience counter*: a waiting follower that hears nothing for T
+// consecutive rounds concludes that no leader is alive and promotes
+// itself back to W•.
+//
+//   states: W•, B•, F•, B◦, F◦, and W◦(k) for k = 0..T-1
+//   W◦(k): hears a beep -> B◦ (relay, patience resets via F◦ -> W◦(0))
+//          silence     -> W◦(k+1), and W◦(T-1) -> W• (reborn)
+//
+// What this buys and what it costs (measured in bench/selfstab_timeout
+// and tests/test_timeout_bfw.cpp):
+//   + recovers from all-follower (dead) configurations in T + O(elect)
+//     rounds, where plain BFW never recovers;
+//   + with T below the phantom wave's lap time, reborn leaders flood
+//     the cycle and the system elects a real leader - breaking the
+//     Section-5 counterexample;
+//   - no longer uniform (T must exceed the leader's inter-beep gaps,
+//     which needs knowledge of p and a target horizon) and no longer
+//     O(1) states: exactly the trade-off the paper's Table 1 row for
+//     [12] describes;
+//   - leader count is no longer monotone: spurious timeouts re-create
+//     leaders, so "eventual" election becomes "single leader in all
+//     but a vanishing fraction of rounds" (quantified in the bench).
+#pragma once
+
+#include <string>
+
+#include "beeping/protocol.hpp"
+
+namespace beepkit::core {
+
+class timeout_bfw_machine final : public beeping::state_machine {
+ public:
+  /// `p` as in BFW; `timeout` = T >= 1 silent rounds before a waiting
+  /// follower promotes itself.
+  timeout_bfw_machine(double p, std::uint32_t timeout);
+
+  // State ids: 0 = W•, 1 = B•, 2 = F•, 3 = B◦, 4 = F◦,
+  //            5 + k = W◦ with patience k (k = 0..T-1).
+  static constexpr beeping::state_id leader_wait = 0;
+  static constexpr beeping::state_id leader_beep = 1;
+  static constexpr beeping::state_id leader_frozen = 2;
+  static constexpr beeping::state_id follower_beep = 3;
+  static constexpr beeping::state_id follower_frozen = 4;
+  static constexpr beeping::state_id follower_wait_base = 5;
+
+  [[nodiscard]] std::size_t state_count() const override {
+    return follower_wait_base + timeout_;
+  }
+  [[nodiscard]] beeping::state_id initial_state() const override {
+    return leader_wait;
+  }
+  [[nodiscard]] bool beeps(beeping::state_id state) const override {
+    return state == leader_beep || state == follower_beep;
+  }
+  [[nodiscard]] bool is_leader(beeping::state_id state) const override {
+    return state <= leader_frozen;
+  }
+  [[nodiscard]] beeping::state_id delta_top(beeping::state_id state,
+                                            support::rng& rng) const override;
+  [[nodiscard]] beeping::state_id delta_bot(beeping::state_id state,
+                                            support::rng& rng) const override;
+  [[nodiscard]] std::string state_name(beeping::state_id state) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double p() const noexcept { return p_; }
+  [[nodiscard]] std::uint32_t timeout() const noexcept { return timeout_; }
+
+  /// The all-followers "dead network" configuration (zero leaders,
+  /// full patience ahead) used by the recovery experiments.
+  [[nodiscard]] std::vector<beeping::state_id> dead_configuration(
+      std::size_t node_count) const;
+
+ private:
+  double p_;
+  std::uint32_t timeout_;
+};
+
+/// Stabilization measurement for non-monotone protocols: the first
+/// round r such that the configuration has exactly one leader from r
+/// through r + window (inclusive). Returns {r, true} on success or
+/// {max_rounds, false}.
+struct stabilization_result {
+  std::uint64_t round = 0;
+  bool stabilized = false;
+};
+
+class stabilization_probe {
+ public:
+  /// Call once per round with the current leader count; `round` must
+  /// increase by 1 between calls.
+  void observe(std::uint64_t round, std::size_t leader_count) noexcept;
+
+  /// First round of the current uninterrupted single-leader streak of
+  /// length >= window+1, if any.
+  [[nodiscard]] stabilization_result result(
+      std::uint64_t window) const noexcept;
+
+ private:
+  struct streak {
+    std::uint64_t start = 0;
+    std::uint64_t length = 0;  // number of consecutive single-leader rounds
+  };
+  std::vector<streak> completed_;
+  streak current_;
+  bool in_streak_ = false;
+  std::uint64_t last_round_ = 0;
+};
+
+}  // namespace beepkit::core

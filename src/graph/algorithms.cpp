@@ -1,0 +1,119 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace beepkit::graph {
+
+std::vector<std::uint32_t> bfs_distances(const graph& g, node_id source) {
+  std::vector<std::uint32_t> dist(g.node_count(), unreachable);
+  if (source >= g.node_count()) return dist;
+  std::queue<node_id> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const node_id u = frontier.front();
+    frontier.pop();
+    for (node_id v : g.neighbors(u)) {
+      if (dist[v] == unreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const graph& g) {
+  if (g.node_count() <= 1) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == unreachable; });
+}
+
+std::uint32_t eccentricity(const graph& g, node_id source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d == unreachable) return unreachable;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter_exact(const graph& g) {
+  std::uint32_t diameter = 0;
+  for (node_id u = 0; u < g.node_count(); ++u) {
+    const std::uint32_t ecc = eccentricity(g, u);
+    if (ecc == unreachable) return unreachable;
+    diameter = std::max(diameter, ecc);
+  }
+  return diameter;
+}
+
+std::uint32_t diameter_double_sweep(const graph& g, int sweeps) {
+  if (g.node_count() == 0) return 0;
+  std::uint32_t best = 0;
+  node_id start = 0;
+  for (int s = 0; s < sweeps; ++s) {
+    const auto dist = bfs_distances(g, start);
+    node_id farthest = start;
+    std::uint32_t ecc = 0;
+    for (node_id v = 0; v < g.node_count(); ++v) {
+      if (dist[v] != unreachable && dist[v] > ecc) {
+        ecc = dist[v];
+        farthest = v;
+      }
+    }
+    best = std::max(best, ecc);
+    if (farthest == start) break;
+    start = farthest;
+  }
+  return best;
+}
+
+std::vector<std::vector<std::uint32_t>> distance_matrix(const graph& g) {
+  std::vector<std::vector<std::uint32_t>> matrix;
+  matrix.reserve(g.node_count());
+  for (node_id u = 0; u < g.node_count(); ++u) {
+    matrix.push_back(bfs_distances(g, u));
+  }
+  return matrix;
+}
+
+std::optional<std::vector<node_id>> shortest_path(const graph& g, node_id u,
+                                                  node_id v) {
+  if (u >= g.node_count() || v >= g.node_count()) return std::nullopt;
+  if (u == v) return std::vector<node_id>{u};
+
+  // BFS from v so that walking parents from u yields the path in order.
+  const auto dist = bfs_distances(g, v);
+  if (dist[u] == unreachable) return std::nullopt;
+
+  std::vector<node_id> path;
+  path.reserve(dist[u] + 1);
+  node_id current = u;
+  path.push_back(current);
+  while (current != v) {
+    for (node_id next : g.neighbors(current)) {
+      if (dist[next] + 1 == dist[current]) {
+        current = next;
+        break;
+      }
+    }
+    path.push_back(current);
+  }
+  return path;
+}
+
+std::vector<node_id> exact_distance_set(const graph& g, node_id u,
+                                        std::uint32_t d) {
+  const auto dist = bfs_distances(g, u);
+  std::vector<node_id> result;
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    if (dist[v] == d) result.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace beepkit::graph

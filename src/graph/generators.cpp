@@ -1,0 +1,384 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <sstream>
+#include <string>
+
+#include "graph/algorithms.hpp"
+
+namespace beepkit::graph {
+
+namespace {
+
+graph named(graph g, std::string name) {
+  g.set_name(std::move(name));
+  return g;
+}
+
+std::string format_real(double v) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+graph make_path(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_path: n must be >= 1");
+  std::vector<edge> edges;
+  edges.reserve(n - 1);
+  for (node_id i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, static_cast<node_id>(i + 1)});
+  }
+  return named(graph(n, std::move(edges)), "path(" + std::to_string(n) + ")");
+}
+
+graph make_cycle(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("make_cycle: n must be >= 3");
+  std::vector<edge> edges;
+  edges.reserve(n);
+  for (node_id i = 0; i < n; ++i) {
+    edges.push_back({i, static_cast<node_id>((i + 1) % n)});
+  }
+  return named(graph(n, std::move(edges)), "cycle(" + std::to_string(n) + ")");
+}
+
+graph make_complete(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_complete: n must be >= 1");
+  std::vector<edge> edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (node_id u = 0; u < n; ++u) {
+    for (node_id v = u + 1; v < n; ++v) {
+      edges.push_back({u, v});
+    }
+  }
+  return named(graph(n, std::move(edges)),
+               "complete(" + std::to_string(n) + ")");
+}
+
+graph make_star(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("make_star: n must be >= 2");
+  std::vector<edge> edges;
+  edges.reserve(n - 1);
+  for (node_id leaf = 1; leaf < n; ++leaf) {
+    edges.push_back({0, leaf});
+  }
+  return named(graph(n, std::move(edges)), "star(" + std::to_string(n) + ")");
+}
+
+graph make_wheel(std::size_t n) {
+  if (n < 4) throw std::invalid_argument("make_wheel: n must be >= 4");
+  const std::size_t rim = n - 1;
+  std::vector<edge> edges;
+  edges.reserve(2 * rim);
+  for (node_id i = 0; i < rim; ++i) {
+    edges.push_back(
+        {static_cast<node_id>(1 + i), static_cast<node_id>(1 + (i + 1) % rim)});
+    edges.push_back({0, static_cast<node_id>(1 + i)});
+  }
+  return named(graph(n, std::move(edges)), "wheel(" + std::to_string(n) + ")");
+}
+
+graph make_grid(std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("make_grid: dimensions must be >= 1");
+  }
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<node_id>(r * cols + c);
+  };
+  std::vector<edge> edges;
+  edges.reserve(2 * rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  return named(graph(rows * cols, std::move(edges)),
+               "grid(" + std::to_string(rows) + "x" + std::to_string(cols) + ")");
+}
+
+graph make_torus(std::size_t rows, std::size_t cols) {
+  if (rows < 3 || cols < 3) {
+    throw std::invalid_argument("make_torus: dimensions must be >= 3");
+  }
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<node_id>(r * cols + c);
+  };
+  std::vector<edge> edges;
+  edges.reserve(2 * rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      edges.push_back({id(r, c), id(r, (c + 1) % cols)});
+      edges.push_back({id(r, c), id((r + 1) % rows, c)});
+    }
+  }
+  return named(graph(rows * cols, std::move(edges)),
+               "torus(" + std::to_string(rows) + "x" + std::to_string(cols) +
+                   ")");
+}
+
+graph make_hypercube(std::size_t dimensions) {
+  if (dimensions == 0 || dimensions > 24) {
+    throw std::invalid_argument("make_hypercube: need 1 <= d <= 24");
+  }
+  const std::size_t n = std::size_t{1} << dimensions;
+  std::vector<edge> edges;
+  edges.reserve(n * dimensions / 2);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t bit = 0; bit < dimensions; ++bit) {
+      const std::size_t v = u ^ (std::size_t{1} << bit);
+      if (u < v) {
+        edges.push_back({static_cast<node_id>(u), static_cast<node_id>(v)});
+      }
+    }
+  }
+  return named(graph(n, std::move(edges)),
+               "hypercube(" + std::to_string(dimensions) + ")");
+}
+
+graph make_complete_binary_tree(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("make_complete_binary_tree: n must be >= 1");
+  }
+  std::vector<edge> edges;
+  edges.reserve(n - 1);
+  for (std::size_t child = 1; child < n; ++child) {
+    edges.push_back({static_cast<node_id>((child - 1) / 2),
+                     static_cast<node_id>(child)});
+  }
+  return named(graph(n, std::move(edges)),
+               "binary_tree(" + std::to_string(n) + ")");
+}
+
+graph make_caterpillar(std::size_t spine, std::size_t legs) {
+  if (spine == 0) {
+    throw std::invalid_argument("make_caterpillar: spine must be >= 1");
+  }
+  const std::size_t n = spine * (1 + legs);
+  std::vector<edge> edges;
+  edges.reserve(n - 1);
+  for (node_id i = 0; i + 1 < spine; ++i) {
+    edges.push_back({i, static_cast<node_id>(i + 1)});
+  }
+  node_id next = static_cast<node_id>(spine);
+  for (node_id s = 0; s < spine; ++s) {
+    for (std::size_t leg = 0; leg < legs; ++leg) {
+      edges.push_back({s, next++});
+    }
+  }
+  return named(graph(n, std::move(edges)),
+               "caterpillar(" + std::to_string(spine) + "," +
+                   std::to_string(legs) + ")");
+}
+
+graph make_barbell(std::size_t m, std::size_t bridge) {
+  if (m < 2) throw std::invalid_argument("make_barbell: m must be >= 2");
+  const std::size_t n = 2 * m + bridge;
+  std::vector<edge> edges;
+  auto add_clique = [&edges](node_id base, std::size_t size) {
+    for (node_id u = 0; u < size; ++u) {
+      for (node_id v = u + 1; v < size; ++v) {
+        edges.push_back({static_cast<node_id>(base + u),
+                         static_cast<node_id>(base + v)});
+      }
+    }
+  };
+  add_clique(0, m);
+  add_clique(static_cast<node_id>(m + bridge), m);
+  // Bridge path from node m-1 (in the first clique) through the bridge
+  // nodes to node m+bridge (first node of the second clique).
+  node_id prev = static_cast<node_id>(m - 1);
+  for (std::size_t b = 0; b < bridge; ++b) {
+    const auto mid = static_cast<node_id>(m + b);
+    edges.push_back({prev, mid});
+    prev = mid;
+  }
+  edges.push_back({prev, static_cast<node_id>(m + bridge)});
+  return named(graph(n, std::move(edges)),
+               "barbell(" + std::to_string(m) + "," + std::to_string(bridge) +
+                   ")");
+}
+
+graph make_lollipop(std::size_t m, std::size_t tail) {
+  if (m < 2) throw std::invalid_argument("make_lollipop: m must be >= 2");
+  const std::size_t n = m + tail;
+  std::vector<edge> edges;
+  for (node_id u = 0; u < m; ++u) {
+    for (node_id v = u + 1; v < m; ++v) {
+      edges.push_back({u, v});
+    }
+  }
+  node_id prev = static_cast<node_id>(m - 1);
+  for (std::size_t t = 0; t < tail; ++t) {
+    const auto next = static_cast<node_id>(m + t);
+    edges.push_back({prev, next});
+    prev = next;
+  }
+  return named(graph(n, std::move(edges)),
+               "lollipop(" + std::to_string(m) + "," + std::to_string(tail) +
+                   ")");
+}
+
+graph make_random_tree(std::size_t n, support::rng& rng) {
+  if (n == 0) throw std::invalid_argument("make_random_tree: n must be >= 1");
+  if (n == 1) return named(graph(1, {}), "random_tree(1)");
+  if (n == 2) return named(graph(2, {{0, 1}}), "random_tree(2)");
+
+  // Decode a uniformly random Pruefer sequence of length n-2.
+  std::vector<node_id> pruefer(n - 2);
+  for (auto& x : pruefer) {
+    x = static_cast<node_id>(rng.uniform_below(n));
+  }
+  std::vector<std::size_t> degree(n, 1);
+  for (node_id x : pruefer) ++degree[x];
+
+  std::vector<edge> edges;
+  edges.reserve(n - 1);
+  // `ptr` scans for leaves in increasing order; `leaf` is the current
+  // smallest unused leaf (classic linear-time decoding).
+  std::size_t ptr = 0;
+  while (degree[ptr] != 1) ++ptr;
+  std::size_t leaf = ptr;
+  for (node_id x : pruefer) {
+    edges.push_back({static_cast<node_id>(leaf), x});
+    if (--degree[x] == 1 && x < ptr) {
+      leaf = x;
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  edges.push_back({static_cast<node_id>(leaf), static_cast<node_id>(n - 1)});
+  return named(graph(n, std::move(edges)),
+               "random_tree(" + std::to_string(n) + ")");
+}
+
+graph make_erdos_renyi_connected(std::size_t n, double p,
+                                 support::rng& rng) {
+  if (n == 0) {
+    throw std::invalid_argument("make_erdos_renyi_connected: n must be >= 1");
+  }
+  constexpr int max_attempts = 64;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    std::vector<edge> edges;
+    for (node_id u = 0; u < n; ++u) {
+      for (node_id v = u + 1; v < n; ++v) {
+        if (rng.bernoulli(p)) edges.push_back({u, v});
+      }
+    }
+    graph g(n, std::move(edges));
+    if (is_connected(g)) {
+      return named(std::move(g),
+                   "erdos_renyi(" + std::to_string(n) + "," +
+                       format_real(p) + ")");
+    }
+  }
+  // Fallback: overlay a uniform random spanning tree so the instance
+  // stays close to G(n, p) while guaranteeing connectivity.
+  std::vector<edge> edges;
+  for (node_id u = 0; u < n; ++u) {
+    for (node_id v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) edges.push_back({u, v});
+    }
+  }
+  const graph tree = make_random_tree(n, rng);
+  for (const auto& e : tree.edges()) edges.push_back(e);
+  return named(graph(n, std::move(edges)),
+               "erdos_renyi+tree(" + std::to_string(n) + "," +
+                   format_real(p) + ")");
+}
+
+graph make_random_geometric(std::size_t n, double radius,
+                            support::rng& rng) {
+  if (n == 0) {
+    throw std::invalid_argument("make_random_geometric: n must be >= 1");
+  }
+  struct point {
+    double x, y;
+    node_id id;
+  };
+  std::vector<point> pts(n);
+  for (node_id i = 0; i < n; ++i) {
+    pts[i] = {rng.uniform01(), rng.uniform01(), i};
+  }
+  const double r2 = radius * radius;
+  std::vector<edge> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = pts[i].x - pts[j].x;
+      const double dy = pts[i].y - pts[j].y;
+      if (dx * dx + dy * dy <= r2) {
+        edges.push_back({pts[i].id, pts[j].id});
+      }
+    }
+  }
+  graph g(n, edges);
+  if (!is_connected(g)) {
+    // Stitch along the spatial sort order: connects nearest stragglers
+    // while keeping the proximity character of the graph.
+    std::sort(pts.begin(), pts.end(), [](const point& a, const point& b) {
+      return std::pair(a.x, a.y) < std::pair(b.x, b.y);
+    });
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      edges.push_back({pts[i].id, pts[i + 1].id});
+    }
+    g = graph(n, edges);
+  }
+  return named(std::move(g),
+               "random_geometric(" + std::to_string(n) + "," +
+                   format_real(radius) + ")");
+}
+
+graph make_random_regular(std::size_t n, std::size_t d, support::rng& rng) {
+  if (d >= n || (n * d) % 2 != 0) {
+    throw std::invalid_argument(
+        "make_random_regular: need d < n and n*d even");
+  }
+  constexpr int max_attempts = 256;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Pairing model: n*d half-edge stubs, matched uniformly at random.
+    std::vector<node_id> stubs;
+    stubs.reserve(n * d);
+    for (node_id u = 0; u < n; ++u) {
+      for (std::size_t k = 0; k < d; ++k) stubs.push_back(u);
+    }
+    rng.shuffle(std::span<node_id>(stubs));
+
+    std::vector<edge> edges;
+    edges.reserve(n * d / 2);
+    bool simple = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      node_id u = stubs[i], v = stubs[i + 1];
+      if (u == v) {
+        simple = false;
+        break;
+      }
+      if (u > v) std::swap(u, v);
+      edges.push_back({u, v});
+    }
+    if (!simple) continue;
+    std::sort(edges.begin(), edges.end(), [](const edge& a, const edge& b) {
+      return std::pair(a.u, a.v) < std::pair(b.u, b.v);
+    });
+    if (std::adjacent_find(edges.begin(), edges.end()) != edges.end()) {
+      continue;  // multi-edge
+    }
+    graph g(n, std::move(edges));
+    if (is_connected(g)) {
+      return named(std::move(g),
+                   "random_regular(" + std::to_string(n) + "," +
+                       std::to_string(d) + ")");
+    }
+  }
+  throw std::runtime_error(
+      "make_random_regular: failed to sample a simple connected graph");
+}
+
+}  // namespace beepkit::graph

@@ -1,0 +1,77 @@
+// Graph generators covering the topologies used throughout the paper's
+// discussion and our experiment suite: high-diameter graphs (paths,
+// cycles, caterpillars) where the O(D^2 log n) bound bites, low-diameter
+// graphs (cliques, stars, hypercubes, expanders) where it is mild, and
+// random families for property tests. Every randomized generator is
+// deterministic in its seed and guarantees connectivity.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace beepkit::graph {
+
+/// Path P_n: diameter n-1. n >= 1.
+[[nodiscard]] graph make_path(std::size_t n);
+
+/// Cycle C_n: diameter floor(n/2). n >= 3.
+[[nodiscard]] graph make_cycle(std::size_t n);
+
+/// Complete graph K_n: diameter 1. n >= 1.
+[[nodiscard]] graph make_complete(std::size_t n);
+
+/// Star S_n: one hub, n-1 leaves; diameter 2. n >= 2.
+[[nodiscard]] graph make_star(std::size_t n);
+
+/// Wheel W_n: cycle of n-1 nodes plus a hub. n >= 4.
+[[nodiscard]] graph make_wheel(std::size_t n);
+
+/// rows x cols grid; diameter rows+cols-2.
+[[nodiscard]] graph make_grid(std::size_t rows, std::size_t cols);
+
+/// rows x cols torus (wrap-around grid); rows, cols >= 3.
+[[nodiscard]] graph make_torus(std::size_t rows, std::size_t cols);
+
+/// d-dimensional hypercube Q_d: 2^d nodes, diameter d. d >= 1.
+[[nodiscard]] graph make_hypercube(std::size_t dimensions);
+
+/// Complete binary tree with n nodes (heap layout); diameter ~2 log2 n.
+[[nodiscard]] graph make_complete_binary_tree(std::size_t n);
+
+/// Caterpillar: a spine path of `spine` nodes, each with `legs` leaves.
+[[nodiscard]] graph make_caterpillar(std::size_t spine, std::size_t legs);
+
+/// Barbell: two K_m cliques joined by a path of `bridge` nodes.
+[[nodiscard]] graph make_barbell(std::size_t m, std::size_t bridge);
+
+/// Lollipop: K_m clique with a path of `tail` nodes attached.
+[[nodiscard]] graph make_lollipop(std::size_t m, std::size_t tail);
+
+/// Uniform random labelled tree on n nodes via a random Pruefer
+/// sequence. n >= 1.
+[[nodiscard]] graph make_random_tree(std::size_t n, support::rng& rng);
+
+/// G(n, p) conditioned on connectivity: samples until connected, with a
+/// spanning-tree fallback (a random tree is added) if `p` is too small
+/// to connect within a bounded number of attempts. n >= 1.
+[[nodiscard]] graph make_erdos_renyi_connected(std::size_t n, double p,
+                                               support::rng& rng);
+
+/// Random geometric graph on the unit square with connection radius
+/// `radius`; augmented with a path through the nodes sorted by x (then
+/// y) if disconnected, preserving the local/metric structure the model
+/// motivates (wireless/biological proximity networks).
+[[nodiscard]] graph make_random_geometric(std::size_t n, double radius,
+                                          support::rng& rng);
+
+/// Random d-regular graph via the pairing model with retries (rejecting
+/// self-loops/multi-edges); requires n*d even, d < n. Falls back to
+/// repeated resampling; throws std::runtime_error if it cannot produce
+/// a simple connected graph after many attempts (does not happen for
+/// the d >= 3, n >= 8 parameters used in the experiments).
+[[nodiscard]] graph make_random_regular(std::size_t n, std::size_t d,
+                                        support::rng& rng);
+
+}  // namespace beepkit::graph

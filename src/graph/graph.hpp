@@ -1,0 +1,81 @@
+// Undirected simple graph with CSR (compressed sparse row) adjacency.
+//
+// The beeping model runs on an arbitrary undirected connected graph
+// G = (V, E) (paper Section 1.1). All simulators in this repository
+// touch every adjacency list every round, so the representation is a
+// flat CSR layout: cache-friendly and immutable after construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace beepkit::graph {
+
+using node_id = std::uint32_t;
+
+/// An undirected edge as an unordered pair (stored with u < v).
+struct edge {
+  node_id u = 0;
+  node_id v = 0;
+
+  friend bool operator==(const edge&, const edge&) = default;
+};
+
+/// Immutable undirected simple graph.
+///
+/// Construction validates the edge list: endpoints in range, no self
+/// loops; duplicate edges are merged. Use `builder` or the free
+/// generator functions in generators.hpp.
+class graph {
+ public:
+  /// Empty graph (0 nodes).
+  graph() = default;
+
+  /// Builds from an edge list; duplicates are deduplicated and each
+  /// {u, v} produces both CSR arcs. Throws std::invalid_argument on
+  /// out-of-range endpoints or self-loops.
+  graph(std::size_t node_count, std::vector<edge> edges);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return adjacency_.size() / 2;
+  }
+
+  [[nodiscard]] std::size_t degree(node_id u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  /// Neighbors of u, sorted ascending.
+  [[nodiscard]] std::span<const node_id> neighbors(node_id u) const {
+    return {adjacency_.data() + offsets_[u], degree(u)};
+  }
+
+  /// Binary search over the sorted adjacency of u.
+  [[nodiscard]] bool has_edge(node_id u, node_id v) const;
+
+  /// All edges, each once, with u < v, sorted lexicographically.
+  [[nodiscard]] std::vector<edge> edges() const;
+
+  [[nodiscard]] std::size_t max_degree() const noexcept { return max_degree_; }
+  [[nodiscard]] std::size_t min_degree() const noexcept { return min_degree_; }
+
+  /// Human-readable one-line description, e.g. "graph(n=16, m=24)".
+  /// Generators attach a richer name like "grid(4x4)".
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::vector<std::size_t> offsets_;   // size node_count+1
+  std::vector<node_id> adjacency_;     // size 2*edge_count, sorted per node
+  std::size_t max_degree_ = 0;
+  std::size_t min_degree_ = 0;
+  std::string name_ = "graph";
+};
+
+}  // namespace beepkit::graph

@@ -1,0 +1,80 @@
+#include "graph/io.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace beepkit::graph {
+
+std::string to_edge_list(const graph& g) {
+  std::ostringstream out;
+  write_edge_list(out, g);
+  return out.str();
+}
+
+void write_edge_list(std::ostream& out, const graph& g) {
+  out << "# " << g.name() << '\n';
+  out << "n " << g.node_count() << '\n';
+  for (const auto& e : g.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+graph from_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  return read_edge_list(in);
+}
+
+graph read_edge_list(std::istream& in) {
+  std::string line;
+  std::size_t node_count = 0;
+  bool header_seen = false;
+  std::vector<edge> edges;
+
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream tokens(line);
+    if (!header_seen) {
+      std::string keyword;
+      tokens >> keyword >> node_count;
+      if (keyword != "n" || tokens.fail()) {
+        throw std::invalid_argument(
+            "read_edge_list: expected 'n <count>' header, got: " + line);
+      }
+      header_seen = true;
+      continue;
+    }
+    unsigned long long u = 0, v = 0;
+    tokens >> u >> v;
+    if (tokens.fail()) {
+      throw std::invalid_argument("read_edge_list: malformed edge line: " +
+                                  line);
+    }
+    if (u >= node_count || v >= node_count) {
+      throw std::invalid_argument("read_edge_list: endpoint out of range: " +
+                                  line);
+    }
+    edges.push_back({static_cast<node_id>(u), static_cast<node_id>(v)});
+  }
+  if (!header_seen) {
+    throw std::invalid_argument("read_edge_list: missing 'n <count>' header");
+  }
+  return graph(node_count, std::move(edges));
+}
+
+std::string to_dot(const graph& g) {
+  std::ostringstream out;
+  out << "graph beepkit {\n";
+  out << "  // " << g.name() << '\n';
+  for (node_id u = 0; u < g.node_count(); ++u) {
+    out << "  " << u << ";\n";
+  }
+  for (const auto& e : g.edges()) {
+    out << "  " << e.u << " -- " << e.v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace beepkit::graph

@@ -1,0 +1,31 @@
+// Plain-text graph serialization: a simple edge-list format
+// ("n <count>" header followed by "u v" lines, '#' comments allowed)
+// plus Graphviz DOT export for documentation and the examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace beepkit::graph {
+
+/// Serializes to the edge-list format:
+///   # optional comment lines
+///   n <node_count>
+///   <u> <v>
+///   ...
+[[nodiscard]] std::string to_edge_list(const graph& g);
+
+/// Parses the edge-list format; throws std::invalid_argument on
+/// malformed input (missing header, bad tokens, out-of-range ids).
+[[nodiscard]] graph from_edge_list(const std::string& text);
+
+/// Stream variants.
+void write_edge_list(std::ostream& out, const graph& g);
+[[nodiscard]] graph read_edge_list(std::istream& in);
+
+/// Graphviz DOT (undirected) export.
+[[nodiscard]] std::string to_dot(const graph& g);
+
+}  // namespace beepkit::graph

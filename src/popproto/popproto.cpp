@@ -1,0 +1,93 @@
+#include "popproto/popproto.hpp"
+
+#include <stdexcept>
+
+namespace beepkit::popproto {
+
+scheduler::scheduler(const graph::graph& g, const protocol& proto,
+                     std::uint64_t seed)
+    : g_(&g), proto_(&proto), rng_(seed), edges_(g.edges()) {
+  if (edges_.empty() && g.node_count() > 1) {
+    throw std::invalid_argument("popproto::scheduler: graph has no edges");
+  }
+  states_.assign(g.node_count(), proto.initial_state());
+  leader_count_ = 0;
+  for (state_id s : states_) {
+    if (proto.is_leader(s)) ++leader_count_;
+  }
+}
+
+void scheduler::step() {
+  if (edges_.empty()) {
+    ++interactions_;
+    return;
+  }
+  const auto& e = edges_[rng_.uniform_below(edges_.size())];
+  graph::node_id initiator = e.u;
+  graph::node_id responder = e.v;
+  if (rng_.coin()) {
+    std::swap(initiator, responder);
+  }
+  const auto before_leaders =
+      static_cast<int>(proto_->is_leader(states_[initiator])) +
+      static_cast<int>(proto_->is_leader(states_[responder]));
+  const auto [next_i, next_r] =
+      proto_->interact(states_[initiator], states_[responder], rng_);
+  states_[initiator] = next_i;
+  states_[responder] = next_r;
+  const auto after_leaders =
+      static_cast<int>(proto_->is_leader(next_i)) +
+      static_cast<int>(proto_->is_leader(next_r));
+  leader_count_ = leader_count_ + after_leaders - before_leaders;
+  ++interactions_;
+}
+
+void scheduler::run_interactions(std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) step();
+}
+
+scheduler::run_result scheduler::run_until_single_leader(
+    std::uint64_t max_interactions) {
+  while (interactions_ < max_interactions) {
+    if (leader_count_ <= 1) return {interactions_, true};
+    step();
+  }
+  return {interactions_, leader_count_ <= 1};
+}
+
+graph::node_id scheduler::sole_leader() const {
+  if (leader_count_ != 1) {
+    return static_cast<graph::node_id>(g_->node_count());
+  }
+  for (graph::node_id u = 0; u < g_->node_count(); ++u) {
+    if (proto_->is_leader(states_[u])) return u;
+  }
+  return static_cast<graph::node_id>(g_->node_count());
+}
+
+std::pair<state_id, state_id> fight_protocol::interact(
+    state_id initiator, state_id responder, support::rng& /*rng*/) const {
+  if (initiator == leader && responder == leader) {
+    return {leader, follower};  // the responder yields
+  }
+  return {initiator, responder};
+}
+
+std::pair<state_id, state_id> token_coalescence_protocol::interact(
+    state_id initiator, state_id responder, support::rng& rng) const {
+  const bool i_has = initiator == leader;
+  const bool r_has = responder == leader;
+  if (i_has && r_has) {
+    return {leader, follower};  // tokens coalesce
+  }
+  if (i_has != r_has) {
+    // The token crosses the edge with probability 1/2: a lazy random
+    // walk over the graph.
+    if (rng.coin()) {
+      return {r_has ? leader : follower, i_has ? leader : follower};
+    }
+  }
+  return {initiator, responder};
+}
+
+}  // namespace beepkit::popproto

@@ -1,0 +1,136 @@
+// Population-protocols substrate (paper Section 1.4, related work).
+//
+// In the classical model [3], at each step a scheduler picks an edge
+// of the communication graph uniformly at random; its endpoints - an
+// ordered (initiator, responder) pair - interact and update their
+// states by a fixed pairwise transition function. Leader election
+// here is *eventual*, exactly as in the paper's Definition 1, and the
+// natural cost measure is the number of interactions (divide by n for
+// "parallel time").
+//
+// The paper cites the key facts we reproduce in bench/population_comparison:
+// constant-state protocols on the clique need Omega(n^2) expected
+// interactions [10] - matched by the classic two-state fight protocol
+// below - while the beeping model's broadcast primitive lets BFW elect
+// in polylog parallel time on the same clique. The substrate supports
+// arbitrary connected graphs, where pairwise interaction shows its
+// weakness: the fight protocol simply cannot finish (far-apart leaders
+// never meet), and token-coalescence (random-walk) protocols are
+// needed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace beepkit::popproto {
+
+using state_id = std::uint16_t;
+
+/// A population protocol: anonymous pairwise transition function.
+class protocol {
+ public:
+  virtual ~protocol() = default;
+
+  [[nodiscard]] virtual std::size_t state_count() const = 0;
+  [[nodiscard]] virtual state_id initial_state() const = 0;
+  [[nodiscard]] virtual bool is_leader(state_id state) const = 0;
+  /// delta(initiator, responder) -> (initiator', responder'). May use
+  /// randomness (our protocols use at most one coin per interaction).
+  [[nodiscard]] virtual std::pair<state_id, state_id> interact(
+      state_id initiator, state_id responder, support::rng& rng) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Random-scheduler engine over an arbitrary connected graph: each
+/// step picks one edge uniformly and one of its two orientations
+/// uniformly.
+class scheduler {
+ public:
+  scheduler(const graph::graph& g, const protocol& proto,
+            std::uint64_t seed);
+
+  /// One interaction.
+  void step();
+  void run_interactions(std::uint64_t count);
+
+  struct run_result {
+    std::uint64_t interactions = 0;
+    bool converged = false;
+  };
+  /// Runs until a single leader remains or the budget is exhausted.
+  /// Both bundled protocols are leader-monotone, so single-leader is
+  /// permanent.
+  run_result run_until_single_leader(std::uint64_t max_interactions);
+
+  [[nodiscard]] std::uint64_t interactions() const noexcept {
+    return interactions_;
+  }
+  [[nodiscard]] std::size_t leader_count() const noexcept {
+    return leader_count_;
+  }
+  [[nodiscard]] state_id state_of(graph::node_id u) const {
+    return states_[u];
+  }
+  [[nodiscard]] graph::node_id sole_leader() const;
+
+ private:
+  const graph::graph* g_;
+  const protocol* proto_;
+  support::rng rng_;
+  std::vector<graph::edge> edges_;
+  std::vector<state_id> states_;
+  std::uint64_t interactions_ = 0;
+  std::size_t leader_count_ = 0;
+};
+
+/// The classic two-state fight protocol: everyone starts as a leader;
+/// when two leaders meet, the responder yields. On the clique this
+/// takes Theta(n^2) expected interactions (the last two leaders need
+/// Theta(n^2) draws to meet) - the constant-state lower-bound regime
+/// of [10]. On non-complete graphs it DEADLOCKS whenever two surviving
+/// leaders are non-adjacent.
+class fight_protocol final : public protocol {
+ public:
+  static constexpr state_id leader = 0;
+  static constexpr state_id follower = 1;
+
+  [[nodiscard]] std::size_t state_count() const override { return 2; }
+  [[nodiscard]] state_id initial_state() const override { return leader; }
+  [[nodiscard]] bool is_leader(state_id state) const override {
+    return state == leader;
+  }
+  [[nodiscard]] std::pair<state_id, state_id> interact(
+      state_id initiator, state_id responder,
+      support::rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "PP-fight"; }
+};
+
+/// Token coalescence: leadership is a token performing a random walk
+/// (a leader meeting a follower hands the token over with probability
+/// 1/2); two meeting tokens merge. Coalescing random walks elect on
+/// ANY connected graph, in O(n * hitting time) interactions - the
+/// mechanism behind graphical population-protocol election [2].
+class token_coalescence_protocol final : public protocol {
+ public:
+  static constexpr state_id leader = 0;
+  static constexpr state_id follower = 1;
+
+  [[nodiscard]] std::size_t state_count() const override { return 2; }
+  [[nodiscard]] state_id initial_state() const override { return leader; }
+  [[nodiscard]] bool is_leader(state_id state) const override {
+    return state == leader;
+  }
+  [[nodiscard]] std::pair<state_id, state_id> interact(
+      state_id initiator, state_id responder,
+      support::rng& rng) const override;
+  [[nodiscard]] std::string name() const override {
+    return "PP-token-coalescence";
+  }
+};
+
+}  // namespace beepkit::popproto

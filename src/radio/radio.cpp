@@ -1,0 +1,72 @@
+#include "radio/radio.hpp"
+
+namespace beepkit::radio {
+
+engine::engine(const graph::graph& g, beeping::protocol& proto,
+               std::uint64_t seed, bool collision_detection)
+    : g_(&g), proto_(&proto), cd_(collision_detection) {
+  const std::size_t n = g.node_count();
+  rngs_ = support::make_node_streams(seed, n + 1);
+  proto_->reset(n, rngs_[n]);
+  transmitting_.assign(n, 0);
+  receptions_.assign(n, reception::silence);
+  refresh_round_state();
+}
+
+void engine::refresh_round_state() {
+  const std::size_t n = g_->node_count();
+  leader_count_ = 0;
+  for (graph::node_id u = 0; u < n; ++u) {
+    transmitting_[u] = proto_->beeping(u) ? 1 : 0;
+    if (proto_->is_leader(u)) ++leader_count_;
+  }
+}
+
+void engine::step() {
+  const std::size_t n = g_->node_count();
+  for (graph::node_id u = 0; u < n; ++u) {
+    unsigned transmitters = 0;
+    for (graph::node_id v : g_->neighbors(u)) {
+      if (transmitting_[v] != 0 && ++transmitters == 2) break;
+    }
+    receptions_[u] = transmitters == 0
+                         ? reception::silence
+                         : (transmitters == 1 ? reception::single
+                                              : reception::collision);
+  }
+  for (graph::node_id u = 0; u < n; ++u) {
+    // The delta_top condition of the driven protocol: own transmission
+    // always counts; a reception counts when it is a clean message, or
+    // any energy on the channel when the receiver has CD.
+    const bool heard =
+        transmitting_[u] != 0 || receptions_[u] == reception::single ||
+        (cd_ && receptions_[u] == reception::collision);
+    proto_->step(u, heard, rngs_[u]);
+  }
+  ++round_;
+  refresh_round_state();
+}
+
+void engine::run_rounds(std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) step();
+}
+
+engine::run_result engine::run_until_single_leader(std::uint64_t max_rounds) {
+  while (round_ < max_rounds) {
+    if (leader_count_ <= 1) return {round_, true};
+    step();
+  }
+  return {round_, leader_count_ <= 1};
+}
+
+graph::node_id engine::sole_leader() const {
+  if (leader_count_ != 1) {
+    return static_cast<graph::node_id>(g_->node_count());
+  }
+  for (graph::node_id u = 0; u < g_->node_count(); ++u) {
+    if (proto_->is_leader(u)) return u;
+  }
+  return static_cast<graph::node_id>(g_->node_count());
+}
+
+}  // namespace beepkit::radio

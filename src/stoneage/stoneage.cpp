@@ -1,0 +1,80 @@
+#include "stoneage/stoneage.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace beepkit::stoneage {
+
+engine::engine(const graph::graph& g, const automaton& machine,
+               std::uint32_t threshold, std::uint64_t seed)
+    : g_(&g), machine_(&machine), threshold_(threshold) {
+  if (threshold_ == 0) {
+    throw std::invalid_argument("stoneage::engine: threshold must be >= 1");
+  }
+  const std::size_t n = g.node_count();
+  rngs_ = support::make_node_streams(seed, n);
+  states_.assign(n, machine.initial_state());
+  next_states_.assign(n, machine.initial_state());
+  census_.assign(machine.alphabet_size(), 0);
+  refresh_counters();
+}
+
+void engine::refresh_counters() {
+  leader_count_ = 0;
+  for (state_id s : states_) {
+    if (machine_->is_leader(s)) ++leader_count_;
+  }
+}
+
+void engine::step() {
+  const std::size_t n = g_->node_count();
+  for (graph::node_id u = 0; u < n; ++u) {
+    std::fill(census_.begin(), census_.end(), 0U);
+    for (graph::node_id v : g_->neighbors(u)) {
+      const symbol sigma = machine_->display(states_[v]);
+      if (census_[sigma] < threshold_) ++census_[sigma];
+    }
+    next_states_[u] = machine_->transition(states_[u], census_, rngs_[u]);
+  }
+  states_.swap(next_states_);
+  ++round_;
+  refresh_counters();
+}
+
+void engine::run_rounds(std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) step();
+}
+
+engine::run_result engine::run_until_single_leader(std::uint64_t max_rounds) {
+  while (round_ < max_rounds) {
+    if (leader_count_ <= 1) return {round_, true};
+    step();
+  }
+  return {round_, leader_count_ <= 1};
+}
+
+graph::node_id engine::sole_leader() const {
+  if (leader_count_ != 1) {
+    return static_cast<graph::node_id>(g_->node_count());
+  }
+  for (graph::node_id u = 0; u < g_->node_count(); ++u) {
+    if (machine_->is_leader(states_[u])) return u;
+  }
+  return static_cast<graph::node_id>(g_->node_count());
+}
+
+void engine::set_states(std::vector<state_id> states) {
+  if (states.size() != states_.size()) {
+    throw std::invalid_argument("stoneage::engine::set_states: size mismatch");
+  }
+  for (state_id s : states) {
+    if (s >= machine_->state_count()) {
+      throw std::invalid_argument(
+          "stoneage::engine::set_states: invalid state id");
+    }
+  }
+  states_ = std::move(states);
+  refresh_counters();
+}
+
+}  // namespace beepkit::stoneage

@@ -1,0 +1,100 @@
+// Synchronous stone-age model (Emek & Wattenhofer, PODC 2013), as used
+// by the paper's remark that BFW "can also be implemented in a
+// synchronous version of the stone-age model" (Section 1).
+//
+// Nodes are finite automata that *display* a symbol from a finite
+// alphabet Sigma. In each round, a node observes, for every symbol
+// sigma, the number of neighbors displaying sigma - but clipped at a
+// threshold b >= 1 ("one-two-many" counting). With b = 1 a node only
+// learns "no neighbor shows sigma" vs "at least one does", which is
+// precisely the information a beeping-model listener gets; this is what
+// makes the BFW embedding work (src/core/bfw_stoneage.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace beepkit::stoneage {
+
+using state_id = std::uint16_t;
+using symbol = std::uint16_t;
+
+/// A probabilistic stone-age automaton. Stateless object; all per-node
+/// state is the state id (anonymity, as in the beeping layer).
+class automaton {
+ public:
+  virtual ~automaton() = default;
+
+  [[nodiscard]] virtual std::size_t state_count() const = 0;
+  [[nodiscard]] virtual std::size_t alphabet_size() const = 0;
+  [[nodiscard]] virtual state_id initial_state() const = 0;
+  /// Symbol displayed while in `state`.
+  [[nodiscard]] virtual symbol display(state_id state) const = 0;
+  [[nodiscard]] virtual bool is_leader(state_id state) const = 0;
+  /// Next state given the clipped neighborhood census:
+  /// counts[sigma] = min(#neighbors displaying sigma, b).
+  [[nodiscard]] virtual state_id transition(
+      state_id state, std::span<const std::uint32_t> counts,
+      support::rng& rng) const = 0;
+  [[nodiscard]] virtual std::string state_name(state_id state) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Synchronous stone-age engine: every node is activated every round
+/// and transitions on the clipped census of the *current* round's
+/// displayed symbols (double-buffered, like the beeping engine).
+class engine {
+ public:
+  engine(const graph::graph& g, const automaton& machine,
+         std::uint32_t threshold, std::uint64_t seed);
+
+  void step();
+  void run_rounds(std::uint64_t count);
+
+  /// Runs until at most one leader remains or max_rounds elapse; for
+  /// leader-monotone automata this is the election round.
+  struct run_result {
+    std::uint64_t rounds = 0;
+    bool converged = false;
+  };
+  run_result run_until_single_leader(std::uint64_t max_rounds);
+
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] std::size_t leader_count() const noexcept {
+    return leader_count_;
+  }
+  [[nodiscard]] state_id state_of(graph::node_id u) const {
+    return states_[u];
+  }
+  [[nodiscard]] const std::vector<state_id>& states() const noexcept {
+    return states_;
+  }
+  [[nodiscard]] symbol displayed(graph::node_id u) const {
+    return machine_->display(states_[u]);
+  }
+  [[nodiscard]] graph::node_id sole_leader() const;
+  [[nodiscard]] std::uint32_t threshold() const noexcept { return threshold_; }
+
+  /// Overrides the configuration (adversarial-initialization tests).
+  void set_states(std::vector<state_id> states);
+
+ private:
+  void refresh_counters();
+
+  const graph::graph* g_;
+  const automaton* machine_;
+  std::uint32_t threshold_;
+  std::vector<support::rng> rngs_;
+  std::vector<state_id> states_;
+  std::vector<state_id> next_states_;
+  std::vector<std::uint32_t> census_;  // scratch: alphabet_size entries
+  std::uint64_t round_ = 0;
+  std::size_t leader_count_ = 0;
+};
+
+}  // namespace beepkit::stoneage

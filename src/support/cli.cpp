@@ -1,0 +1,68 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+namespace beepkit::support {
+
+cli::cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[i + 1];
+      ++i;
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool cli::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::optional<std::string> cli::get(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string cli::get_string(const std::string& name,
+                            const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::int64_t cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  return std::strtoll(value->c_str(), nullptr, 10);
+}
+
+double cli::get_double(const std::string& name, double fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  return std::strtod(value->c_str(), nullptr);
+}
+
+bool cli::get_bool(const std::string& name, bool fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  return *value == "true" || *value == "1" || *value == "yes";
+}
+
+std::vector<std::string> cli::unused() const {
+  std::vector<std::string> leftover;
+  for (const auto& [name, _] : values_) {
+    if (!queried_.count(name)) leftover.push_back(name);
+  }
+  return leftover;
+}
+
+}  // namespace beepkit::support

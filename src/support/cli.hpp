@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for the bench harnesses and
+// examples: `--name=value` or `--name value` pairs plus boolean
+// switches. Deliberately tiny - no positional arguments, no
+// subcommands - because every binary in this repository only needs a
+// handful of numeric knobs (sizes, seeds, trial counts, --csv paths).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace beepkit::support {
+
+/// Parsed flags. Unknown flags are collected rather than rejected so a
+/// harness can print a warning without aborting a long sweep.
+class cli {
+ public:
+  cli(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Flags that were present but never queried with one of the getters;
+  /// useful for catching typos in sweep scripts.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace beepkit::support

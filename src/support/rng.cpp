@@ -1,0 +1,117 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace beepkit::support {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) noexcept {
+  split_mix64 sm(seed);
+  for (auto& word : state_) {
+    word = sm.next();
+  }
+  // xoshiro must not start from the all-zero state; splitmix64 output
+  // of four consecutive words is never all zero, but be defensive.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+rng rng::substream(std::uint64_t stream) const noexcept {
+  // Mix the current state with the stream id through splitmix64 to get
+  // a well-separated child seed.
+  split_mix64 sm(state_[0] ^ rotl(state_[1], 17) ^ rotl(state_[2], 31) ^
+                 state_[3] ^ (0xa0761d6478bd642fULL * (stream + 1)));
+  return rng(sm.next());
+}
+
+std::uint64_t rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double rng::uniform01() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+bool rng::coin() noexcept {
+  if (coin_bits_left_ == 0) {
+    coin_buffer_ = next_u64();
+    coin_bits_left_ = 64;
+  }
+  const bool bit = (coin_buffer_ & 1ULL) != 0;
+  coin_buffer_ >>= 1;
+  --coin_bits_left_;
+  ++coins_;
+  return bit;
+}
+
+std::uint64_t rng::uniform_below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_below(range));
+}
+
+std::uint64_t rng::geometric(double p) noexcept {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return std::numeric_limits<std::uint64_t>::max();
+  // Inverse transform: floor(log(U) / log(1-p)).
+  const double u = 1.0 - uniform01();  // in (0, 1]
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::vector<std::size_t> rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  shuffle(std::span<std::size_t>(perm));
+  return perm;
+}
+
+std::vector<rng> make_node_streams(std::uint64_t root_seed,
+                                   std::size_t count) {
+  const rng root(root_seed);
+  std::vector<rng> streams;
+  streams.reserve(count);
+  for (std::size_t node = 0; node < count; ++node) {
+    streams.push_back(root.substream(node));
+  }
+  return streams;
+}
+
+}  // namespace beepkit::support

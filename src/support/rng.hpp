@@ -1,0 +1,116 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// The paper emphasises a parsimonious use of randomness: with p = 1/2 a
+// node consumes exactly one fair coin per round (Section 1.3). To make
+// that claim checkable, `rng` keeps an explicit account of the fair
+// coin flips drawn through `coin()`.
+//
+// Reproducibility contract: every simulation trial is fully determined
+// by a root seed. Per-node generators are derived with `substream()`,
+// which hashes (state, stream-id) through splitmix64, so results do not
+// depend on node iteration order and streams are statistically
+// independent for all practical purposes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace beepkit::support {
+
+/// splitmix64: tiny, fast 64-bit generator used only for seeding and
+/// stream derivation (Steele, Lea & Flood 2014).
+struct split_mix64 {
+  std::uint64_t state = 0;
+
+  constexpr explicit split_mix64(std::uint64_t seed) noexcept : state(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna 2018) behind a simulation-oriented
+/// interface. Satisfies UniformRandomBitGenerator, so it can be plugged
+/// into <random> distributions when needed.
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state by running splitmix64 from `seed`.
+  explicit rng(std::uint64_t seed) noexcept;
+
+  /// Derives an independent generator for a logical stream (e.g. one
+  /// per node). Deterministic in (current seed material, stream).
+  [[nodiscard]] rng substream(std::uint64_t stream) const noexcept;
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() noexcept;
+
+  /// Bernoulli(p) trial; p is clamped to [0, 1].
+  bool bernoulli(double p) noexcept;
+
+  /// One fair coin flip, served from an internal 64-bit buffer so that
+  /// 64 flips consume a single generator call. Increments the coin
+  /// account by exactly one bit.
+  bool coin() noexcept;
+
+  /// Unbiased integer in [0, bound) via Lemire's method with rejection.
+  /// bound == 0 is undefined; callers must guarantee bound >= 1.
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Geometric: number of failures before the first success of a
+  /// Bernoulli(p) sequence (support {0, 1, 2, ...}).
+  std::uint64_t geometric(double p) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Uniform random permutation of {0, ..., n-1}.
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Number of fair coin bits drawn through coin() so far.
+  [[nodiscard]] std::uint64_t coins_consumed() const noexcept { return coins_; }
+
+  /// Resets only the coin account (state is untouched).
+  void reset_coin_account() noexcept { coins_ = 0; }
+
+  // UniformRandomBitGenerator interface.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() noexcept { return next_u64(); }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  std::uint64_t coin_buffer_ = 0;
+  unsigned coin_bits_left_ = 0;
+  std::uint64_t coins_ = 0;
+};
+
+/// Derives `count` per-node generators from a root seed, one substream
+/// per node id. Convenience used by every simulator.
+[[nodiscard]] std::vector<rng> make_node_streams(std::uint64_t root_seed,
+                                                 std::size_t count);
+
+}  // namespace beepkit::support

@@ -1,0 +1,151 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace beepkit::support {
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(std::floor(pos));
+  const auto upper = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lower);
+  return sorted[lower] * (1.0 - frac) + sorted[upper] * frac;
+}
+
+summary summarize(std::span<const double> values) {
+  summary s;
+  if (values.empty()) return s;
+  running_stats acc;
+  for (double v : values) acc.add(v);
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.median = quantile(values, 0.5);
+  s.q25 = quantile(values, 0.25);
+  s.q75 = quantile(values, 0.75);
+  s.q95 = quantile(values, 0.95);
+  return s;
+}
+
+void running_stats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double running_stats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double running_stats::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+linear_fit fit_linear(std::span<const double> x, std::span<const double> y) {
+  linear_fit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return fit;
+
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;
+
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+linear_fit fit_loglog(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  std::vector<double> lx, ly;
+  lx.reserve(n);
+  ly.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] > 0.0 && y[i] > 0.0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  return fit_linear(lx, ly);
+}
+
+double correlation(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, syy = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+histogram::histogram(double low, double high, std::size_t bin_count)
+    : lo(low), hi(high), bins(bin_count, 0) {}
+
+void histogram::add(double x) noexcept {
+  if (bins.empty()) return;
+  const double span = hi - lo;
+  double t = span > 0 ? (x - lo) / span : 0.0;
+  t = std::clamp(t, 0.0, 1.0);
+  auto idx = static_cast<std::size_t>(t * static_cast<double>(bins.size()));
+  if (idx >= bins.size()) idx = bins.size() - 1;
+  ++bins[idx];
+}
+
+std::size_t histogram::total() const noexcept {
+  std::size_t n = 0;
+  for (auto b : bins) n += b;
+  return n;
+}
+
+double histogram::fraction(std::size_t i) const noexcept {
+  const std::size_t n = total();
+  if (n == 0 || i >= bins.size()) return 0.0;
+  return static_cast<double>(bins[i]) / static_cast<double>(n);
+}
+
+}  // namespace beepkit::support

@@ -1,0 +1,89 @@
+// Small statistics toolbox used by the experiment harness: summary
+// statistics, quantiles, Welford running accumulation, and least-squares
+// fits (linear and log-log) for the scaling analyses of Theorems 2/3 and
+// the Section-5 tightness conjecture.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace beepkit::support {
+
+/// Five-number-style summary of a sample.
+struct summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+  double q95 = 0.0;
+};
+
+/// Computes a full summary; empty input yields a zeroed summary.
+[[nodiscard]] summary summarize(std::span<const double> values);
+
+/// Linear-interpolated quantile, q in [0, 1]. Sorts a copy.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Welford online mean/variance accumulator.
+class running_stats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1); zero when fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Ordinary least squares fit y = intercept + slope * x.
+struct linear_fit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Fits y against x; both spans must have equal size >= 2.
+[[nodiscard]] linear_fit fit_linear(std::span<const double> x,
+                                    std::span<const double> y);
+
+/// Fits log(y) against log(x): the returned slope is the empirical
+/// polynomial exponent (e.g. ~2 for Theta(D^2) data). All inputs must
+/// be strictly positive.
+[[nodiscard]] linear_fit fit_loglog(std::span<const double> x,
+                                    std::span<const double> y);
+
+/// Pearson correlation coefficient; NaN-free (returns 0 for degenerate
+/// inputs).
+[[nodiscard]] double correlation(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Histogram with uniform bins over [lo, hi]; values outside are
+/// clamped into the edge bins.
+struct histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> bins;
+
+  histogram(double low, double high, std::size_t bin_count);
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t total() const noexcept;
+  /// Fraction of mass in bin i.
+  [[nodiscard]] double fraction(std::size_t i) const noexcept;
+};
+
+}  // namespace beepkit::support

@@ -1,0 +1,97 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+namespace beepkit::support {
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() <= headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string table::num(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string table::num(long long value) { return std::to_string(value); }
+
+std::string table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line << (c == 0 ? "| " : " ");
+      line << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    return line.str();
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) {
+    out << title_ << '\n';
+  }
+  out << render_row(headers_) << '\n';
+  std::ostringstream rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule << (c == 0 ? "|-" : "-") << std::string(widths[c], '-') << "-|";
+  }
+  out << rule.str() << '\n';
+  for (const auto& row : rows_) {
+    out << render_row(row) << '\n';
+  }
+  return out.str();
+}
+
+std::string table::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c ? "," : "") << escape(headers_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "") << escape(row[c]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace beepkit::support

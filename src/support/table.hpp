@@ -1,0 +1,46 @@
+// Aligned ASCII table printing for the experiment harnesses. Each bench
+// binary reproduces a paper table/figure as rows on stdout; this type
+// keeps the formatting consistent across all of them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace beepkit::support {
+
+/// Column-aligned text table with an optional title and header rule.
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Adds a row; it may have fewer cells than there are headers (the
+  /// remainder renders empty) but not more.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with the given precision.
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+  /// Convenience: integer cell.
+  [[nodiscard]] static std::string num(long long value);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table with single-space-padded, pipe-separated columns.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as CSV (no title).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes `content` to `path`, returning false (and leaving the file
+/// untouched) on failure. Used for --csv outputs.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace beepkit::support

@@ -1,0 +1,99 @@
+// Shared fixtures for the test suite: a standard battery of graph
+// instances spanning the regimes the paper cares about (high diameter,
+// low diameter, trees, random topologies), so property suites can run
+// the same checks across families via INSTANTIATE_TEST_SUITE_P.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace beepkit::testing {
+
+/// A named graph-instance factory, deterministic in `seed`.
+struct graph_case {
+  std::string label;
+  graph::graph (*make)(std::uint64_t seed);
+};
+
+inline graph::graph make_path16(std::uint64_t) {
+  return graph::make_path(16);
+}
+inline graph::graph make_path48(std::uint64_t) {
+  return graph::make_path(48);
+}
+inline graph::graph make_cycle24(std::uint64_t) {
+  return graph::make_cycle(24);
+}
+inline graph::graph make_grid6x6(std::uint64_t) {
+  return graph::make_grid(6, 6);
+}
+inline graph::graph make_torus5x5(std::uint64_t) {
+  return graph::make_torus(5, 5);
+}
+inline graph::graph make_complete12(std::uint64_t) {
+  return graph::make_complete(12);
+}
+inline graph::graph make_star20(std::uint64_t) {
+  return graph::make_star(20);
+}
+inline graph::graph make_hypercube5(std::uint64_t) {
+  return graph::make_hypercube(5);
+}
+inline graph::graph make_btree31(std::uint64_t) {
+  return graph::make_complete_binary_tree(31);
+}
+inline graph::graph make_caterpillar8x3(std::uint64_t) {
+  return graph::make_caterpillar(8, 3);
+}
+inline graph::graph make_barbell6_4(std::uint64_t) {
+  return graph::make_barbell(6, 4);
+}
+inline graph::graph make_lollipop8_8(std::uint64_t) {
+  return graph::make_lollipop(8, 8);
+}
+inline graph::graph make_random_tree32(std::uint64_t seed) {
+  support::rng rng(seed ^ 0x7ee5ULL);
+  return graph::make_random_tree(32, rng);
+}
+inline graph::graph make_er32(std::uint64_t seed) {
+  support::rng rng(seed ^ 0xe2ULL);
+  return graph::make_erdos_renyi_connected(32, 0.15, rng);
+}
+inline graph::graph make_geometric40(std::uint64_t seed) {
+  support::rng rng(seed ^ 0x6e0ULL);
+  return graph::make_random_geometric(40, 0.3, rng);
+}
+inline graph::graph make_regular24_3(std::uint64_t seed) {
+  support::rng rng(seed ^ 0x4e6ULL);
+  return graph::make_random_regular(24, 3, rng);
+}
+
+/// The standard battery used by the property suites.
+inline std::vector<graph_case> standard_graph_battery() {
+  return {
+      {"path16", &make_path16},
+      {"path48", &make_path48},
+      {"cycle24", &make_cycle24},
+      {"grid6x6", &make_grid6x6},
+      {"torus5x5", &make_torus5x5},
+      {"complete12", &make_complete12},
+      {"star20", &make_star20},
+      {"hypercube5", &make_hypercube5},
+      {"btree31", &make_btree31},
+      {"caterpillar8x3", &make_caterpillar8x3},
+      {"barbell6_4", &make_barbell6_4},
+      {"lollipop8_8", &make_lollipop8_8},
+      {"random_tree32", &make_random_tree32},
+      {"erdos_renyi32", &make_er32},
+      {"geometric40", &make_geometric40},
+      {"regular24_3", &make_regular24_3},
+  };
+}
+
+}  // namespace beepkit::testing

@@ -1,0 +1,187 @@
+// Baseline correctness: the ID-broadcast election must elect exactly
+// the maximum-ID node within its deterministic round budget on every
+// graph; the clique lottery must elect a single leader w.h.p. on
+// cliques, never lose all candidates, and demonstrably fail on
+// multi-hop graphs (it is a single-hop algorithm).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/clique_lottery.hpp"
+#include "baselines/id_broadcast.hpp"
+#include "beeping/engine.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "helpers.hpp"
+
+namespace beepkit::baselines {
+namespace {
+
+class IdBroadcastBatteryTest
+    : public ::testing::TestWithParam<beepkit::testing::graph_case> {};
+
+TEST_P(IdBroadcastBatteryTest, ElectsTheMaximumIdWithinBudget) {
+  const auto& gcase = GetParam();
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auto g = gcase.make(seed);
+    const auto diameter = graph::diameter_exact(g);
+    id_broadcast_election proto(std::max(1U, diameter));
+    beeping::engine sim(g, proto, seed);
+
+    const auto budget = proto.termination_round();
+    const auto result = sim.run_until_single_leader(budget + 1);
+    ASSERT_TRUE(result.converged)
+        << gcase.label << " seed " << seed << " (budget " << budget << ")";
+    ASSERT_EQ(sim.leader_count(), 1U);
+
+    // The survivor must hold the maximum identifier.
+    const auto winner = sim.sole_leader();
+    EXPECT_EQ(proto.id_of(winner), g.node_count() - 1)
+        << gcase.label << ": winner " << winner << " id "
+        << proto.id_of(winner);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardBattery, IdBroadcastBatteryTest,
+    ::testing::ValuesIn(beepkit::testing::standard_graph_battery()),
+    [](const ::testing::TestParamInfo<beepkit::testing::graph_case>& info) {
+      return info.param.label;
+    });
+
+TEST(IdBroadcastTest, LeaderCountNeverIncreases) {
+  const auto g = graph::make_grid(4, 4);
+  id_broadcast_election proto(6);
+  beeping::engine sim(g, proto, 5);
+  std::size_t previous = sim.leader_count();
+  EXPECT_EQ(previous, 16U);
+  for (std::uint64_t round = 0; round < proto.termination_round(); ++round) {
+    sim.step();
+    EXPECT_LE(sim.leader_count(), previous);
+    EXPECT_GE(sim.leader_count(), 1U);
+    previous = sim.leader_count();
+  }
+}
+
+TEST(IdBroadcastTest, RoundComplexityIsDLogN) {
+  // Budget must be exactly bits * (D+1): O(D log n), the Table 1 row.
+  id_broadcast_election proto(10);
+  support::rng init(1);
+  proto.reset(1000, init);  // 10 bits
+  EXPECT_EQ(proto.bits(), 10U);
+  EXPECT_EQ(proto.termination_round(), 10U * 11U);
+}
+
+TEST(IdBroadcastTest, QuiescentAfterTermination) {
+  const auto g = graph::make_path(8);
+  id_broadcast_election proto(7);
+  beeping::engine sim(g, proto, 9);
+  sim.run_rounds(proto.termination_round() + 2);
+  for (int round = 0; round < 20; ++round) {
+    for (graph::node_id u = 0; u < 8; ++u) {
+      EXPECT_FALSE(sim.beeping(u)) << "node " << u << " beeped after halt";
+    }
+    sim.step();
+  }
+  EXPECT_EQ(sim.leader_count(), 1U);
+}
+
+TEST(IdBroadcastTest, DiameterOverestimateStillCorrect) {
+  // The algorithm assumes knowledge of D but tolerates any upper
+  // bound, paying proportionally more rounds.
+  const auto g = graph::make_cycle(12);  // true D = 6
+  for (const std::uint32_t bound : {6U, 9U, 20U}) {
+    id_broadcast_election proto(bound);
+    beeping::engine sim(g, proto, 21);
+    const auto result = sim.run_until_single_leader(proto.termination_round());
+    ASSERT_TRUE(result.converged) << "bound " << bound;
+    EXPECT_EQ(proto.id_of(sim.sole_leader()), 11U);
+  }
+}
+
+TEST(IdBroadcastTest, SingleNode) {
+  const auto g = graph::make_path(1);
+  id_broadcast_election proto(1);
+  beeping::engine sim(g, proto, 0);
+  EXPECT_EQ(sim.leader_count(), 1U);
+  sim.run_rounds(10);
+  EXPECT_EQ(sim.leader_count(), 1U);
+}
+
+// --- Clique lottery --------------------------------------------------------
+
+TEST(CliqueLotteryTest, ParameterValidation) {
+  EXPECT_THROW(clique_lottery(0.0), std::invalid_argument);
+  EXPECT_THROW(clique_lottery(1.0), std::invalid_argument);
+}
+
+TEST(CliqueLotteryTest, ElectsSingleLeaderOnCliques) {
+  for (const std::size_t n : {2UL, 8UL, 32UL, 128UL}) {
+    const auto g = graph::make_complete(n);
+    int successes = 0;
+    constexpr int trials = 20;
+    for (int trial = 0; trial < trials; ++trial) {
+      clique_lottery proto(0.01);
+      beeping::engine sim(g, proto, 1000 + trial);
+      const auto result =
+          sim.run_until_single_leader(proto.round_budget() + 2);
+      if (result.converged && sim.leader_count() == 1) ++successes;
+      EXPECT_GE(sim.leader_count(), 1U) << "lottery lost every candidate";
+    }
+    // eps = 1%: allow at most one unlucky trial among the fixed seeds.
+    EXPECT_GE(successes, trials - 1) << "n=" << n;
+  }
+}
+
+TEST(CliqueLotteryTest, NeverZeroCandidatesRoundByRound) {
+  const auto g = graph::make_complete(16);
+  clique_lottery proto(0.1);
+  beeping::engine sim(g, proto, 77);
+  for (std::uint64_t round = 0; round < proto.round_budget() + 10; ++round) {
+    ASSERT_GE(sim.leader_count(), 1U) << "round " << round;
+    sim.step();
+  }
+}
+
+TEST(CliqueLotteryTest, QuiescentAfterBudget) {
+  const auto g = graph::make_complete(12);
+  clique_lottery proto(0.05);
+  beeping::engine sim(g, proto, 3);
+  sim.run_rounds(proto.round_budget() + 2);
+  for (int round = 0; round < 30; ++round) {
+    for (graph::node_id u = 0; u < 12; ++u) {
+      EXPECT_FALSE(sim.beeping(u));
+    }
+    sim.step();
+  }
+}
+
+TEST(CliqueLotteryTest, BudgetGrowsWithNAndPrecision) {
+  clique_lottery loose(0.1);
+  clique_lottery tight(0.0001);
+  support::rng init(1);
+  loose.reset(100, init);
+  tight.reset(100, init);
+  EXPECT_GT(tight.round_budget(), loose.round_budget());
+
+  clique_lottery small(0.1);
+  clique_lottery large(0.1);
+  small.reset(10, init);
+  large.reset(10000, init);
+  EXPECT_GT(large.round_budget(), small.round_budget());
+}
+
+TEST(CliqueLotteryTest, FailsOnMultiHopGraphs) {
+  // On a long path, far-apart candidates cannot hear each other: the
+  // lottery ends with many surviving "leaders". This is why Table 1
+  // marks [17] as single-hop only.
+  const auto g = graph::make_path(32);
+  clique_lottery proto(0.01);
+  beeping::engine sim(g, proto, 5);
+  sim.run_rounds(proto.round_budget() + 5);
+  EXPECT_GT(sim.leader_count(), 1U)
+      << "multi-hop survival is expected for the clique-only baseline";
+}
+
+}  // namespace
+}  // namespace beepkit::baselines

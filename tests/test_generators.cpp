@@ -1,0 +1,189 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace beepkit::graph {
+namespace {
+
+TEST(GeneratorsTest, PathProperties) {
+  const auto g = make_path(10);
+  EXPECT_EQ(g.node_count(), 10U);
+  EXPECT_EQ(g.edge_count(), 9U);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter_exact(g), 9U);
+  EXPECT_EQ(g.degree(0), 1U);
+  EXPECT_EQ(g.degree(5), 2U);
+  EXPECT_EQ(make_path(1).edge_count(), 0U);
+  EXPECT_THROW(make_path(0), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, CycleProperties) {
+  const auto g = make_cycle(11);
+  EXPECT_EQ(g.node_count(), 11U);
+  EXPECT_EQ(g.edge_count(), 11U);
+  EXPECT_EQ(diameter_exact(g), 5U);
+  EXPECT_EQ(g.max_degree(), 2U);
+  EXPECT_EQ(g.min_degree(), 2U);
+  EXPECT_THROW(make_cycle(2), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, CompleteProperties) {
+  const auto g = make_complete(8);
+  EXPECT_EQ(g.edge_count(), 28U);
+  EXPECT_EQ(diameter_exact(g), 1U);
+  EXPECT_EQ(g.min_degree(), 7U);
+}
+
+TEST(GeneratorsTest, StarProperties) {
+  const auto g = make_star(9);
+  EXPECT_EQ(g.edge_count(), 8U);
+  EXPECT_EQ(g.degree(0), 8U);
+  EXPECT_EQ(diameter_exact(g), 2U);
+}
+
+TEST(GeneratorsTest, WheelProperties) {
+  const auto g = make_wheel(9);  // hub + rim of 8
+  EXPECT_EQ(g.node_count(), 9U);
+  EXPECT_EQ(g.edge_count(), 16U);
+  EXPECT_EQ(g.degree(0), 8U);
+  EXPECT_EQ(diameter_exact(g), 2U);
+  EXPECT_THROW(make_wheel(3), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, GridProperties) {
+  const auto g = make_grid(4, 7);
+  EXPECT_EQ(g.node_count(), 28U);
+  EXPECT_EQ(g.edge_count(), 4U * 6U + 3U * 7U);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter_exact(g), 9U);  // rows+cols-2
+}
+
+TEST(GeneratorsTest, TorusProperties) {
+  const auto g = make_torus(4, 6);
+  EXPECT_EQ(g.node_count(), 24U);
+  EXPECT_EQ(g.edge_count(), 48U);
+  EXPECT_EQ(g.min_degree(), 4U);
+  EXPECT_EQ(g.max_degree(), 4U);
+  EXPECT_EQ(diameter_exact(g), 2U + 3U);  // floor(4/2)+floor(6/2)
+}
+
+TEST(GeneratorsTest, HypercubeProperties) {
+  const auto g = make_hypercube(4);
+  EXPECT_EQ(g.node_count(), 16U);
+  EXPECT_EQ(g.edge_count(), 32U);
+  EXPECT_EQ(diameter_exact(g), 4U);
+  EXPECT_EQ(g.min_degree(), 4U);
+  EXPECT_EQ(g.max_degree(), 4U);
+}
+
+TEST(GeneratorsTest, BinaryTreeProperties) {
+  const auto g = make_complete_binary_tree(15);
+  EXPECT_EQ(g.edge_count(), 14U);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter_exact(g), 6U);  // leaf-to-leaf through the root
+}
+
+TEST(GeneratorsTest, CaterpillarProperties) {
+  const auto g = make_caterpillar(5, 2);
+  EXPECT_EQ(g.node_count(), 15U);
+  EXPECT_EQ(g.edge_count(), 14U);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter_exact(g), 6U);  // leg + spine(4) + leg
+}
+
+TEST(GeneratorsTest, BarbellProperties) {
+  const auto g = make_barbell(5, 3);
+  EXPECT_EQ(g.node_count(), 13U);
+  EXPECT_TRUE(is_connected(g));
+  // clique hop + 4 bridge edges + clique hop
+  EXPECT_EQ(diameter_exact(g), 6U);
+}
+
+TEST(GeneratorsTest, LollipopProperties) {
+  const auto g = make_lollipop(6, 4);
+  EXPECT_EQ(g.node_count(), 10U);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter_exact(g), 5U);
+}
+
+TEST(GeneratorsTest, RandomTreeIsTree) {
+  support::rng rng(123);
+  for (std::size_t n : {1UL, 2UL, 3UL, 10UL, 64UL, 200UL}) {
+    const auto g = make_random_tree(n, rng);
+    EXPECT_EQ(g.node_count(), n);
+    if (n > 0) {
+      EXPECT_EQ(g.edge_count(), n - 1);
+      EXPECT_TRUE(is_connected(g));
+    }
+  }
+}
+
+TEST(GeneratorsTest, RandomTreeDeterministicInSeed) {
+  support::rng a(5);
+  support::rng b(5);
+  const auto ga = make_random_tree(40, a);
+  const auto gb = make_random_tree(40, b);
+  EXPECT_EQ(ga.edges(), gb.edges());
+}
+
+TEST(GeneratorsTest, ErdosRenyiConnected) {
+  support::rng rng(77);
+  for (int i = 0; i < 5; ++i) {
+    const auto g = make_erdos_renyi_connected(50, 0.08, rng);
+    EXPECT_EQ(g.node_count(), 50U);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiSparseFallsBackToTreeOverlay) {
+  support::rng rng(99);
+  // p = 0 can never connect: the overlay must kick in.
+  const auto g = make_erdos_renyi_connected(20, 0.0, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GE(g.edge_count(), 19U);
+}
+
+TEST(GeneratorsTest, RandomGeometricConnected) {
+  support::rng rng(31);
+  const auto g = make_random_geometric(60, 0.25, rng);
+  EXPECT_EQ(g.node_count(), 60U);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(GeneratorsTest, RandomGeometricTinyRadiusStillConnected) {
+  support::rng rng(32);
+  const auto g = make_random_geometric(30, 0.01, rng);
+  EXPECT_TRUE(is_connected(g));  // stitched along the spatial order
+}
+
+TEST(GeneratorsTest, RandomRegularDegreesAndConnectivity) {
+  support::rng rng(13);
+  const auto g = make_random_regular(30, 3, rng);
+  EXPECT_EQ(g.node_count(), 30U);
+  EXPECT_TRUE(is_connected(g));
+  for (node_id u = 0; u < 30; ++u) {
+    EXPECT_EQ(g.degree(u), 3U);
+  }
+}
+
+TEST(GeneratorsTest, RandomRegularRejectsBadParameters) {
+  support::rng rng(1);
+  EXPECT_THROW(make_random_regular(5, 3, rng), std::invalid_argument);
+  EXPECT_THROW(make_random_regular(4, 4, rng), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, NamesAreDescriptive) {
+  support::rng rng(2);
+  EXPECT_EQ(make_path(4).name(), "path(4)");
+  EXPECT_EQ(make_grid(2, 3).name(), "grid(2x3)");
+  EXPECT_EQ(make_hypercube(3).name(), "hypercube(3)");
+  EXPECT_NE(make_random_tree(5, rng).name().find("random_tree"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace beepkit::graph

@@ -1,0 +1,84 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace beepkit::graph {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  const graph g;
+  EXPECT_EQ(g.node_count(), 0U);
+  EXPECT_EQ(g.edge_count(), 0U);
+}
+
+TEST(GraphTest, BasicTriangle) {
+  const graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.node_count(), 3U);
+  EXPECT_EQ(g.edge_count(), 3U);
+  for (node_id u = 0; u < 3; ++u) {
+    EXPECT_EQ(g.degree(u), 2U);
+  }
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(GraphTest, DuplicateEdgesMerged) {
+  const graph g(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.edge_count(), 2U);
+  EXPECT_EQ(g.degree(0), 1U);
+  EXPECT_EQ(g.degree(1), 2U);
+}
+
+TEST(GraphTest, SelfLoopRejected) {
+  EXPECT_THROW(graph(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(GraphTest, OutOfRangeRejected) {
+  EXPECT_THROW(graph(3, {{0, 3}}), std::invalid_argument);
+  EXPECT_THROW(graph(3, {{7, 1}}), std::invalid_argument);
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  const graph g(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  const auto adj = g.neighbors(2);
+  ASSERT_EQ(adj.size(), 4U);
+  for (std::size_t i = 0; i + 1 < adj.size(); ++i) {
+    EXPECT_LT(adj[i], adj[i + 1]);
+  }
+}
+
+TEST(GraphTest, EdgesCanonicalOrder) {
+  const graph g(4, {{3, 2}, {1, 0}, {2, 1}});
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3U);
+  EXPECT_EQ(edges[0], (edge{0, 1}));
+  EXPECT_EQ(edges[1], (edge{1, 2}));
+  EXPECT_EQ(edges[2], (edge{2, 3}));
+}
+
+TEST(GraphTest, DegreeExtremes) {
+  const graph g(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.max_degree(), 3U);
+  EXPECT_EQ(g.min_degree(), 1U);
+}
+
+TEST(GraphTest, IsolatedNodesAllowed) {
+  const graph g(5, {{0, 1}});
+  EXPECT_EQ(g.degree(4), 0U);
+  EXPECT_EQ(g.min_degree(), 0U);
+  EXPECT_TRUE(g.neighbors(4).empty());
+}
+
+TEST(GraphTest, NameDefaultAndOverride) {
+  graph g(2, {{0, 1}});
+  EXPECT_EQ(g.name(), "graph(n=2,m=1)");
+  g.set_name("custom");
+  EXPECT_EQ(g.name(), "custom");
+}
+
+}  // namespace
+}  // namespace beepkit::graph

@@ -1,0 +1,60 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace beepkit::graph {
+namespace {
+
+TEST(GraphIoTest, RoundTripPreservesStructure) {
+  support::rng rng(8);
+  const auto original = make_erdos_renyi_connected(25, 0.2, rng);
+  const auto restored = from_edge_list(to_edge_list(original));
+  EXPECT_EQ(restored.node_count(), original.node_count());
+  EXPECT_EQ(restored.edges(), original.edges());
+}
+
+TEST(GraphIoTest, ParsesCommentsAndBlanks) {
+  const auto g = from_edge_list(
+      "# a comment\n"
+      "\n"
+      "n 4\n"
+      "  # another\n"
+      "0 1\n"
+      "2 3\n");
+  EXPECT_EQ(g.node_count(), 4U);
+  EXPECT_EQ(g.edge_count(), 2U);
+}
+
+TEST(GraphIoTest, MissingHeaderThrows) {
+  EXPECT_THROW(from_edge_list("0 1\n"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list(""), std::invalid_argument);
+}
+
+TEST(GraphIoTest, MalformedLinesThrow) {
+  EXPECT_THROW(from_edge_list("n 4\n0 x\n"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list("n 4\n0 9\n"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list("m 4\n0 1\n"), std::invalid_argument);
+}
+
+TEST(GraphIoTest, EmptyGraphSerializes) {
+  const auto g = from_edge_list("n 3\n");
+  EXPECT_EQ(g.node_count(), 3U);
+  EXPECT_EQ(g.edge_count(), 0U);
+}
+
+TEST(GraphIoTest, DotContainsAllEdges) {
+  const auto g = make_cycle(4);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("graph beepkit {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 3;"), std::string::npos);
+  EXPECT_NE(dot.find("2 -- 3;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace beepkit::graph

@@ -1,0 +1,191 @@
+// The invariant_checker must (a) stay silent on faithful BFW runs
+// across the whole graph battery with every check enabled, and
+// (b) actually fire when confronted with corrupted configurations -
+// failure injection guards against a checker that silently checks
+// nothing.
+#include "core/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "beeping/engine.hpp"
+#include "core/adversarial.hpp"
+#include "core/bfw.hpp"
+#include "graph/generators.hpp"
+#include "helpers.hpp"
+
+namespace beepkit::core {
+namespace {
+
+using beeping::state_id;
+
+constexpr state_id WL = static_cast<state_id>(bfw_state::leader_wait);
+constexpr state_id BL = static_cast<state_id>(bfw_state::leader_beep);
+constexpr state_id WF = static_cast<state_id>(bfw_state::follower_wait);
+constexpr state_id FF = static_cast<state_id>(bfw_state::follower_frozen);
+
+class InvariantBatteryTest
+    : public ::testing::TestWithParam<testing::graph_case> {};
+
+TEST_P(InvariantBatteryTest, CleanRunsProduceNoViolations) {
+  const auto& gcase = GetParam();
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auto g = gcase.make(seed);
+    const bfw_machine machine(0.5);
+    beeping::fsm_protocol proto(machine);
+    beeping::engine sim(g, proto, seed * 7919);
+
+    invariant_options options;
+    options.check_lemma11 = true;
+    options.check_lemma12 = true;
+    invariant_checker checker(g, proto, options);
+    sim.add_observer(&checker);
+    sim.run_rounds(250);
+
+    EXPECT_TRUE(checker.ok())
+        << gcase.label << " seed " << seed << ": "
+        << (checker.violations().empty() ? "" : checker.violations().front());
+    EXPECT_EQ(checker.rounds_checked(), 251U);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardBattery, InvariantBatteryTest,
+    ::testing::ValuesIn(testing::standard_graph_battery()),
+    [](const ::testing::TestParamInfo<testing::graph_case>& info) {
+      return info.param.label;
+    });
+
+TEST(InvariantCheckerTest, CleanRunsWithBiasedP) {
+  for (const double p : {0.1, 0.9}) {
+    const auto g = graph::make_grid(5, 5);
+    const bfw_machine machine(p);
+    beeping::fsm_protocol proto(machine);
+    beeping::engine sim(g, proto, 31);
+    invariant_options options;
+    options.check_lemma11 = true;
+    invariant_checker checker(g, proto, options);
+    sim.add_observer(&checker);
+    sim.run_rounds(300);
+    EXPECT_TRUE(checker.ok()) << "p=" << p;
+  }
+}
+
+// --- Failure injection ----------------------------------------------------
+
+TEST(InvariantInjectionTest, LeaderlessConfigurationTriggersLemma9) {
+  const auto g = graph::make_cycle(9);
+  const bfw_machine machine(0.5);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 5);
+  proto.set_states(leaderless_wave_on_cycle(9));
+  sim.restart_from_protocol();
+
+  invariant_options options;
+  options.check_claim6 = false;  // isolate the Lemma 9 check
+  options.check_ohms_law = false;
+  invariant_checker checker(g, proto, options);
+  sim.add_observer(&checker);
+  sim.run_rounds(3);
+
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations().front().find("Lemma 9"), std::string::npos);
+}
+
+TEST(InvariantInjectionTest, TeleportedFreezeTriggersClaim6) {
+  // Freeze a node that never beeped: Eq. (3)/(9) must fire.
+  const auto g = graph::make_path(4);
+  const bfw_machine machine(0.5);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 5);
+
+  invariant_checker checker(g, proto, invariant_options{});
+  sim.add_observer(&checker);
+  sim.step();
+  // Corrupt: node 1 was waiting (or beeping); force it frozen without
+  // the B transition the protocol requires.
+  auto states = proto.states();
+  states[1] = FF;
+  states[0] = WF;  // also knock out any coincidental explanation
+  proto.set_states(states);
+  sim.step();
+
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(InvariantInjectionTest, PhantomFrozenNodeBreaksOhmsLaw) {
+  // A frozen node with no beep in the ledger is unreachable for honest
+  // runs and breaks Corollary 8: on the path B F W B, the flow from
+  // node 0 to node 2 is 0 (the F edge carries nothing) while the
+  // beep-count difference is 1.
+  const auto g = graph::make_path(4);
+  const bfw_machine machine(0.5);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 17);
+
+  invariant_options options;
+  options.check_claim6 = false;       // isolate the Ohm's-law verdict
+  options.check_leader_floor = false;  // (config is leaderless on purpose)
+  options.sampled_paths = 64;
+  options.sampled_path_length = 6;
+  invariant_checker checker(g, proto, options);
+
+  proto.set_states({BL, FF, WF, BL});
+  sim.restart_from_protocol();
+  sim.add_observer(&checker);  // attach fires the round-0 check
+
+  ASSERT_FALSE(checker.ok());
+  for (const auto& v : checker.violations()) {
+    EXPECT_NE(v.find("Ohm"), std::string::npos) << v;
+  }
+}
+
+TEST(InvariantInjectionTest, ResurrectedLeaderTriggersMonotonicity) {
+  const auto g = graph::make_path(4);
+  const bfw_machine machine(0.5);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 23);
+  // Start from a single-leader configuration, then resurrect a second
+  // leader mid-run.
+  proto.set_states({WL, WF, WF, WF});
+  sim.restart_from_protocol();
+
+  invariant_options options;
+  options.check_claim6 = false;
+  options.check_ohms_law = false;
+  invariant_checker checker(g, proto, options);
+  sim.add_observer(&checker);
+  sim.step();
+
+  auto states = proto.states();
+  states[2] = WL;
+  proto.set_states(states);
+  sim.step();
+
+  ASSERT_FALSE(checker.ok());
+  bool mentions_increase = false;
+  for (const auto& v : checker.violations()) {
+    if (v.find("increased") != std::string::npos) mentions_increase = true;
+  }
+  EXPECT_TRUE(mentions_increase);
+}
+
+TEST(InvariantCheckerTest, ViolationListIsBounded) {
+  // A pathological run must not allocate unbounded violation storage.
+  const auto g = graph::make_cycle(6);
+  const bfw_machine machine(0.5);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 29);
+  proto.set_states(leaderless_wave_on_cycle(6));
+  sim.restart_from_protocol();
+
+  invariant_options options;
+  options.check_ohms_law = false;
+  invariant_checker checker(g, proto, options);
+  sim.add_observer(&checker);
+  sim.run_rounds(500);  // Lemma 9 would fire every round
+  EXPECT_FALSE(checker.ok());
+  EXPECT_LE(checker.violations().size(), 64U);
+}
+
+}  // namespace
+}  // namespace beepkit::core

@@ -1,0 +1,220 @@
+// Markov-chain tooling tests against the paper's closed forms:
+// Eq. (15) transition matrix, Eq. (16) stationary distribution,
+// tau ~ 2 + Geom(p) return times (proof of Lemma 14), the variance
+// lower bound Var(N_t) >= delta^2 t / 4, and the Lemma 14 / Theorem 13
+// anti-concentration bound.
+#include "core/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace beepkit::core {
+namespace {
+
+TEST(MarkovTest, TransitionMatrixRowsStochastic) {
+  for (const double p : {0.1, 0.3, 0.5, 0.9}) {
+    const auto matrix = chain_transition_matrix(p);
+    for (int i = 0; i < 3; ++i) {
+      double row = 0;
+      for (int j = 0; j < 3; ++j) {
+        EXPECT_GE(matrix[i][j], 0.0);
+        row += matrix[i][j];
+      }
+      EXPECT_NEAR(row, 1.0, 1e-12);
+    }
+    EXPECT_DOUBLE_EQ(matrix[0][1], p);      // W -> B
+    EXPECT_DOUBLE_EQ(matrix[1][2], 1.0);    // B -> F
+    EXPECT_DOUBLE_EQ(matrix[2][0], 1.0);    // F -> W
+  }
+  EXPECT_THROW((void)chain_transition_matrix(0.0), std::invalid_argument);
+  EXPECT_THROW((void)chain_transition_matrix(1.0), std::invalid_argument);
+}
+
+TEST(MarkovTest, StationaryClosedFormEq16) {
+  for (const double p : {0.05, 0.25, 0.5, 0.8}) {
+    const auto pi = chain_stationary(p);
+    EXPECT_NEAR(pi[0] + pi[1] + pi[2], 1.0, 1e-12);
+    EXPECT_NEAR(pi[0], 1.0 / (2 * p + 1), 1e-12);
+    EXPECT_NEAR(pi[1], p / (2 * p + 1), 1e-12);
+    EXPECT_NEAR(pi[2], p / (2 * p + 1), 1e-12);
+  }
+}
+
+TEST(MarkovTest, StationaryNumericMatchesClosedForm) {
+  for (const double p : {0.1, 0.5, 0.77}) {
+    const auto closed = chain_stationary(p);
+    const auto numeric = chain_stationary_numeric(p);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_NEAR(numeric[i], closed[i], 1e-9) << "p=" << p << " state " << i;
+    }
+  }
+}
+
+TEST(MarkovTest, StationaryIsFixedPoint) {
+  const double p = 0.35;
+  const auto pi = chain_stationary(p);
+  const auto matrix = chain_transition_matrix(p);
+  for (int j = 0; j < 3; ++j) {
+    double next = 0;
+    for (int i = 0; i < 3; ++i) next += pi[i] * matrix[i][j];
+    EXPECT_NEAR(next, pi[j], 1e-12);
+  }
+}
+
+TEST(MarkovTest, ChainStepFollowsStructure) {
+  support::rng rng(1);
+  leader_chain chain(0.5);
+  EXPECT_EQ(chain.state(), chain_state::wait);
+  for (int i = 0; i < 1000; ++i) {
+    const auto before = chain.state();
+    const auto after = chain.step(rng);
+    switch (before) {
+      case chain_state::wait:
+        EXPECT_TRUE(after == chain_state::wait || after == chain_state::beep);
+        break;
+      case chain_state::beep:
+        EXPECT_EQ(after, chain_state::frozen);
+        break;
+      case chain_state::frozen:
+        EXPECT_EQ(after, chain_state::wait);
+        break;
+    }
+  }
+}
+
+TEST(MarkovTest, VisitCountMeanMatchesStationary) {
+  // E[N_t] ~= pi_B * t = p t / (2p + 1).
+  const double p = 0.5;
+  const std::uint64_t t = 4000;
+  const auto counts = sample_visit_counts(p, t, 3000, 42);
+  double mean = 0;
+  for (auto c : counts) mean += static_cast<double>(c);
+  mean /= static_cast<double>(counts.size());
+  const double expected = p * static_cast<double>(t) / (2 * p + 1);
+  EXPECT_NEAR(mean / expected, 1.0, 0.02);
+}
+
+TEST(MarkovTest, VisitCountVarianceLowerBound) {
+  // Lemma 14's engine: Var(N_t) >= delta^2 t / 4 for a p-dependent
+  // delta > 0. We check variance grows linearly in t.
+  const double p = 0.5;
+  std::vector<double> ts, vars;
+  for (const std::uint64_t t : {500ULL, 1000ULL, 2000ULL, 4000ULL}) {
+    const auto counts = sample_visit_counts(p, t, 4000, 7);
+    support::running_stats acc;
+    for (auto c : counts) acc.add(static_cast<double>(c));
+    ts.push_back(static_cast<double>(t));
+    vars.push_back(acc.variance());
+    EXPECT_GT(acc.variance(), 0.01 * static_cast<double>(t))
+        << "variance not Omega(t) at t=" << t;
+  }
+  const auto fit = support::fit_loglog(ts, vars);
+  EXPECT_NEAR(fit.slope, 1.0, 0.15) << "Var(N_t) should scale linearly";
+}
+
+TEST(MarkovTest, ReturnTimesAreTwoPlusGeometric) {
+  // tau ~ 2 + Geom(p) where Geom counts trials until success (proof of
+  // Lemma 14): B -> F -> W takes two deterministic rounds, then each
+  // further round fires with probability p. So min tau = 3 and
+  // E[tau] = 2 + 1/p.
+  for (const double p : {0.25, 0.5}) {
+    const auto times = sample_return_times(p, 40000, 11);
+    double mean = 0;
+    std::uint64_t min_seen = ~0ULL;
+    for (auto t : times) {
+      mean += static_cast<double>(t);
+      min_seen = std::min(min_seen, t);
+    }
+    mean /= static_cast<double>(times.size());
+    EXPECT_EQ(min_seen, 3U) << "p=" << p;
+    EXPECT_NEAR(mean, 2.0 + 1.0 / p, 0.05) << "p=" << p;
+  }
+}
+
+TEST(MarkovTest, ReturnTimeGeometricTail) {
+  // P(tau = 2 + k) = p (1-p)^(k-1) for k >= 1: first atoms at p = 1/2.
+  const auto times = sample_return_times(0.5, 60000, 13);
+  std::array<double, 4> freq = {0, 0, 0, 0};
+  for (auto t : times) {
+    if (t >= 3 && t < 7) freq[t - 3] += 1.0;
+  }
+  for (auto& f : freq) f /= static_cast<double>(times.size());
+  EXPECT_NEAR(freq[0], 0.5, 0.01);
+  EXPECT_NEAR(freq[1], 0.25, 0.01);
+  EXPECT_NEAR(freq[2], 0.125, 0.01);
+  EXPECT_NEAR(freq[3], 0.0625, 0.005);
+}
+
+TEST(MarkovTest, AntiConcentrationTheorem13) {
+  // Theorem 13's checkable form: with a window of c * stddev(N_t),
+  // sup_m P(|N_t - m| <= c sd) is bounded away from 1 (for c = 1 the
+  // Gaussian limit puts it near 0.68). Note the literal sqrt(t) window
+  // of Lemma 14 is ~5.7 standard deviations at p = 1/2, so its 1-eps
+  // bound holds with an eps far below empirical resolution - the bench
+  // (E6) reports both windows.
+  const double p = 0.5;
+  const std::uint64_t t = 10000;
+  const auto counts = sample_visit_counts(p, t, 5000, 21, true);
+  support::running_stats acc;
+  for (auto c : counts) acc.add(static_cast<double>(c));
+  const double sd = acc.stddev();
+  ASSERT_GT(sd, 0.0);
+
+  const double sup = anti_concentration_sup(counts, sd);
+  EXPECT_LT(sup, 0.85) << "mass must escape every 1-sd window";
+  EXPECT_GT(sup, 0.4) << "sanity: the central window holds decent mass";
+
+  // And the variance really is Theta(t): sd ~ sqrt(t/32) at p = 1/2.
+  EXPECT_NEAR(sd, std::sqrt(static_cast<double>(t) / 32.0), 4.0);
+}
+
+TEST(MarkovTest, AntiConcentrationWindowMonotone) {
+  const auto counts = sample_visit_counts(0.5, 4000, 3000, 23);
+  const double narrow = anti_concentration_sup(counts, 5.0);
+  const double wide = anti_concentration_sup(counts, 200.0);
+  EXPECT_LE(narrow, wide);
+  EXPECT_NEAR(wide, 1.0, 1e-9);  // window >> spread captures everything
+}
+
+TEST(MarkovTest, AntiConcentrationEdgeCases) {
+  EXPECT_EQ(anti_concentration_sup({}, 10.0), 0.0);
+  EXPECT_EQ(anti_concentration_sup({5, 5, 5}, 0.0), 1.0);
+}
+
+TEST(MarkovTest, DivergenceTimeScalesQuadratically) {
+  // sigma_{u,v} with threshold D behaves like Theta(D^2) (Lemma 15's
+  // d^2-round regime): medians over trials must scale ~ quadratically.
+  std::vector<double> ds, medians;
+  support::rng rng(3);
+  for (const std::uint64_t d : {4ULL, 8ULL, 16ULL, 32ULL}) {
+    std::vector<double> samples;
+    for (int trial = 0; trial < 300; ++trial) {
+      support::rng trial_rng = rng.substream(d * 1000 + trial);
+      samples.push_back(static_cast<double>(
+          sample_divergence_time(0.5, d, 1000000, trial_rng)));
+    }
+    ds.push_back(static_cast<double>(d));
+    medians.push_back(support::quantile(samples, 0.5));
+  }
+  const auto fit = support::fit_loglog(ds, medians);
+  EXPECT_NEAR(fit.slope, 2.0, 0.35)
+      << "sigma threshold-D divergence should scale ~ D^2";
+}
+
+TEST(MarkovTest, StationaryStartCountsFirstRound) {
+  // With X_1 ~ pi, roughly pi_B of the chains open with a visit.
+  const auto counts = sample_visit_counts(0.5, 1, 20000, 31, true);
+  double opened = 0;
+  for (auto c : counts) {
+    if (c > 0) opened += 1.0;
+  }
+  opened /= static_cast<double>(counts.size());
+  EXPECT_NEAR(opened, 0.25, 0.02);  // pi_B = p/(2p+1) = 1/4 at p=1/2
+}
+
+}  // namespace
+}  // namespace beepkit::core

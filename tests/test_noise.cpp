@@ -1,0 +1,141 @@
+// Reception-noise extension tests: zero noise is bit-identical to the
+// plain engine; pure-erasure noise preserves the leader floor but slows
+// convergence; hallucinations break Lemma 9 (and the invariant checker
+// catches it).
+#include <gtest/gtest.h>
+
+#include "beeping/engine.hpp"
+#include "core/bfw.hpp"
+#include "core/convergence.hpp"
+#include "core/invariants.hpp"
+#include "graph/generators.hpp"
+
+namespace beepkit::beeping {
+namespace {
+
+TEST(NoiseTest, ZeroNoiseIsBitIdentical) {
+  const auto g = graph::make_grid(5, 5);
+  const core::bfw_machine machine(0.5);
+  fsm_protocol plain_proto(machine);
+  fsm_protocol noisy_proto(machine);
+  engine plain(g, plain_proto, 7);
+  engine noisy(g, noisy_proto, 7, noise_model{0.0, 0.0});
+  for (int round = 0; round < 200; ++round) {
+    ASSERT_EQ(plain_proto.states(), noisy_proto.states()) << round;
+    plain.step();
+    noisy.step();
+  }
+}
+
+TEST(NoiseTest, NoiseModelEnabledFlag) {
+  EXPECT_FALSE((noise_model{0.0, 0.0}).enabled());
+  EXPECT_TRUE((noise_model{0.1, 0.0}).enabled());
+  EXPECT_TRUE((noise_model{0.0, 0.1}).enabled());
+}
+
+TEST(NoiseTest, TotalErasureFreezesElimination) {
+  // miss = 1: nobody ever hears anyone. Leaders can never be
+  // eliminated (delta_top fires only on own beeps), so the leader
+  // count stays n forever.
+  const auto g = graph::make_complete(10);
+  const core::bfw_machine machine(0.5);
+  fsm_protocol proto(machine);
+  engine sim(g, proto, 11, noise_model{1.0, 0.0});
+  sim.run_rounds(500);
+  EXPECT_EQ(sim.leader_count(), 10U);
+}
+
+TEST(NoiseTest, ErasuresCanBreakTheLeaderFloorToo) {
+  // A subtle failure mode: one might expect erasures to be harmless
+  // (they only suppress eliminations), but an erased relay
+  // *desynchronizes* a wave. Smallest example, a triangle {u, v, w}:
+  // u beeps; v hears but w's reception is erased; v relays one round
+  // later than w would have, so the echo reaches u one round AFTER its
+  // frozen window - and eliminates it. The F state only shields
+  // against synchronized echoes, so Lemma 9 genuinely requires a
+  // noiseless channel even for pure erasures.
+  const auto g = graph::make_grid(4, 4);
+  const core::bfw_machine machine(0.5);
+  fsm_protocol proto(machine);
+  engine sim(g, proto, 13, noise_model{0.3, 0.0});
+  bool extinct = false;
+  for (int round = 0; round < 20000 && !extinct; ++round) {
+    sim.step();
+    extinct = sim.leader_count() == 0;
+  }
+  EXPECT_TRUE(extinct)
+      << "desynchronized echoes should eventually kill every leader";
+}
+
+TEST(NoiseTest, ModerateErasuresStillElect) {
+  // The protocol is not *proved* correct under erasures, but it keeps
+  // retrying: moderate loss rates still reach a single leader.
+  const auto g = graph::make_grid(5, 5);
+  const core::bfw_machine machine(0.5);
+  fsm_protocol proto(machine);
+  engine sim(g, proto, 17, noise_model{0.1, 0.0});
+  const auto result = sim.run_until_single_leader(200000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(sim.leader_count(), 1U);
+}
+
+TEST(NoiseTest, HallucinationsBreakLemma9) {
+  // False positives eliminate leaders that heard nothing real; with
+  // every node hallucinating, all leaders die fast - the Lemma 9
+  // guarantee genuinely needs a noiseless channel.
+  const auto g = graph::make_path(6);
+  const core::bfw_machine machine(0.5);
+  fsm_protocol proto(machine);
+  engine sim(g, proto, 19, noise_model{0.0, 0.5});
+  bool extinct = false;
+  for (int round = 0; round < 2000 && !extinct; ++round) {
+    sim.step();
+    extinct = sim.leader_count() == 0;
+  }
+  EXPECT_TRUE(extinct);
+}
+
+TEST(NoiseTest, InvariantCheckerFlagsHallucinatedRelays) {
+  // A hallucinated relay is a Bo with no beeping neighbor - exactly
+  // Claim 6 Eq. (11). The runtime checker must catch real noise.
+  const auto g = graph::make_cycle(8);
+  const core::bfw_machine machine(0.5);
+  fsm_protocol proto(machine);
+  engine sim(g, proto, 23, noise_model{0.0, 0.2});
+  core::invariant_checker checker(g, proto, core::invariant_options{});
+  sim.add_observer(&checker);
+  sim.run_rounds(300);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(NoiseTest, DeterministicInSeed) {
+  const auto g = graph::make_grid(4, 4);
+  const core::bfw_machine machine(0.5);
+  fsm_protocol a_proto(machine);
+  fsm_protocol b_proto(machine);
+  engine a(g, a_proto, 29, noise_model{0.2, 0.01});
+  engine b(g, b_proto, 29, noise_model{0.2, 0.01});
+  for (int round = 0; round < 300; ++round) {
+    ASSERT_EQ(a_proto.states(), b_proto.states()) << round;
+    a.step();
+    b.step();
+  }
+}
+
+TEST(NoiseTest, NoiseDoesNotPerturbProtocolCoins) {
+  // The first transition from the all-W start is silent everywhere, so
+  // the same leaders must fire in the noisy and noiseless runs (noise
+  // draws come from separate streams).
+  const auto g = graph::make_path(12);
+  const core::bfw_machine machine(0.5);
+  fsm_protocol plain_proto(machine);
+  fsm_protocol noisy_proto(machine);
+  engine plain(g, plain_proto, 31);
+  engine noisy(g, noisy_proto, 31, noise_model{0.5, 0.0});
+  plain.step();
+  noisy.step();
+  EXPECT_EQ(plain_proto.states(), noisy_proto.states());
+}
+
+}  // namespace
+}  // namespace beepkit::beeping

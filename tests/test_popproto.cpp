@@ -1,0 +1,160 @@
+// Population-protocols substrate (Section 1.4 related work): scheduler
+// mechanics, the two bundled protocols, the Theta(n^2) clique regime
+// of the fight protocol, and the graph-topology contrast (fight
+// deadlocks on non-complete graphs; token coalescence does not).
+#include "popproto/popproto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "support/stats.hpp"
+
+namespace beepkit::popproto {
+namespace {
+
+TEST(PopProtoTest, SchedulerInitialState) {
+  const auto g = graph::make_complete(6);
+  const fight_protocol proto;
+  const scheduler sched(g, proto, 1);
+  EXPECT_EQ(sched.leader_count(), 6U);
+  EXPECT_EQ(sched.interactions(), 0U);
+  for (graph::node_id u = 0; u < 6; ++u) {
+    EXPECT_EQ(sched.state_of(u), fight_protocol::leader);
+  }
+}
+
+TEST(PopProtoTest, FightInteractionTable) {
+  const fight_protocol proto;
+  support::rng rng(1);
+  constexpr auto L = fight_protocol::leader;
+  constexpr auto F = fight_protocol::follower;
+  EXPECT_EQ(proto.interact(L, L, rng), std::make_pair(L, F));
+  EXPECT_EQ(proto.interact(L, F, rng), std::make_pair(L, F));
+  EXPECT_EQ(proto.interact(F, L, rng), std::make_pair(F, L));
+  EXPECT_EQ(proto.interact(F, F, rng), std::make_pair(F, F));
+}
+
+TEST(PopProtoTest, TokenNeverDuplicatesOrVanishesInPairs) {
+  const token_coalescence_protocol proto;
+  support::rng rng(2);
+  constexpr auto L = token_coalescence_protocol::leader;
+  constexpr auto F = token_coalescence_protocol::follower;
+  // (L, F) / (F, L): exactly one token after the interaction.
+  for (int i = 0; i < 200; ++i) {
+    const auto [a, b] = proto.interact(L, F, rng);
+    EXPECT_EQ((a == L) + (b == L), 1);
+    const auto [c, d] = proto.interact(F, L, rng);
+    EXPECT_EQ((c == L) + (d == L), 1);
+  }
+  // (L, L) merges, (F, F) stays empty.
+  EXPECT_EQ(proto.interact(L, L, rng), std::make_pair(L, F));
+  EXPECT_EQ(proto.interact(F, F, rng), std::make_pair(F, F));
+}
+
+TEST(PopProtoTest, TokenMovesBothWays) {
+  const token_coalescence_protocol proto;
+  support::rng rng(3);
+  constexpr auto L = token_coalescence_protocol::leader;
+  constexpr auto F = token_coalescence_protocol::follower;
+  bool moved = false;
+  bool stayed = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto [a, _] = proto.interact(L, F, rng);
+    if (a == F) moved = true;
+    if (a == L) stayed = true;
+  }
+  EXPECT_TRUE(moved);
+  EXPECT_TRUE(stayed);
+}
+
+TEST(PopProtoTest, FightElectsOnClique) {
+  const auto g = graph::make_complete(24);
+  const fight_protocol proto;
+  scheduler sched(g, proto, 5);
+  const auto result = sched.run_until_single_leader(10000000);
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(sched.leader_count(), 1U);
+  EXPECT_LT(sched.sole_leader(), 24U);
+  // Single leader is permanent (fight is leader-monotone).
+  sched.run_interactions(5000);
+  EXPECT_EQ(sched.leader_count(), 1U);
+}
+
+TEST(PopProtoTest, FightDeadlocksOnPaths) {
+  // Two non-adjacent surviving leaders can never interact: with 16
+  // nodes on a path, the survivors of local fights are almost never
+  // all adjacent, so the run does not reach a single leader.
+  const auto g = graph::make_path(16);
+  const fight_protocol proto;
+  scheduler sched(g, proto, 7);
+  const auto result = sched.run_until_single_leader(2000000);
+  EXPECT_FALSE(result.converged);
+  EXPECT_GT(sched.leader_count(), 1U);
+}
+
+TEST(PopProtoTest, TokenCoalescenceElectsOnPaths) {
+  const auto g = graph::make_path(16);
+  const token_coalescence_protocol proto;
+  scheduler sched(g, proto, 9);
+  const auto result = sched.run_until_single_leader(50000000);
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(sched.leader_count(), 1U);
+}
+
+TEST(PopProtoTest, TokenCoalescenceElectsOnBattery) {
+  support::rng graph_rng(4);
+  const auto er = graph::make_erdos_renyi_connected(20, 0.2, graph_rng);
+  for (const auto* g : {&er}) {
+    const token_coalescence_protocol proto;
+    scheduler sched(*g, proto, 11);
+    const auto result = sched.run_until_single_leader(50000000);
+    EXPECT_TRUE(result.converged);
+  }
+}
+
+TEST(PopProtoTest, FightQuadraticOnClique) {
+  // Section 1.4: constant-state clique election needs Omega(n^2)
+  // interactions; the fight protocol matches it. Median interactions
+  // over trials should scale ~ n^2.
+  std::vector<double> ns, medians;
+  for (const std::size_t n : {8UL, 16UL, 32UL, 64UL}) {
+    const auto g = graph::make_complete(n);
+    std::vector<double> samples;
+    support::rng seeder(13 + n);
+    for (int trial = 0; trial < 20; ++trial) {
+      const fight_protocol proto;
+      scheduler sched(g, proto, seeder.next_u64());
+      const auto result = sched.run_until_single_leader(100000000);
+      ASSERT_TRUE(result.converged);
+      samples.push_back(static_cast<double>(result.interactions));
+    }
+    ns.push_back(static_cast<double>(n));
+    medians.push_back(support::quantile(samples, 0.5));
+  }
+  const auto fit = support::fit_loglog(ns, medians);
+  EXPECT_NEAR(fit.slope, 2.0, 0.3);
+}
+
+TEST(PopProtoTest, DeterministicInSeed) {
+  const auto g = graph::make_complete(12);
+  const fight_protocol proto;
+  scheduler a(g, proto, 99);
+  scheduler b(g, proto, 99);
+  const auto ra = a.run_until_single_leader(1000000);
+  const auto rb = b.run_until_single_leader(1000000);
+  EXPECT_EQ(ra.interactions, rb.interactions);
+  EXPECT_EQ(a.sole_leader(), b.sole_leader());
+}
+
+TEST(PopProtoTest, SingleNodePopulation) {
+  const auto g = graph::graph(1, {});
+  const fight_protocol proto;
+  scheduler sched(g, proto, 1);
+  EXPECT_EQ(sched.leader_count(), 1U);
+  const auto result = sched.run_until_single_leader(10);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.interactions, 0U);
+}
+
+}  // namespace
+}  // namespace beepkit::popproto

@@ -1,0 +1,212 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+namespace beepkit::support {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  rng a(42);
+  rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  rng a(1);
+  rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, SplitMix64KnownValues) {
+  // Reference values for seed 0 from the splitmix64 reference
+  // implementation (Steele et al.).
+  split_mix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanNearHalf) {
+  rng r(11);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  rng r(5);
+  int hits = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, CoinCountsBits) {
+  rng r(9);
+  EXPECT_EQ(r.coins_consumed(), 0U);
+  for (int i = 0; i < 257; ++i) r.coin();
+  EXPECT_EQ(r.coins_consumed(), 257U);
+  r.reset_coin_account();
+  EXPECT_EQ(r.coins_consumed(), 0U);
+}
+
+TEST(RngTest, CoinIsFair) {
+  rng r(13);
+  int heads = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.coin()) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformBelowRespectsBound) {
+  rng r(17);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(r.uniform_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformBelowCoversAllValues) {
+  rng r(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(r.uniform_below(7));
+  }
+  EXPECT_EQ(seen.size(), 7U);
+}
+
+TEST(RngTest, UniformBelowApproximatelyUniform) {
+  rng r(23);
+  constexpr std::uint64_t bound = 10;
+  constexpr int n = 100000;
+  std::vector<int> counts(bound, 0);
+  for (int i = 0; i < n; ++i) {
+    ++counts[r.uniform_below(bound)];
+  }
+  for (std::uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(static_cast<double>(counts[v]) / n, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  rng r(29);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GeometricMeanMatchesTheory) {
+  // E[Geom(p)] (failures before success) = (1-p)/p.
+  rng r(31);
+  const double p = 0.25;
+  double sum = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(r.geometric(p));
+  }
+  EXPECT_NEAR(sum / n, (1.0 - p) / p, 0.05);
+}
+
+TEST(RngTest, GeometricEdgeCases) {
+  rng r(37);
+  EXPECT_EQ(r.geometric(1.0), 0U);
+}
+
+TEST(RngTest, SubstreamsAreIndependentAndDeterministic) {
+  const rng root(99);
+  rng s1 = root.substream(1);
+  rng s2 = root.substream(2);
+  rng s1_again = root.substream(1);
+  int equal12 = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto a = s1.next_u64();
+    const auto b = s2.next_u64();
+    ASSERT_EQ(a, s1_again.next_u64());
+    if (a == b) ++equal12;
+  }
+  EXPECT_LT(equal12, 2);
+}
+
+TEST(RngTest, MakeNodeStreamsDistinct) {
+  auto streams = make_node_streams(7, 64);
+  ASSERT_EQ(streams.size(), 64U);
+  std::set<std::uint64_t> firsts;
+  for (auto& s : streams) {
+    firsts.insert(s.next_u64());
+  }
+  EXPECT_EQ(firsts.size(), 64U);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  rng r(41);
+  for (std::size_t n : {0UL, 1UL, 2UL, 17UL, 100UL}) {
+    auto perm = r.permutation(n);
+    ASSERT_EQ(perm.size(), n);
+    std::sort(perm.begin(), perm.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(perm[i], i);
+    }
+  }
+}
+
+TEST(RngTest, ShuffleKeepsMultiset) {
+  rng r(43);
+  std::vector<int> values = {1, 1, 2, 3, 5, 8, 13};
+  auto shuffled = values;
+  r.shuffle(std::span<int>(shuffled));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<rng>);
+  rng r(47);
+  EXPECT_LE(rng::min(), r());
+}
+
+}  // namespace
+}  // namespace beepkit::support

@@ -1,0 +1,98 @@
+// Tests for the table/CSV formatter and the CLI flag parser.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace beepkit::support {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  table t({"name", "rounds"});
+  t.add_row({"path", "120"});
+  t.add_row({"clique", "7"});
+  const std::string text = t.to_string();
+  EXPECT_NE(text.find("| name   | rounds |"), std::string::npos);
+  EXPECT_NE(text.find("| path   | 120    |"), std::string::npos);
+  EXPECT_NE(text.find("| clique | 7      |"), std::string::npos);
+}
+
+TEST(TableTest, TitleAndShortRows) {
+  table t({"a", "b", "c"});
+  t.set_title("My Table");
+  t.add_row({"1"});
+  const std::string text = t.to_string();
+  EXPECT_EQ(text.rfind("My Table\n", 0), 0U);
+  EXPECT_EQ(t.row_count(), 1U);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(table::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(table::num(static_cast<long long>(-42)), "-42");
+}
+
+TEST(TableTest, CsvEscaping) {
+  table t({"x", "note"});
+  t.add_row({"1", "has,comma"});
+  t.add_row({"2", "has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_EQ(csv.rfind("x,note\n", 0), 0U);
+}
+
+TEST(TableTest, WriteTextFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "beepkit_table_test.txt";
+  ASSERT_TRUE(write_text_file(path, "hello\n"));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "hello\n");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteTextFileBadPath) {
+  EXPECT_FALSE(write_text_file("/nonexistent-dir-xyz/file.txt", "x"));
+}
+
+TEST(CliTest, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--n=128", "--trials", "30", "--verbose"};
+  const cli args(5, argv);
+  EXPECT_EQ(args.get_int("n", 0), 128);
+  EXPECT_EQ(args.get_int("trials", 0), 30);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("missing", -7), -7);
+}
+
+TEST(CliTest, TypedGetters) {
+  const char* argv[] = {"prog", "--p=0.25", "--csv=/tmp/x.csv", "--flag=no"};
+  const cli args(4, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.5), 0.25);
+  EXPECT_EQ(args.get_string("csv", ""), "/tmp/x.csv");
+  EXPECT_FALSE(args.get_bool("flag", true));
+  EXPECT_TRUE(args.has("p"));
+  EXPECT_FALSE(args.has("q"));
+}
+
+TEST(CliTest, UnusedFlagsReported) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  const cli args(3, argv);
+  (void)args.get_int("used", 0);
+  const auto leftover = args.unused();
+  ASSERT_EQ(leftover.size(), 1U);
+  EXPECT_EQ(leftover[0], "typo");
+}
+
+TEST(CliTest, BooleanSwitchBeforeFlag) {
+  const char* argv[] = {"prog", "--dry-run", "--n=4"};
+  const cli args(3, argv);
+  EXPECT_TRUE(args.get_bool("dry-run", false));
+  EXPECT_EQ(args.get_int("n", 0), 4);
+}
+
+}  // namespace
+}  // namespace beepkit::support

@@ -1,0 +1,191 @@
+// Timeout-BFW (the Section-5 open-problem probe): transition table,
+// recovery from dead and phantom-wave configurations, the price paid
+// (non-monotone leader count, extra states), and the stabilization
+// probe used to measure it.
+#include "core/timeout_bfw.hpp"
+
+#include <gtest/gtest.h>
+
+#include "beeping/engine.hpp"
+#include "core/adversarial.hpp"
+#include "core/bfw.hpp"
+#include "graph/generators.hpp"
+
+namespace beepkit::core {
+namespace {
+
+using M = timeout_bfw_machine;
+
+TEST(TimeoutBfwTest, ParameterValidation) {
+  EXPECT_THROW(M(0.0, 5), std::invalid_argument);
+  EXPECT_THROW(M(0.5, 0), std::invalid_argument);
+  EXPECT_NO_THROW(M(0.5, 1));
+}
+
+TEST(TimeoutBfwTest, StateSpaceShape) {
+  const M machine(0.5, 7);
+  EXPECT_EQ(machine.state_count(), 5U + 7U);
+  EXPECT_EQ(machine.initial_state(), M::leader_wait);
+  EXPECT_TRUE(machine.is_leader(M::leader_frozen));
+  EXPECT_FALSE(machine.is_leader(M::follower_wait_base + 3));
+  EXPECT_TRUE(machine.beeps(M::follower_beep));
+  EXPECT_FALSE(machine.beeps(M::follower_wait_base));
+  EXPECT_EQ(machine.state_name(M::follower_wait_base + 3), "Wo(3)");
+}
+
+TEST(TimeoutBfwTest, PatienceCountsUpAndPromotes) {
+  const M machine(0.5, 3);
+  support::rng rng(1);
+  beeping::state_id s = M::follower_wait_base;
+  s = machine.delta_bot(s, rng);
+  EXPECT_EQ(s, M::follower_wait_base + 1);
+  s = machine.delta_bot(s, rng);
+  EXPECT_EQ(s, M::follower_wait_base + 2);
+  s = machine.delta_bot(s, rng);
+  EXPECT_EQ(s, M::leader_wait) << "third silent round promotes (T=3)";
+}
+
+TEST(TimeoutBfwTest, HearingResetsPatienceThroughRelay) {
+  const M machine(0.5, 4);
+  support::rng rng(2);
+  beeping::state_id s = M::follower_wait_base + 3;  // one round from reboot
+  s = machine.delta_top(s, rng);
+  EXPECT_EQ(s, M::follower_beep);
+  s = machine.delta_top(s, rng);
+  EXPECT_EQ(s, M::follower_frozen);
+  s = machine.delta_bot(s, rng);
+  EXPECT_EQ(s, M::follower_wait_base) << "patience restarts at 0";
+}
+
+TEST(TimeoutBfwTest, LeaderPartBehavesLikeBfw) {
+  const M machine(0.5, 5);
+  support::rng rng(3);
+  EXPECT_EQ(machine.delta_top(M::leader_wait, rng), M::follower_beep);
+  EXPECT_EQ(machine.delta_top(M::leader_beep, rng), M::leader_frozen);
+  EXPECT_EQ(machine.delta_top(M::leader_frozen, rng), M::leader_wait);
+  EXPECT_EQ(machine.delta_bot(M::leader_frozen, rng), M::leader_wait);
+}
+
+TEST(TimeoutBfwTest, ElectsFromTheStandardStart) {
+  // From the Eq. 2 start it behaves like BFW plus rare reboots; with a
+  // generous T the election still lands.
+  const auto g = graph::make_grid(5, 5);
+  const M machine(0.5, 64);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 5);
+  const auto result = sim.run_until_single_leader(200000);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(TimeoutBfwTest, RecoversFromDeadConfiguration) {
+  // Zero leaders, everyone waiting: plain BFW is silent forever;
+  // timeout-BFW reboots the whole population at round T and elects.
+  const auto g = graph::make_path(16);
+  const M machine(0.5, 10);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 7);
+  proto.set_states(machine.dead_configuration(16));
+  sim.restart_from_protocol();
+  EXPECT_EQ(sim.leader_count(), 0U);
+
+  // Nothing can happen before the timeout...
+  sim.run_rounds(9);
+  EXPECT_EQ(sim.leader_count(), 0U);
+  // ...then everyone reboots at once.
+  sim.step();
+  EXPECT_EQ(sim.leader_count(), 16U);
+
+  stabilization_probe probe;
+  for (std::uint64_t r = 0; r < 100000; ++r) {
+    sim.step();
+    probe.observe(sim.round(), sim.leader_count());
+    if (probe.result(200).stabilized) break;
+  }
+  EXPECT_TRUE(probe.result(200).stabilized);
+}
+
+TEST(TimeoutBfwTest, PlainBfwStaysDeadForComparison) {
+  const auto g = graph::make_path(16);
+  const bfw_machine machine(0.5);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 7);
+  proto.set_states(std::vector<beeping::state_id>(
+      16, static_cast<beeping::state_id>(bfw_state::follower_wait)));
+  sim.restart_from_protocol();
+  sim.run_rounds(5000);
+  EXPECT_EQ(sim.leader_count(), 0U);
+}
+
+TEST(TimeoutBfwTest, BreaksThePhantomWaveCounterexample) {
+  // The Section-5 phantom wave resets each node's patience once per
+  // lap (period n). With T < n, some node always times out, reboots,
+  // and the ring elects a real leader - the counterexample that traps
+  // plain BFW forever is escaped.
+  const std::size_t n = 20;
+  const auto g = graph::make_cycle(n);
+  const M machine(0.5, 12);  // T < n
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 9);
+  // Phantom wave in timeout-BFW state ids: Bo at 0, Fo at n-1,
+  // Wo(0) elsewhere.
+  auto states = machine.dead_configuration(n);
+  states[0] = M::follower_beep;
+  states[n - 1] = M::follower_frozen;
+  proto.set_states(states);
+  sim.restart_from_protocol();
+  EXPECT_EQ(sim.leader_count(), 0U);
+
+  stabilization_probe probe;
+  bool stable = false;
+  for (std::uint64_t r = 0; r < 200000 && !stable; ++r) {
+    sim.step();
+    probe.observe(sim.round(), sim.leader_count());
+    stable = probe.result(500).stabilized;
+  }
+  EXPECT_TRUE(stable) << "timeout reboot should defeat the phantom wave";
+}
+
+TEST(TimeoutBfwTest, LeaderCountIsNotMonotone) {
+  // The price of self-stabilization: reboots re-create leaders. From a
+  // dead configuration the count jumps 0 -> n, which plain BFW's
+  // monotonicity forbids.
+  const auto g = graph::make_cycle(8);
+  const M machine(0.5, 4);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 11);
+  proto.set_states(machine.dead_configuration(8));
+  sim.restart_from_protocol();
+  std::size_t max_seen = 0;
+  for (int r = 0; r < 50; ++r) {
+    sim.step();
+    max_seen = std::max(max_seen, sim.leader_count());
+  }
+  EXPECT_GT(max_seen, 1U);
+}
+
+TEST(StabilizationProbeTest, FindsFirstLongStreak) {
+  stabilization_probe probe;
+  // rounds 0-4: multi; 5-8: single (len 4); 9: multi; 10-20: single.
+  for (std::uint64_t r = 0; r <= 4; ++r) probe.observe(r, 3);
+  for (std::uint64_t r = 5; r <= 8; ++r) probe.observe(r, 1);
+  probe.observe(9, 2);
+  for (std::uint64_t r = 10; r <= 20; ++r) probe.observe(r, 1);
+
+  const auto short_window = probe.result(3);
+  ASSERT_TRUE(short_window.stabilized);
+  EXPECT_EQ(short_window.round, 5U);  // first streak of length >= 4
+
+  const auto long_window = probe.result(10);
+  ASSERT_TRUE(long_window.stabilized);
+  EXPECT_EQ(long_window.round, 10U);  // only the second streak qualifies
+
+  EXPECT_FALSE(probe.result(50).stabilized);
+}
+
+TEST(StabilizationProbeTest, EmptyProbe) {
+  const stabilization_probe probe;
+  EXPECT_FALSE(probe.result(0).stabilized);
+}
+
+}  // namespace
+}  // namespace beepkit::core

@@ -1,0 +1,99 @@
+// Trace/series observer tests.
+#include "beeping/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "beeping/engine.hpp"
+#include "core/bfw.hpp"
+#include "graph/generators.hpp"
+
+namespace beepkit::beeping {
+namespace {
+
+TEST(TraceRecorderTest, RecordsEveryRoundIncludingInitial) {
+  const auto g = graph::make_path(5);
+  const core::bfw_machine machine(0.5);
+  fsm_protocol proto(machine);
+  engine sim(g, proto, 1);
+  trace_recorder trace(proto);
+  sim.add_observer(&trace);
+  sim.run_rounds(20);
+
+  ASSERT_EQ(trace.recorded_rounds(), 21U);
+  // Round 0: everyone in W•.
+  for (state_id s : trace.states(0)) {
+    EXPECT_EQ(s, static_cast<state_id>(core::bfw_state::leader_wait));
+  }
+  // Every recorded configuration has the right width.
+  for (const auto& config : trace.history()) {
+    EXPECT_EQ(config.size(), 5U);
+  }
+}
+
+TEST(TraceRecorderTest, RespectsCap) {
+  const auto g = graph::make_path(4);
+  const core::bfw_machine machine(0.5);
+  fsm_protocol proto(machine);
+  engine sim(g, proto, 2);
+  trace_recorder trace(proto, 8);
+  sim.add_observer(&trace);
+  sim.run_rounds(50);
+  EXPECT_EQ(trace.recorded_rounds(), 8U);
+}
+
+TEST(TraceRecorderTest, AsciiRenderShowsBfwAlphabet) {
+  const auto g = graph::make_path(6);
+  const core::bfw_machine machine(0.5);
+  fsm_protocol proto(machine);
+  engine sim(g, proto, 3);
+  trace_recorder trace(proto);
+  sim.add_observer(&trace);
+  sim.run_rounds(30);
+
+  const std::string art = trace.render_ascii();
+  EXPECT_NE(art.find('W'), std::string::npos);  // leaders waiting
+  // A 30-round BFW run on a 6-path certainly relays some wave.
+  EXPECT_TRUE(art.find('b') != std::string::npos ||
+              art.find('B') != std::string::npos);
+  // One line per recorded round.
+  const auto lines = std::count(art.begin(), art.end(), '\n');
+  EXPECT_EQ(lines, 31);
+}
+
+TEST(SeriesRecorderTest, TracksLeaderAndBeepSeries) {
+  const auto g = graph::make_complete(10);
+  const core::bfw_machine machine(0.5);
+  fsm_protocol proto(machine);
+  engine sim(g, proto, 4);
+  series_recorder series;
+  sim.add_observer(&series);
+  const auto result = sim.run_until_single_leader(100000);
+  ASSERT_TRUE(result.converged);
+
+  ASSERT_EQ(series.leader_counts().size(), sim.round() + 1);
+  EXPECT_EQ(series.leader_counts().front(), 10U);
+  EXPECT_EQ(series.leader_counts().back(), 1U);
+  EXPECT_EQ(series.first_single_leader_round(), sim.round());
+
+  // Leader counts never increase along the way.
+  for (std::size_t i = 1; i < series.leader_counts().size(); ++i) {
+    EXPECT_LE(series.leader_counts()[i], series.leader_counts()[i - 1]);
+  }
+  // Beep totals line up 1:1 with rounds.
+  EXPECT_EQ(series.beep_totals().size(), series.leader_counts().size());
+  EXPECT_EQ(series.beep_totals().front(), 0U);  // all-W start is silent
+}
+
+TEST(SeriesRecorderTest, NposWhenNeverSingle) {
+  const auto g = graph::make_path(30);
+  const core::bfw_machine machine(0.5);
+  fsm_protocol proto(machine);
+  engine sim(g, proto, 6);
+  series_recorder series;
+  sim.add_observer(&series);
+  sim.run_rounds(3);  // far too short to elect on a 30-path
+  EXPECT_EQ(series.first_single_leader_round(), series_recorder::npos);
+}
+
+}  // namespace
+}  // namespace beepkit::beeping
