@@ -5,9 +5,10 @@
 // end with ZERO leaders (impossible for real BFW) and how fast
 // extinction strikes.
 //
-//   ./build/bench/ablation_frozen [--trials 50] [--seed 10]
+//   ./build/bench/ablation_frozen [--trials 50] [--seed 10] [--threads 0]
 #include <cstdio>
 
+#include "analysis/experiment.hpp"
 #include "beeping/engine.hpp"
 #include "core/ablations.hpp"
 #include "core/bfw.hpp"
@@ -25,21 +26,35 @@ struct extinction_stats {
   std::vector<double> extinction_rounds;
 };
 
+struct variant_trial {
+  bool extinct = false;
+  std::uint64_t round = 0;
+};
+
 extinction_stats run_variant(const graph::graph& g,
                              const beeping::state_machine& machine,
                              std::size_t trials, std::uint64_t seed,
-                             std::uint64_t horizon) {
+                             std::uint64_t horizon, std::size_t threads,
+                             analysis::throughput_meter& meter) {
+  const auto runs = analysis::map_trials(
+      trials, seed, threads,
+      [&](std::size_t /*trial*/, std::uint64_t trial_seed) {
+        beeping::fsm_protocol proto(machine);
+        beeping::engine sim(g, proto, trial_seed);
+        while (sim.round() < horizon && sim.leader_count() > 0) {
+          sim.step();
+        }
+        variant_trial result;
+        result.extinct = sim.leader_count() == 0;
+        result.round = sim.round();
+        return result;
+      });
   extinction_stats stats;
-  support::rng seeder(seed);
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    beeping::fsm_protocol proto(machine);
-    beeping::engine sim(g, proto, seeder.next_u64());
-    while (sim.round() < horizon && sim.leader_count() > 0) {
-      sim.step();
-    }
-    if (sim.leader_count() == 0) {
+  for (const variant_trial& run : runs) {
+    meter.add_run(run.round);
+    if (run.extinct) {
       ++stats.extinct;
-      stats.extinction_rounds.push_back(static_cast<double>(sim.round()));
+      stats.extinction_rounds.push_back(static_cast<double>(run.round));
     }
   }
   return stats;
@@ -51,6 +66,8 @@ int main(int argc, char** argv) {
   const support::cli args(argc, argv);
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 50));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 10));
+  const std::size_t threads = args.get_threads();
+  analysis::throughput_meter meter;
 
   std::printf("=== Ablation: BFW without the Frozen state ===\n\n");
 
@@ -66,7 +83,8 @@ int main(int argc, char** argv) {
 
   for (const auto& g : graphs) {
     const core::bw_machine broken(0.5);
-    const auto broken_stats = run_variant(g, broken, trials, seed, 20000);
+    const auto broken_stats =
+        run_variant(g, broken, trials, seed, 20000, threads, meter);
     const auto broken_summary =
         support::summarize(broken_stats.extinction_rounds);
     table.add_row({g.name(), "BW (no F)",
@@ -77,7 +95,8 @@ int main(int argc, char** argv) {
                        : "-"});
 
     const core::bfw_machine real(0.5);
-    const auto real_stats = run_variant(g, real, trials, seed, 20000);
+    const auto real_stats =
+        run_variant(g, real, trials, seed, 20000, threads, meter);
     table.add_row({g.name(), "BFW (paper)",
                    std::to_string(real_stats.extinct) + "/" +
                        std::to_string(trials),
@@ -88,5 +107,6 @@ int main(int argc, char** argv) {
               "4-state variant\nloses every leader almost surely on any "
               "graph with an edge.\n",
               trials);
+  std::printf("%s\n", meter.summary(threads).c_str());
   return 0;
 }

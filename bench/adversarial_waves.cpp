@@ -10,9 +10,10 @@
 //   (c) the same wave on a path (no cycle) dies within n rounds.
 //
 //   ./build/bench/adversarial_waves [--rounds 100000] [--trials 25]
-//                                   [--seed 9]
+//                                   [--seed 9] [--threads 0]
 #include <cstdio>
 
+#include "analysis/experiment.hpp"
 #include "beeping/engine.hpp"
 #include "core/adversarial.hpp"
 #include "core/bfw.hpp"
@@ -28,6 +29,8 @@ int main(int argc, char** argv) {
       args.get_int("rounds", 100000));
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 25));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 9));
+  const std::size_t threads = args.get_threads();
+  analysis::throughput_meter meter;
 
   std::printf("=== E9: Section 5 - leaderless persistent waves ===\n\n");
 
@@ -45,6 +48,7 @@ int main(int argc, char** argv) {
     proto.set_states(core::leaderless_waves_on_cycle(n, waves));
     sim.restart_from_protocol();
     sim.run_rounds(rounds);
+    meter.add_run(rounds);
     std::uint64_t total_beeps = 0;
     for (graph::node_id u = 0; u < n; ++u) total_beeps += sim.beep_count(u);
     persist.add_row(
@@ -73,25 +77,34 @@ int main(int argc, char** argv) {
   for (const double p : {0.05, 0.5}) {
     for (const std::size_t n : {12UL, 24UL, 48UL}) {
       const auto g = graph::make_cycle(n);
+      struct assassination_trial {
+        bool killed = false;
+        std::uint64_t round = 0;
+      };
+      const auto runs = analysis::map_trials(
+          trials, seed + n + static_cast<std::uint64_t>(p * 1000), threads,
+          [&](std::size_t /*trial*/, std::uint64_t trial_seed) {
+            const core::bfw_machine machine(p);
+            beeping::fsm_protocol proto(machine);
+            beeping::engine sim(g, proto, trial_seed);
+            auto states = core::leaderless_wave_on_cycle(n);
+            states[n / 2] =
+                static_cast<beeping::state_id>(core::bfw_state::leader_wait);
+            proto.set_states(states);
+            sim.restart_from_protocol();
+            constexpr std::uint64_t horizon = 50000;
+            while (sim.leader_count() > 0 && sim.round() < horizon) {
+              sim.step();
+            }
+            return assassination_trial{sim.leader_count() == 0, sim.round()};
+          });
       std::vector<double> kill_rounds;
       std::size_t killed = 0;
-      support::rng seeder(seed + n + static_cast<std::uint64_t>(p * 1000));
-      for (std::size_t trial = 0; trial < trials; ++trial) {
-        const core::bfw_machine machine(p);
-        beeping::fsm_protocol proto(machine);
-        beeping::engine sim(g, proto, seeder.next_u64());
-        auto states = core::leaderless_wave_on_cycle(n);
-        states[n / 2] =
-            static_cast<beeping::state_id>(core::bfw_state::leader_wait);
-        proto.set_states(states);
-        sim.restart_from_protocol();
-        constexpr std::uint64_t horizon = 50000;
-        while (sim.leader_count() > 0 && sim.round() < horizon) {
-          sim.step();
-        }
-        if (sim.leader_count() == 0) {
+      for (const assassination_trial& run : runs) {
+        meter.add_run(run.round);
+        if (run.killed) {
           ++killed;
-          kill_rounds.push_back(static_cast<double>(sim.round()));
+          kill_rounds.push_back(static_cast<double>(run.round));
         }
       }
       const auto s = support::summarize(kill_rounds);
@@ -142,5 +155,6 @@ int main(int argc, char** argv) {
   std::printf("the wave is locally indistinguishable from leader traffic;\n"
               "relaxing Eq. (2) without more states is the paper's open "
               "problem.\n");
+  std::printf("\n%s\n", meter.summary(threads).c_str());
   return 0;
 }

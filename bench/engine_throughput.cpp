@@ -3,8 +3,15 @@
 // plus the stone-age engine and the invariant-checker overhead. This
 // is the "laptop-scale pure-algorithm build" sanity check: all paper
 // experiments run in seconds.
+//
+// The *Reference suites drive the pre-bit-packing scalar step (kept as
+// engine::step_reference) on identical inputs, so the packed/scalar
+// rounds-per-second ratio is read straight off the report; the
+// RunTrials suite measures the parallel Monte-Carlo runner's
+// trials-per-second scaling across worker counts.
 #include <benchmark/benchmark.h>
 
+#include "analysis/experiment.hpp"
 #include "beeping/engine.hpp"
 #include "core/bfw.hpp"
 #include "core/bfw_stoneage.hpp"
@@ -22,6 +29,19 @@ void run_bfw_rounds(benchmark::State& state, const graph::graph& g) {
   beeping::engine sim(g, proto, 42);
   for (auto _ : state) {
     sim.step();
+    benchmark::DoNotOptimize(sim.leader_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.node_count()));
+}
+
+void run_bfw_rounds_reference(benchmark::State& state,
+                              const graph::graph& g) {
+  const core::bfw_machine machine(0.5);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 42);
+  for (auto _ : state) {
+    sim.step_reference();
     benchmark::DoNotOptimize(sim.leader_count());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -47,6 +67,26 @@ void BM_BfwOnComplete(benchmark::State& state) {
   run_bfw_rounds(state, g);
 }
 BENCHMARK(BM_BfwOnComplete)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BfwOnPathReference(benchmark::State& state) {
+  const auto g = graph::make_path(static_cast<std::size_t>(state.range(0)));
+  run_bfw_rounds_reference(state, g);
+}
+BENCHMARK(BM_BfwOnPathReference)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BfwOnGridReference(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_grid(side, side);
+  run_bfw_rounds_reference(state, g);
+}
+BENCHMARK(BM_BfwOnGridReference)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BfwOnCompleteReference(benchmark::State& state) {
+  const auto g =
+      graph::make_complete(static_cast<std::size_t>(state.range(0)));
+  run_bfw_rounds_reference(state, g);
+}
+BENCHMARK(BM_BfwOnCompleteReference)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_BfwOnRandomRegular(benchmark::State& state) {
   support::rng rng(7);
@@ -101,6 +141,32 @@ void BM_FullElection(benchmark::State& state) {
 }
 BENCHMARK(BM_FullElection)->Arg(8)->Arg(16)->Arg(32)
     ->Unit(benchmark::kMillisecond);
+
+// The parallel Monte-Carlo runner: trials/sec and rounds/sec of
+// analysis::run_trials at 1/2/4/8 workers on a fixed workload. The
+// statistical output is bit-identical across rows (tested in
+// tests/test_parallel.cpp); only the rate should move.
+void BM_RunTrials(benchmark::State& state) {
+  const auto inst = analysis::make_instance(graph::make_grid(16, 16));
+  const auto algo = analysis::make_bfw(0.5);
+  const auto horizon = 8 * core::default_horizon(inst.g, inst.diameter);
+  const analysis::run_options opts{
+      static_cast<std::size_t>(state.range(0))};
+  constexpr std::size_t trials = 32;
+  std::uint64_t total_rounds = 0;
+  for (auto _ : state) {
+    const auto stats = analysis::run_trials(inst.g, inst.diameter, algo,
+                                            trials, 42, horizon, opts);
+    total_rounds += stats.total_rounds;
+    benchmark::DoNotOptimize(stats.rounds.mean);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trials));
+  state.counters["rounds/s"] = benchmark::Counter(
+      static_cast<double>(total_rounds), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RunTrials)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

@@ -16,10 +16,11 @@
 // rounds, extinctions (zero leaders - impossible in the noiseless
 // model), and extinction time.
 //
-//   ./build/bench/noise_robustness [--trials 30] [--seed 11]
+//   ./build/bench/noise_robustness [--trials 30] [--seed 11] [--threads 0]
 #include <cstdio>
 #include <vector>
 
+#include "analysis/experiment.hpp"
 #include "beeping/engine.hpp"
 #include "core/bfw.hpp"
 #include "graph/generators.hpp"
@@ -38,27 +39,46 @@ struct noise_outcome {
   std::vector<double> extinction_rounds;
 };
 
+struct noise_trial {
+  enum class event { none, elected, extinct };
+  event first = event::none;
+  std::uint64_t round = 0;
+};
+
 noise_outcome run_batch(const graph::graph& g, beeping::noise_model noise,
                         std::size_t trials, std::uint64_t seed,
-                        std::uint64_t horizon) {
+                        std::uint64_t horizon, std::size_t threads,
+                        analysis::throughput_meter& meter) {
+  const auto runs = analysis::map_trials(
+      trials, seed, threads,
+      [&](std::size_t /*trial*/, std::uint64_t trial_seed) {
+        const core::bfw_machine machine(0.5);
+        beeping::fsm_protocol proto(machine);
+        beeping::engine sim(g, proto, trial_seed, noise);
+        noise_trial result;
+        while (sim.round() < horizon) {
+          if (sim.leader_count() == 1) {
+            result.first = noise_trial::event::elected;
+            break;
+          }
+          if (sim.leader_count() == 0) {
+            result.first = noise_trial::event::extinct;
+            break;
+          }
+          sim.step();
+        }
+        result.round = sim.round();
+        return result;
+      });
   noise_outcome out;
-  support::rng seeder(seed);
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    const core::bfw_machine machine(0.5);
-    beeping::fsm_protocol proto(machine);
-    beeping::engine sim(g, proto, seeder.next_u64(), noise);
-    while (sim.round() < horizon) {
-      if (sim.leader_count() == 1) {
-        ++out.elected;
-        out.election_rounds.push_back(static_cast<double>(sim.round()));
-        break;
-      }
-      if (sim.leader_count() == 0) {
-        ++out.extinct;
-        out.extinction_rounds.push_back(static_cast<double>(sim.round()));
-        break;
-      }
-      sim.step();
+  for (const noise_trial& run : runs) {
+    meter.add_run(run.round);
+    if (run.first == noise_trial::event::elected) {
+      ++out.elected;
+      out.election_rounds.push_back(static_cast<double>(run.round));
+    } else if (run.first == noise_trial::event::extinct) {
+      ++out.extinct;
+      out.extinction_rounds.push_back(static_cast<double>(run.round));
     }
   }
   return out;
@@ -70,6 +90,8 @@ int main(int argc, char** argv) {
   const support::cli args(argc, argv);
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 30));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+  const std::size_t threads = args.get_threads();
+  analysis::throughput_meter meter;
 
   std::printf("=== EX1: BFW under reception noise (model extension) ===\n\n");
   const auto g = graph::make_grid(6, 6);
@@ -81,7 +103,7 @@ int main(int argc, char** argv) {
                     " trials, horizon 50k (first event wins)");
   for (const double miss : {0.0, 0.01, 0.05, 0.1, 0.2, 0.4}) {
     const auto out = run_batch(g, beeping::noise_model{miss, 0.0}, trials,
-                               seed, horizon);
+                               seed, horizon, threads, meter);
     erasure.add_row(
         {support::table::num(miss, 2),
          std::to_string(out.elected) + "/" + std::to_string(trials),
@@ -103,7 +125,7 @@ int main(int argc, char** argv) {
   halluc.set_title("False-positive channel on grid(6x6)");
   for (const double rate : {0.0, 0.0001, 0.001, 0.01, 0.1}) {
     const auto out = run_batch(g, beeping::noise_model{0.0, rate}, trials,
-                               seed + 1, horizon);
+                               seed + 1, horizon, threads, meter);
     halluc.add_row(
         {support::table::num(rate, 4),
          std::to_string(out.elected) + "/" + std::to_string(trials),
@@ -132,24 +154,45 @@ int main(int argc, char** argv) {
            {"miss", {0.2, 0.0}},
            {"hallucinate", {0.0, 0.001}},
            {"hallucinate", {0.0, 0.01}}}) {
+    struct persistence_trial {
+      bool elected = false;
+      bool died = false;
+      std::uint64_t survival = 0;
+      std::uint64_t rounds = 0;
+    };
+    const auto runs = analysis::map_trials(
+        trials, seed + 7, threads,
+        [&](std::size_t /*trial*/, std::uint64_t trial_seed) {
+          const core::bfw_machine machine(0.5);
+          beeping::fsm_protocol proto(machine);
+          beeping::engine sim(g, proto, trial_seed, noise);
+          persistence_trial result;
+          while (sim.round() < horizon && sim.leader_count() > 1) sim.step();
+          if (sim.leader_count() == 1) {
+            result.elected = true;
+            const auto elected_at = sim.round();
+            while (sim.round() < elected_at + 100000 &&
+                   sim.leader_count() == 1) {
+              sim.step();
+            }
+            if (sim.leader_count() == 0) {
+              result.died = true;
+              result.survival = sim.round() - elected_at;
+            }
+          }
+          result.rounds = sim.round();
+          return result;
+        });
     std::size_t died = 0;
     std::vector<double> survival;
-    support::rng seeder(seed + 7);
     std::size_t elected_runs = 0;
-    for (std::size_t trial = 0; trial < trials; ++trial) {
-      const core::bfw_machine machine(0.5);
-      beeping::fsm_protocol proto(machine);
-      beeping::engine sim(g, proto, seeder.next_u64(), noise);
-      while (sim.round() < horizon && sim.leader_count() > 1) sim.step();
-      if (sim.leader_count() != 1) continue;
+    for (const persistence_trial& run : runs) {
+      meter.add_run(run.rounds);
+      if (!run.elected) continue;
       ++elected_runs;
-      const auto elected_at = sim.round();
-      while (sim.round() < elected_at + 100000 && sim.leader_count() == 1) {
-        sim.step();
-      }
-      if (sim.leader_count() == 0) {
+      if (run.died) {
         ++died;
-        survival.push_back(static_cast<double>(sim.round() - elected_at));
+        survival.push_back(static_cast<double>(run.survival));
       }
     }
     persist.add_row(
@@ -169,5 +212,6 @@ int main(int argc, char** argv) {
               "(Definition 1) additionally needs the elected configuration\n"
               "to persist, which noise also denies: these runs stop at the\n"
               "first single-leader or zero-leader event.\n");
+  std::printf("\n%s\n", meter.summary(threads).c_str());
   return 0;
 }

@@ -9,9 +9,11 @@
 // settings", quantified here side by side.
 //
 //   ./build/bench/population_comparison [--trials 20] [--seed 13]
+//                                       [--threads 0]
 #include <cstdio>
 #include <vector>
 
+#include "analysis/experiment.hpp"
 #include "core/convergence.hpp"
 #include "graph/generators.hpp"
 #include "popproto/popproto.hpp"
@@ -29,17 +31,26 @@ struct pp_stats {
 };
 
 pp_stats run_pp(const graph::graph& g, const popproto::protocol& proto,
-                std::size_t trials, std::uint64_t seed,
-                std::uint64_t budget) {
+                std::size_t trials, std::uint64_t seed, std::uint64_t budget,
+                std::size_t threads, analysis::throughput_meter& meter) {
+  struct pp_trial {
+    bool converged = false;
+    std::uint64_t interactions = 0;
+  };
+  const auto runs = analysis::map_trials(
+      trials, seed, threads,
+      [&](std::size_t /*trial*/, std::uint64_t trial_seed) {
+        popproto::scheduler sched(g, proto, trial_seed);
+        const auto result = sched.run_until_single_leader(budget);
+        return pp_trial{result.converged, result.interactions};
+      });
   pp_stats stats;
-  support::rng seeder(seed);
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    popproto::scheduler sched(g, proto, seeder.next_u64());
-    const auto result = sched.run_until_single_leader(budget);
-    if (result.converged) {
+  for (const pp_trial& run : runs) {
+    // Interactions are the population model's round analogue.
+    meter.add_run(run.interactions);
+    if (run.converged) {
       ++stats.converged;
-      stats.interactions.push_back(
-          static_cast<double>(result.interactions));
+      stats.interactions.push_back(static_cast<double>(run.interactions));
     }
   }
   return stats;
@@ -51,6 +62,8 @@ int main(int argc, char** argv) {
   const support::cli args(argc, argv);
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 20));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 13));
+  const std::size_t threads = args.get_threads();
+  analysis::throughput_meter meter;
 
   std::printf("=== EX3: population protocols vs the beeping model "
               "(Section 1.4) ===\n\n");
@@ -63,7 +76,8 @@ int main(int argc, char** argv) {
   const popproto::fight_protocol fight;
   for (const std::size_t n : {16UL, 32UL, 64UL, 128UL, 256UL}) {
     const auto g = graph::make_complete(n);
-    const auto pp = run_pp(g, fight, trials, seed, 1000000000ULL);
+    const auto pp =
+        run_pp(g, fight, trials, seed, 1000000000ULL, threads, meter);
     const double median = support::quantile(pp.interactions, 0.5);
     ns.push_back(static_cast<double>(n));
     medians.push_back(median);
@@ -95,14 +109,15 @@ int main(int argc, char** argv) {
   graphs.push_back(graph::make_cycle(24));
   graphs.push_back(graph::make_erdos_renyi_connected(24, 0.2, graph_rng));
   for (const auto& g : graphs) {
-    const auto f = run_pp(g, fight, trials, seed + 2, 3000000);
+    const auto f = run_pp(g, fight, trials, seed + 2, 3000000, threads, meter);
     topo.add_row({g.name(), fight.name(),
                   std::to_string(f.converged) + "/" + std::to_string(trials),
                   f.converged
                       ? support::table::num(
                             support::quantile(f.interactions, 0.5), 0)
                       : "-"});
-    const auto t = run_pp(g, token, trials, seed + 2, 100000000);
+    const auto t =
+        run_pp(g, token, trials, seed + 2, 100000000, threads, meter);
     topo.add_row({g.name(), token.name(),
                   std::to_string(t.converged) + "/" + std::to_string(trials),
                   t.converged
@@ -115,5 +130,7 @@ int main(int argc, char** argv) {
               "once; the population model must route leadership through\n"
               "pairwise meetings - the structural gap behind the paper's\n"
               "\"difficult to compare\" remark.\n");
+  std::printf("\n%s (rounds = interactions here)\n",
+              meter.summary(threads).c_str());
   return 0;
 }

@@ -14,16 +14,18 @@
 //       elected configuration, as a function of T (the uniformity
 //       price: T must be tuned to p and the target horizon).
 //
-//   ./build/bench/selfstab_timeout [--trials 20] [--seed 12]
+//   ./build/bench/selfstab_timeout [--trials 20] [--seed 12] [--threads 0]
 #include <cstdio>
 #include <vector>
 
+#include "analysis/experiment.hpp"
 #include "beeping/engine.hpp"
 #include "core/adversarial.hpp"
 #include "core/bfw.hpp"
 #include "core/timeout_bfw.hpp"
 #include "graph/generators.hpp"
 #include "support/cli.hpp"
+#include "support/parallel.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -36,27 +38,43 @@ double median_stabilization(const graph::graph& g,
                             std::vector<beeping::state_id> initial,
                             std::size_t trials, std::uint64_t seed,
                             std::uint64_t window, std::uint64_t horizon,
+                            std::size_t threads,
+                            analysis::throughput_meter& meter,
                             std::size_t& stabilized_out) {
+  struct stabilization_trial {
+    bool stabilized = false;
+    std::uint64_t round = 0;
+    std::uint64_t rounds_run = 0;
+  };
+  const auto runs = analysis::map_trials(
+      trials, seed, threads,
+      [&](std::size_t /*trial*/, std::uint64_t trial_seed) {
+        beeping::fsm_protocol proto(machine);
+        beeping::engine sim(g, proto, trial_seed);
+        proto.set_states(initial);
+        sim.restart_from_protocol();
+        core::stabilization_probe probe;
+        probe.observe(0, sim.leader_count());
+        core::stabilization_result res;
+        while (sim.round() < horizon) {
+          sim.step();
+          probe.observe(sim.round(), sim.leader_count());
+          res = probe.result(window);
+          if (res.stabilized) break;
+        }
+        stabilization_trial result;
+        result.stabilized = res.stabilized;
+        result.round = res.round;
+        result.rounds_run = sim.round();
+        return result;
+      });
   std::vector<double> rounds;
   stabilized_out = 0;
-  support::rng seeder(seed);
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    beeping::fsm_protocol proto(machine);
-    beeping::engine sim(g, proto, seeder.next_u64());
-    proto.set_states(initial);
-    sim.restart_from_protocol();
-    core::stabilization_probe probe;
-    probe.observe(0, sim.leader_count());
-    core::stabilization_result res;
-    while (sim.round() < horizon) {
-      sim.step();
-      probe.observe(sim.round(), sim.leader_count());
-      res = probe.result(window);
-      if (res.stabilized) break;
-    }
-    if (res.stabilized) {
+  for (const stabilization_trial& run : runs) {
+    meter.add_run(run.rounds_run);
+    if (run.stabilized) {
       ++stabilized_out;
-      rounds.push_back(static_cast<double>(res.round));
+      rounds.push_back(static_cast<double>(run.round));
     }
   }
   return rounds.empty() ? -1.0 : support::quantile(rounds, 0.5);
@@ -68,6 +86,8 @@ int main(int argc, char** argv) {
   const support::cli args(argc, argv);
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 20));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 12));
+  const std::size_t threads = args.get_threads();
+  analysis::throughput_meter meter;
 
   std::printf("=== EX2: timeout-BFW vs the Section-5 counterexamples ===\n\n");
 
@@ -81,7 +101,7 @@ int main(int argc, char** argv) {
     std::size_t ok = 0;
     const double median = median_stabilization(
         g, machine, machine.dead_configuration(n), trials, seed, 500,
-        200000, ok);
+        200000, threads, meter, ok);
     dead.add_row({support::table::num(static_cast<long long>(n)), "24",
                   std::to_string(ok) + "/" + std::to_string(trials),
                   ok ? support::table::num(median, 0) : "-"});
@@ -101,8 +121,9 @@ int main(int argc, char** argv) {
     initial[0] = core::timeout_bfw_machine::follower_beep;
     initial[n - 1] = core::timeout_bfw_machine::follower_frozen;
     std::size_t ok = 0;
-    const double median = median_stabilization(g, machine, initial, trials,
-                                               seed + 1, 500, 400000, ok);
+    const double median =
+        median_stabilization(g, machine, initial, trials, seed + 1, 500,
+                             400000, threads, meter, ok);
     phantom.add_row({support::table::num(static_cast<long long>(n)),
                      support::table::num(static_cast<long long>(t)),
                      t < n ? "yes" : "no",
@@ -120,31 +141,47 @@ int main(int argc, char** argv) {
   churn.set_title("(c) spurious reboots from an elected grid(5x5) "
                   "configuration");
   const auto g = graph::make_grid(5, 5);
-  for (const std::uint32_t t : {8U, 12U, 16U, 24U, 48U}) {
-    const core::timeout_bfw_machine machine(0.5, t);
+  // One long run per T; the runs are independent, so they fan out
+  // across the pool while the row order stays fixed.
+  const std::vector<std::uint32_t> patience = {8U, 12U, 16U, 24U, 48U};
+  struct churn_row {
+    std::uint64_t reboots = 0;
+    std::uint64_t single_rounds = 0;
+    std::uint64_t rounds_run = 0;
+  };
+  std::vector<churn_row> churn_rows(patience.size());
+  support::parallel_for(patience.size(), threads, [&](std::size_t i) {
+    const core::timeout_bfw_machine machine(0.5, patience[i]);
     beeping::fsm_protocol proto(machine);
     beeping::engine sim(g, proto, seed + 2);
     // Elect first.
     (void)sim.run_until_single_leader(200000);
-    std::uint64_t reboots = 0;
-    std::uint64_t single_rounds = 0;
     std::size_t previous = sim.leader_count();
     constexpr std::uint64_t span = 100000;
+    churn_row& row = churn_rows[i];
     for (std::uint64_t r = 0; r < span; ++r) {
       sim.step();
-      if (sim.leader_count() > previous) ++reboots;
-      if (sim.leader_count() == 1) ++single_rounds;
+      if (sim.leader_count() > previous) ++row.reboots;
+      if (sim.leader_count() == 1) ++row.single_rounds;
       previous = sim.leader_count();
     }
-    churn.add_row({support::table::num(static_cast<long long>(t)),
-                   support::table::num(static_cast<long long>(reboots)),
-                   support::table::num(static_cast<double>(single_rounds) /
-                                           static_cast<double>(span), 4)});
+    row.rounds_run = sim.round();
+  });
+  for (std::size_t i = 0; i < patience.size(); ++i) {
+    constexpr std::uint64_t span = 100000;
+    meter.add_run(churn_rows[i].rounds_run);
+    churn.add_row(
+        {support::table::num(static_cast<long long>(patience[i])),
+         support::table::num(static_cast<long long>(churn_rows[i].reboots)),
+         support::table::num(
+             static_cast<double>(churn_rows[i].single_rounds) /
+                 static_cast<double>(span), 4)});
   }
   std::printf("%s\n", churn.to_string().c_str());
   std::printf("the price of self-stabilization: O(T) states, knowledge of\n"
               "p (to size T), and a reboot churn that only vanishes as T\n"
               "grows - the paper's uniformity/simplicity trade-off made\n"
               "quantitative.\n");
+  std::printf("\n%s\n", meter.summary(threads).c_str());
   return 0;
 }

@@ -11,7 +11,8 @@
 //       constant p, but the constant degrades toward both endpoints.
 //
 //   ./build/bench/thm2_uniform_scaling [--trials 15] [--seed 2]
-//                                      [--max-d 64] [--csv out.csv]
+//                                      [--max-d 64] [--threads 0]
+//                                      [--csv out.csv]
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -28,6 +29,9 @@ int main(int argc, char** argv) {
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 15));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2));
   const auto max_d = static_cast<std::uint32_t>(args.get_int("max-d", 64));
+  const std::size_t threads = args.get_threads();
+  const analysis::run_options opts{threads};
+  analysis::throughput_meter meter;
 
   std::printf("=== E3: Theorem 2 - O(D^2 log n) for uniform BFW (p = 1/2) "
               "===\n\n");
@@ -42,7 +46,8 @@ int main(int argc, char** argv) {
     const auto inst = analysis::make_instance(graph::make_path(d + 1));
     const auto horizon = 16 * core::default_horizon(inst.g, inst.diameter);
     const auto stats = analysis::run_trials(inst.g, inst.diameter, algo,
-                                            trials, seed, horizon);
+                                            trials, seed, horizon, opts);
+    meter.add(stats);
     ds.push_back(d);
     medians.push_back(stats.rounds.median);
     sweep_d.add_row(
@@ -69,7 +74,8 @@ int main(int argc, char** argv) {
     const auto inst = analysis::make_instance(graph::make_star(n));
     const auto horizon = 16 * core::default_horizon(inst.g, inst.diameter);
     const auto stats = analysis::run_trials(inst.g, inst.diameter, algo,
-                                            trials, seed + 1, horizon);
+                                            trials, seed + 1, horizon, opts);
+    meter.add(stats);
     logns.push_back(std::log2(static_cast<double>(n)));
     medians_n.push_back(stats.rounds.median);
     sweep_n.add_row(
@@ -95,7 +101,8 @@ int main(int argc, char** argv) {
   for (const double p : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9}) {
     const auto stats = analysis::run_trials(
         grid.g, grid.diameter, analysis::make_bfw(p), trials, seed + 2,
-        16 * core::default_horizon(grid.g, grid.diameter));
+        16 * core::default_horizon(grid.g, grid.diameter), opts);
+    meter.add(stats);
     sweep_p.add_row({support::table::num(p, 2),
                      std::to_string(stats.converged) + "/" +
                          std::to_string(stats.trials),
@@ -104,6 +111,7 @@ int main(int argc, char** argv) {
                      support::table::num(stats.rounds.q95, 0)});
   }
   std::printf("%s", sweep_p.to_string().c_str());
+  std::printf("\n%s\n", meter.summary(threads).c_str());
 
   if (const auto csv = args.get("csv")) {
     if (support::write_text_file(*csv, sweep_d.to_csv())) {

@@ -7,7 +7,8 @@
 // running with 2x over/underestimates of D.
 //
 //   ./build/bench/thm3_known_diameter [--trials 15] [--seed 3]
-//                                     [--max-d 128] [--csv out.csv]
+//                                     [--max-d 128] [--threads 0]
+//                                     [--csv out.csv]
 #include <cstdio>
 #include <vector>
 
@@ -23,6 +24,9 @@ int main(int argc, char** argv) {
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 15));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
   const auto max_d = static_cast<std::uint32_t>(args.get_int("max-d", 128));
+  const std::size_t threads = args.get_threads();
+  const analysis::run_options opts{threads};
+  analysis::throughput_meter meter;
 
   std::printf("=== E4: Theorem 3 - O(D log n) with p = 1/(D+1) ===\n\n");
 
@@ -33,11 +37,14 @@ int main(int argc, char** argv) {
   for (std::uint32_t d = 8; d <= max_d; d *= 2) {
     const auto inst = analysis::make_instance(graph::make_path(d + 1));
     const auto horizon = 16 * core::default_horizon(inst.g, inst.diameter);
-    const auto uniform = analysis::run_trials(
-        inst.g, inst.diameter, analysis::make_bfw(0.5), trials, seed, horizon);
+    const auto uniform = analysis::run_trials(inst.g, inst.diameter,
+                                              analysis::make_bfw(0.5), trials,
+                                              seed, horizon, opts);
     const auto known = analysis::run_trials(
         inst.g, inst.diameter, analysis::make_bfw_known_diameter(d), trials,
-        seed, horizon);
+        seed, horizon, opts);
+    meter.add(uniform);
+    meter.add(known);
     ds.push_back(d);
     known_medians.push_back(known.rounds.median);
     sweep.add_row(
@@ -63,7 +70,9 @@ int main(int argc, char** argv) {
   for (const std::uint32_t assumed : {16U, 32U, 64U, 128U, 256U}) {
     const auto stats = analysis::run_trials(
         inst.g, inst.diameter, analysis::make_bfw_known_diameter(assumed),
-        trials, seed + 1, 32 * core::default_horizon(inst.g, inst.diameter));
+        trials, seed + 1, 32 * core::default_horizon(inst.g, inst.diameter),
+        opts);
+    meter.add(stats);
     approx.add_row({support::table::num(static_cast<long long>(assumed)),
                     "64",
                     std::to_string(stats.converged) + "/" +
@@ -74,6 +83,7 @@ int main(int argc, char** argv) {
   std::printf("%s", approx.to_string().c_str());
   std::printf("constant-factor mis-estimates shift the constant, not the "
               "convergence.\n");
+  std::printf("\n%s\n", meter.summary(threads).c_str());
 
   if (const auto csv = args.get("csv")) {
     if (support::write_text_file(*csv, sweep.to_csv())) {

@@ -10,11 +10,13 @@
 // an unbiased coin flip between the two ends.
 //
 //   ./build/bench/tightness_conjecture [--trials 20] [--seed 4]
-//                                      [--max-d 128] [--csv out.csv]
+//                                      [--max-d 128] [--threads 0]
+//                                      [--csv out.csv]
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
+#include "analysis/experiment.hpp"
 #include "analysis/wave_tracker.hpp"
 #include "beeping/engine.hpp"
 #include "core/adversarial.hpp"
@@ -31,6 +33,8 @@ int main(int argc, char** argv) {
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 20));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 4));
   const auto max_d = static_cast<std::uint32_t>(args.get_int("max-d", 128));
+  const std::size_t threads = args.get_threads();
+  analysis::throughput_meter meter;
 
   std::printf("=== E8: Section 5 conjecture - two leaders on a path die in "
               "Theta(D^2) ===\n\n");
@@ -45,13 +49,17 @@ int main(int argc, char** argv) {
     const auto g = graph::make_path(n);
     const auto horizon = 64ULL * d * d *
                          (4 + static_cast<std::uint64_t>(std::log2(n)));
+    const auto outcomes = analysis::map_trials(
+        trials, seed * 131 + d, threads,
+        [&](std::size_t /*trial*/, std::uint64_t trial_seed) {
+          return core::run_bfw_election_from(
+              g, 0.5, core::two_leaders_at_path_ends(n), trial_seed,
+              horizon);
+        });
     std::vector<double> rounds;
     std::size_t left_wins = 0;
-    support::rng seeder(seed * 131 + d);
-    for (std::size_t trial = 0; trial < trials; ++trial) {
-      const auto outcome = core::run_bfw_election_from(
-          g, 0.5, core::two_leaders_at_path_ends(n), seeder.next_u64(),
-          horizon);
+    for (const auto& outcome : outcomes) {
+      meter.add_run(outcome.rounds);
       rounds.push_back(static_cast<double>(
           outcome.converged ? outcome.rounds : horizon));
       if (outcome.converged && outcome.leader == 0) ++left_wins;
@@ -91,29 +99,46 @@ int main(int argc, char** argv) {
     std::vector<std::size_t> msd_count(max_lag + 1, 0);
     double drift_sum = 0.0;
     std::size_t drift_count = 0;
-    support::rng seeder(seed * 977);
-    for (std::size_t trial = 0; trial < trials; ++trial) {
-      const core::bfw_machine machine(0.5);
-      beeping::fsm_protocol proto(machine);
-      beeping::engine sim(g, proto, seeder.next_u64());
-      proto.set_states(core::two_leaders_at_path_ends(n));
-      sim.restart_from_protocol();
-      analysis::wave_crash_tracker tracker(proto);
-      sim.add_observer(&tracker);
-      (void)sim.run_until_single_leader(4000000);
+    struct microscope_trial {
+      std::vector<double> msd;
+      std::size_t crashes = 0;
+      double drift_sum = 0.0;
+      std::size_t drift_count = 0;
+      std::uint64_t rounds = 0;
+    };
+    const auto runs = analysis::map_trials(
+        trials, seed * 977, threads,
+        [&](std::size_t /*trial*/, std::uint64_t trial_seed) {
+          const core::bfw_machine machine(0.5);
+          beeping::fsm_protocol proto(machine);
+          beeping::engine sim(g, proto, trial_seed);
+          proto.set_states(core::two_leaders_at_path_ends(n));
+          sim.restart_from_protocol();
+          analysis::wave_crash_tracker tracker(proto);
+          sim.add_observer(&tracker);
+          (void)sim.run_until_single_leader(4000000);
 
-      const auto& crashes = tracker.crashes();
-      const auto msd = analysis::mean_squared_displacement(crashes, max_lag);
+          const auto& crashes = tracker.crashes();
+          microscope_trial result;
+          result.msd = analysis::mean_squared_displacement(crashes, max_lag);
+          result.crashes = crashes.size();
+          for (std::size_t i = 1; i < crashes.size(); ++i) {
+            result.drift_sum += crashes[i].position - crashes[i - 1].position;
+            ++result.drift_count;
+          }
+          result.rounds = sim.round();
+          return result;
+        });
+    for (const microscope_trial& run : runs) {
+      meter.add_run(run.rounds);
       for (std::size_t lag = 1; lag <= max_lag; ++lag) {
-        if (crashes.size() > lag) {
-          msd_sum[lag] += msd[lag];
+        if (run.crashes > lag) {
+          msd_sum[lag] += run.msd[lag];
           ++msd_count[lag];
         }
       }
-      for (std::size_t i = 1; i < crashes.size(); ++i) {
-        drift_sum += crashes[i].position - crashes[i - 1].position;
-        ++drift_count;
-      }
+      drift_sum += run.drift_sum;
+      drift_count += run.drift_count;
     }
     for (std::size_t lag = 1; lag <= max_lag; ++lag) {
       if (msd_count[lag] == 0) continue;
@@ -135,6 +160,7 @@ int main(int argc, char** argv) {
     std::printf("diffusive (linear-in-lag) MSD with ~zero drift = the "
                 "random-walk picture behind the D^2 conjecture.\n");
   }
+  std::printf("\n%s\n", meter.summary(threads).c_str());
 
   if (const auto csv = args.get("csv")) {
     if (support::write_text_file(*csv, sweep.to_csv())) {

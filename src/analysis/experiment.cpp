@@ -1,5 +1,7 @@
 #include "analysis/experiment.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "baselines/clique_lottery.hpp"
@@ -11,6 +13,71 @@
 namespace beepkit::analysis {
 
 namespace {
+
+/// One executed trial: the deterministic outcome plus its (timing-only)
+/// duration.
+struct trial_record {
+  core::election_outcome outcome;
+  double seconds = 0.0;
+};
+
+trial_record execute_trial(const graph::graph& g, const algorithm& algo,
+                           std::uint64_t trial_seed,
+                           std::uint64_t max_rounds) {
+  const auto start = std::chrono::steady_clock::now();
+  trial_record record;
+  record.outcome = algo.run(g, trial_seed, max_rounds);
+  record.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return record;
+}
+
+/// Folds per-trial records in trial order. This is the exact
+/// arithmetic of the historical serial loop, so a parallel run (which
+/// only reorders *execution*, never aggregation) stays bit-identical.
+trial_stats aggregate(const graph::graph& g, std::uint32_t diameter,
+                      const algorithm& algo,
+                      std::span<const trial_record> records,
+                      std::uint64_t max_rounds) {
+  trial_stats stats;
+  stats.algorithm_name = algo.name;
+  stats.graph_name = g.name();
+  stats.node_count = g.node_count();
+  stats.diameter = diameter;
+  stats.trials = records.size();
+
+  std::vector<double> rounds;
+  rounds.reserve(records.size());
+  double coin_rate_sum = 0.0;
+  for (const trial_record& record : records) {
+    const auto& outcome = record.outcome;
+    if (outcome.converged) ++stats.converged;
+    const double r = static_cast<double>(
+        outcome.converged ? outcome.rounds : max_rounds);
+    rounds.push_back(r);
+    const double node_rounds =
+        static_cast<double>(g.node_count()) * std::max(1.0, r);
+    coin_rate_sum += static_cast<double>(outcome.total_coins) / node_rounds;
+    stats.total_rounds += outcome.rounds;
+    stats.busy_seconds += record.seconds;
+  }
+  stats.rounds = support::summarize(rounds);
+  stats.mean_coins_per_node_round =
+      coin_rate_sum /
+      static_cast<double>(std::max<std::size_t>(1, records.size()));
+  return stats;
+}
+
+std::vector<std::uint64_t> derive_seeds(std::uint64_t seed,
+                                        std::size_t trials) {
+  std::vector<std::uint64_t> seeds(trials);
+  support::rng seeder(seed);
+  for (auto& trial_seed : seeds) {
+    trial_seed = seeder.next_u64();
+  }
+  return seeds;
+}
 
 core::election_outcome run_protocol(const graph::graph& g,
                                     beeping::protocol& proto,
@@ -76,32 +143,81 @@ algorithm make_clique_lottery(double epsilon) {
 
 trial_stats run_trials(const graph::graph& g, std::uint32_t diameter,
                        const algorithm& algo, std::size_t trials,
-                       std::uint64_t seed, std::uint64_t max_rounds) {
-  trial_stats stats;
-  stats.algorithm_name = algo.name;
-  stats.graph_name = g.name();
-  stats.node_count = g.node_count();
-  stats.diameter = diameter;
-  stats.trials = trials;
+                       std::uint64_t seed, std::uint64_t max_rounds,
+                       const run_options& opts) {
+  const auto seeds = derive_seeds(seed, trials);
+  std::vector<trial_record> records(trials);
+  support::parallel_for(trials, opts.threads, [&](std::size_t trial) {
+    records[trial] = execute_trial(g, algo, seeds[trial], max_rounds);
+  });
+  return aggregate(g, diameter, algo, records, max_rounds);
+}
 
-  std::vector<double> rounds;
-  rounds.reserve(trials);
-  double coin_rate_sum = 0.0;
-  support::rng seeder(seed);
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    const auto outcome = algo.run(g, seeder.next_u64(), max_rounds);
-    if (outcome.converged) ++stats.converged;
-    const double r = static_cast<double>(
-        outcome.converged ? outcome.rounds : max_rounds);
-    rounds.push_back(r);
-    const double node_rounds =
-        static_cast<double>(g.node_count()) * std::max(1.0, r);
-    coin_rate_sum += static_cast<double>(outcome.total_coins) / node_rounds;
+std::vector<trial_stats> run_matrix(std::span<const matrix_cell> cells,
+                                    const run_options& opts) {
+  // Flatten every (cell, trial) pair into one work list so a slow cell
+  // never leaves workers idle while cheap cells wait their turn.
+  struct work_item {
+    std::size_t cell = 0;
+    std::size_t trial = 0;
+  };
+  std::vector<std::vector<std::uint64_t>> seeds(cells.size());
+  std::vector<std::vector<trial_record>> records(cells.size());
+  std::vector<work_item> items;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    seeds[c] = derive_seeds(cells[c].seed, cells[c].trials);
+    records[c].resize(cells[c].trials);
+    for (std::size_t t = 0; t < cells[c].trials; ++t) {
+      items.push_back({c, t});
+    }
   }
-  stats.rounds = support::summarize(rounds);
-  stats.mean_coins_per_node_round =
-      coin_rate_sum / static_cast<double>(std::max<std::size_t>(1, trials));
-  return stats;
+  support::parallel_for(items.size(), opts.threads, [&](std::size_t i) {
+    const auto [c, t] = items[i];
+    const matrix_cell& cell = cells[c];
+    records[c][t] =
+        execute_trial(cell.inst->g, cell.algo, seeds[c][t], cell.max_rounds);
+  });
+  std::vector<trial_stats> results;
+  results.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const matrix_cell& cell = cells[c];
+    results.push_back(aggregate(cell.inst->g, cell.inst->diameter, cell.algo,
+                                records[c], cell.max_rounds));
+  }
+  return results;
+}
+
+throughput_meter::throughput_meter()
+    : start_(std::chrono::steady_clock::now()) {}
+
+void throughput_meter::add(const trial_stats& stats) {
+  trials_ += stats.trials;
+  rounds_ += stats.total_rounds;
+  busy_seconds_ += stats.busy_seconds;
+}
+
+std::string throughput_meter::summary(std::size_t threads) const {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::ostringstream out;
+  out.precision(4);
+  out << "throughput: ";
+  if (wall > 0.0) {
+    out << static_cast<double>(trials_) / wall << " trials/s, "
+        << static_cast<double>(rounds_) / wall << " rounds/s";
+  } else {
+    out << "n/a";
+  }
+  out << " (" << trials_ << " trials, " << rounds_ << " rounds, ";
+  out.precision(3);
+  // add_run() has no per-trial timing, so busy time may be untracked.
+  if (busy_seconds_ > 0.0) {
+    out << busy_seconds_ << " s busy over ";
+  }
+  out << wall << " s wall, " << threads
+      << (threads == 1 ? " thread)" : " threads)");
+  return out.str();
 }
 
 instance make_instance(graph::graph g, std::size_t exact_limit) {

@@ -5,13 +5,18 @@
 // the Section-5 experiments all share trial mechanics.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/convergence.hpp"
 #include "graph/graph.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
 #include "support/stats.hpp"
 
 namespace beepkit::analysis {
@@ -48,14 +53,36 @@ struct trial_stats {
   std::size_t converged = 0;
   support::summary rounds;       ///< Convergence rounds (horizon-capped).
   double mean_coins_per_node_round = 0.0;  ///< Fair-coin rate (E10).
+  // Throughput accounting (timing only - never part of the
+  // reproducibility contract; everything above is bit-identical for a
+  // given root seed regardless of thread count). Rates are derived at
+  // the display layer (throughput_meter) from wall time, where they
+  // reflect the parallelism actually delivered.
+  std::uint64_t total_rounds = 0;  ///< Simulated rounds across all trials.
+  double busy_seconds = 0.0;       ///< Sum of per-trial durations.
+};
+
+/// Execution knobs for the trial runners. `threads == 1` runs inline
+/// on the calling thread (the reference serial path); `threads == 0`
+/// uses one worker per hardware thread.
+struct run_options {
+  std::size_t threads = 1;
 };
 
 /// Runs `trials` independent elections (seeds derived from `seed`).
+///
+/// Reproducibility contract: every statistical field of the result is
+/// bit-identical for a given (g, algo, trials, seed, max_rounds)
+/// regardless of `opts.threads`. Per-trial seeds are derived serially
+/// up front, each trial is deterministic in (graph, seed) with its own
+/// generators, and aggregation happens in trial order after the join
+/// barrier (coin counts included - no shared mutable accounting).
 [[nodiscard]] trial_stats run_trials(const graph::graph& g,
                                      std::uint32_t diameter,
                                      const algorithm& algo,
                                      std::size_t trials, std::uint64_t seed,
-                                     std::uint64_t max_rounds);
+                                     std::uint64_t max_rounds,
+                                     const run_options& opts = {});
 
 /// A (graph, diameter) test instance; diameter is computed once.
 struct instance {
@@ -67,5 +94,77 @@ struct instance {
 /// beyond) and bundles it with the graph.
 [[nodiscard]] instance make_instance(graph::graph g,
                                      std::size_t exact_limit = 4096);
+
+/// One (instance, algorithm) cell of an experiment matrix. `inst` is
+/// non-owning and must outlive the run_matrix call.
+struct matrix_cell {
+  const instance* inst = nullptr;
+  algorithm algo;
+  std::size_t trials = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t max_rounds = 0;
+};
+
+/// Runs every trial of every cell through one worker pool, so slow
+/// cells (big graphs, horizon-bound runs) cannot serialize the sweep.
+/// result[i] has the same statistical fields as
+/// run_trials(*cells[i].inst, ..., cells[i].seed, ...) - cell batching
+/// never changes any number.
+[[nodiscard]] std::vector<trial_stats> run_matrix(
+    std::span<const matrix_cell> cells, const run_options& opts = {});
+
+/// Derives one seed per trial from `seed` - the exact sequence
+/// `support::rng(seed).next_u64()` that the serial bench loops use -
+/// and maps fn(trial_index, trial_seed) across `threads` workers.
+/// Results come back in trial order, so any order-dependent
+/// aggregation done by the caller matches the serial loop bit for bit.
+/// Fn must be safe to call concurrently for distinct trials (own your
+/// generators; see support/parallel.hpp).
+template <typename Fn>
+[[nodiscard]] auto map_trials(std::size_t trials, std::uint64_t seed,
+                              std::size_t threads, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t, std::uint64_t>> {
+  using result_type = std::invoke_result_t<Fn&, std::size_t, std::uint64_t>;
+  std::vector<std::uint64_t> seeds(trials);
+  support::rng seeder(seed);
+  for (auto& trial_seed : seeds) {
+    trial_seed = seeder.next_u64();
+  }
+  std::vector<result_type> results(trials);
+  support::parallel_for(trials, threads, [&](std::size_t trial) {
+    results[trial] = fn(trial, seeds[trial]);
+  });
+  return results;
+}
+
+/// Accumulates the timing fields of trial_stats batches and renders
+/// the one-line throughput summary the bench binaries print, e.g.
+/// "throughput: 812.5 trials/s, 1.42e+06 rounds/s (96 trials, ...)".
+/// Rates use wall time from construction to summary(), so they reflect
+/// the speedup actually delivered by `threads` workers.
+class throughput_meter {
+ public:
+  throughput_meter();
+
+  void add(const trial_stats& stats);
+
+  /// For bespoke trial loops that bypass run_trials: one simulation of
+  /// `rounds` rounds.
+  void add_run(std::uint64_t rounds) noexcept {
+    ++trials_;
+    rounds_ += rounds;
+  }
+
+  [[nodiscard]] std::size_t trials() const noexcept { return trials_; }
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+
+  [[nodiscard]] std::string summary(std::size_t threads) const;
+
+ private:
+  std::size_t trials_ = 0;
+  std::uint64_t rounds_ = 0;
+  double busy_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace beepkit::analysis

@@ -1,8 +1,27 @@
 #include "beeping/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace beepkit::beeping {
+
+namespace {
+
+constexpr std::size_t word_count(std::size_t n) noexcept {
+  return (n + 63) / 64;
+}
+
+constexpr bool test_bit(const std::vector<std::uint64_t>& words,
+                        graph::node_id u) noexcept {
+  return (words[u >> 6] >> (u & 63)) & 1ULL;
+}
+
+constexpr void set_bit(std::vector<std::uint64_t>& words,
+                       graph::node_id u) noexcept {
+  words[u >> 6] |= 1ULL << (u & 63);
+}
+
+}  // namespace
 
 engine::engine(const graph::graph& g, protocol& proto, std::uint64_t seed)
     : engine(g, proto, seed, noise_model{}) {}
@@ -21,7 +40,8 @@ engine::engine(const graph::graph& g, protocol& proto, std::uint64_t seed,
     noise_rngs_ = support::make_node_streams(seed ^ 0x6e015eULL, n);
   }
   beeping_.assign(n, 0);
-  heard_.assign(n, 0);
+  beep_words_.assign(word_count(n), 0);
+  heard_words_.assign(word_count(n), 0);
   beep_counts_.assign(n, 0);
   refresh_round_state();
 }
@@ -34,10 +54,18 @@ void engine::add_observer(observer* obs) {
 void engine::refresh_round_state() {
   const std::size_t n = g_->node_count();
   leader_count_ = 0;
+  beeper_count_ = 0;
+  beeper_degree_sum_ = 0;
+  std::fill(beep_words_.begin(), beep_words_.end(), 0);
   for (graph::node_id u = 0; u < n; ++u) {
     const bool beeps = proto_->beeping(u);
     beeping_[u] = beeps ? 1 : 0;
-    if (beeps) ++beep_counts_[u];
+    if (beeps) {
+      ++beep_counts_[u];
+      set_bit(beep_words_, u);
+      ++beeper_count_;
+      beeper_degree_sum_ += g_->degree(u);
+    }
     if (proto_->is_leader(u)) ++leader_count_;
   }
 }
@@ -65,9 +93,105 @@ void engine::restart_from_protocol() {
   }
 }
 
-void engine::step() {
+// Push sweep: enumerate the beepers via the packed words and OR each
+// one's beep into its neighbors' heard bits. Cost ~ sum of beeper
+// degrees - a big win late in an election when almost nobody beeps.
+void engine::gather_heard_push() {
+  for (std::size_t w = 0; w < beep_words_.size(); ++w) {
+    std::uint64_t bits = beep_words_[w];
+    while (bits != 0) {
+      const auto u = static_cast<graph::node_id>(
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      for (graph::node_id v : g_->neighbors(u)) {
+        set_bit(heard_words_, v);
+      }
+    }
+  }
+}
+
+// Pull sweep: each silent node scans its adjacency against the packed
+// beep set with an early exit - a big win when beeps are dense (on a
+// clique the first probed neighbor almost always beeps).
+void engine::gather_heard_pull() {
   const std::size_t n = g_->node_count();
+  for (graph::node_id u = 0; u < n; ++u) {
+    if (test_bit(heard_words_, u)) continue;  // beeps itself
+    for (graph::node_id v : g_->neighbors(u)) {
+      if (test_bit(beep_words_, v)) {
+        set_bit(heard_words_, u);
+        break;
+      }
+    }
+  }
+}
+
+// Reception noise redraws every silent node's verdict from its own
+// dedicated stream (exactly one draw per silent node, in node order,
+// matching the scalar reference draw for draw).
+void engine::apply_noise() {
+  const std::size_t n = g_->node_count();
+  for (graph::node_id u = 0; u < n; ++u) {
+    if (test_bit(beep_words_, u)) continue;  // own beep is never corrupted
+    const bool neighbor_beeped = test_bit(heard_words_, u);
+    bool heard;
+    if (neighbor_beeped) {
+      heard = !noise_rngs_[u].bernoulli(noise_.miss);
+    } else {
+      heard = noise_rngs_[u].bernoulli(noise_.hallucinate);
+    }
+    const std::uint64_t mask = 1ULL << (u & 63);
+    if (heard) {
+      heard_words_[u >> 6] |= mask;
+    } else {
+      heard_words_[u >> 6] &= ~mask;
+    }
+  }
+}
+
+// Phase 2 + bookkeeping shared by step() and step_reference(); expects
+// heard_words_ to hold the delta_top set for the current round.
+void engine::finish_step() {
+  const std::size_t n = g_->node_count();
+  for (graph::node_id u = 0; u < n; ++u) {
+    proto_->step(u, test_bit(heard_words_, u), rngs_[u]);
+  }
+  ++round_;
+  refresh_round_state();
+  if (!observers_.empty()) {
+    const round_view view = make_view();
+    for (observer* obs : observers_) {
+      obs->on_round(view);
+    }
+  }
+}
+
+void engine::step() {
   // Phase 1: a node applies delta_top iff it beeped or a neighbor did.
+  // Seed the heard set with the beep set (a beeper always "hears").
+  std::copy(beep_words_.begin(), beep_words_.end(), heard_words_.begin());
+  // Push costs ~sum of beeper degrees; pull costs at most one probe
+  // per arc but usually far less thanks to the early exit. The factor
+  // 4 biases toward pull on dense beep sets, where early exits make
+  // probes nearly free; either sweep yields the same set.
+  const std::size_t arc_count = 2 * g_->edge_count();
+  if (beeper_degree_sum_ * 4 <= arc_count) {
+    gather_heard_push();
+  } else {
+    gather_heard_pull();
+  }
+  if (noise_.enabled()) {
+    apply_noise();
+  }
+  // Phase 2: simultaneous transitions (the heard set is frozen above).
+  finish_step();
+}
+
+void engine::step_reference() {
+  const std::size_t n = g_->node_count();
+  // The original scalar loop, kept verbatim in behavior: per-node
+  // neighbor scan over byte flags, writing the packed heard set.
+  std::fill(heard_words_.begin(), heard_words_.end(), 0);
   for (graph::node_id u = 0; u < n; ++u) {
     bool heard = beeping_[u] != 0;
     if (!heard) {
@@ -89,20 +213,9 @@ void engine::step() {
         }
       }
     }
-    heard_[u] = heard ? 1 : 0;
+    if (heard) set_bit(heard_words_, u);
   }
-  // Phase 2: simultaneous transitions (beep flags are frozen above).
-  for (graph::node_id u = 0; u < n; ++u) {
-    proto_->step(u, heard_[u] != 0, rngs_[u]);
-  }
-  ++round_;
-  refresh_round_state();
-  if (!observers_.empty()) {
-    const round_view view = make_view();
-    for (observer* obs : observers_) {
-      obs->on_round(view);
-    }
-  }
+  finish_step();
 }
 
 run_result engine::run_until_single_leader(std::uint64_t max_rounds) {

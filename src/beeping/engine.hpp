@@ -9,6 +9,16 @@
 // Randomness: node u draws from its own substream seed->substream(u),
 // making every run deterministic in (graph, protocol, seed) and
 // independent of node iteration order.
+//
+// Hot loop: the beep set B_t and the heard set are kept bit-packed
+// (one std::uint64_t word per 64 nodes). Each round the heard set is
+// built by OR-gathering over the CSR adjacency, choosing per round
+// between a push sweep (enumerate beepers, OR their neighbor bits -
+// cheap when few nodes beep) and a pull sweep (per-node early-exit
+// scan against the packed beep set - cheap when beeps are dense).
+// Both sweeps compute the same set, so the choice never affects
+// results; `step_reference()` keeps the original scalar byte-array
+// path alive for differential tests and benchmarks.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +74,12 @@ class engine {
   /// Executes one synchronous round transition (round t -> t+1).
   void step();
 
+  /// The pre-bit-packing scalar implementation of `step()`: per-node
+  /// byte flags and a plain neighbor loop. Bit-identical in outcome to
+  /// `step()` (the packed path must match it on every graph/seed);
+  /// kept as the differential-testing and benchmarking reference.
+  void step_reference();
+
   /// Re-reads the protocol's current per-node states as a fresh round-0
   /// configuration: the round counter and beep counts restart. Call
   /// after injecting an explicit configuration (e.g. the Section-5
@@ -108,6 +124,11 @@ class engine {
     return beeping_;
   }
 
+  /// Packed beep set: bit u of word u/64 is set iff u in B_t.
+  [[nodiscard]] std::span<const std::uint64_t> beep_words() const noexcept {
+    return beep_words_;
+  }
+
   /// Total fair coins consumed by all nodes so far (Section 1.3: with
   /// p = 1/2 a waiting leader consumes exactly one coin per round).
   [[nodiscard]] std::uint64_t total_coins_consumed() const noexcept;
@@ -117,6 +138,10 @@ class engine {
 
  private:
   void refresh_round_state();
+  void gather_heard_push();
+  void gather_heard_pull();
+  void apply_noise();
+  void finish_step();
   [[nodiscard]] round_view make_view() const;
 
   const graph::graph* g_;
@@ -125,11 +150,14 @@ class engine {
   std::vector<support::rng> noise_rngs_;  // empty unless noise enabled
   noise_model noise_;
   std::vector<std::uint8_t> beeping_;
-  std::vector<std::uint8_t> heard_;
+  std::vector<std::uint64_t> beep_words_;   // packed B_t
+  std::vector<std::uint64_t> heard_words_;  // packed delta_top set
   std::vector<std::uint64_t> beep_counts_;
   std::vector<observer*> observers_;
   std::uint64_t round_ = 0;
   std::size_t leader_count_ = 0;
+  std::size_t beeper_count_ = 0;       // |B_t|
+  std::size_t beeper_degree_sum_ = 0;  // sum of deg(u) over B_t
 };
 
 }  // namespace beepkit::beeping

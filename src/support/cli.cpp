@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "support/parallel.hpp"
+
 namespace beepkit::support {
 
 cli::cli(int argc, const char* const* argv) {
@@ -55,6 +57,10 @@ bool cli::get_bool(const std::string& name, bool fallback) const {
   const auto value = get(name);
   if (!value) return fallback;
   return *value == "true" || *value == "1" || *value == "yes";
+}
+
+std::size_t cli::get_threads(std::int64_t fallback) const {
+  return resolve_threads(get_int("threads", fallback));
 }
 
 std::vector<std::string> cli::unused() const {

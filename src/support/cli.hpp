@@ -5,6 +5,7 @@
 // handful of numeric knobs (sizes, seeds, trial counts, --csv paths).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -30,6 +31,11 @@ class cli {
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Worker count for the parallel trial runner: `--threads N`, where
+  /// N = 0 (and the flag's absence, with the default fallback of 0)
+  /// means one worker per hardware thread. Always returns >= 1.
+  [[nodiscard]] std::size_t get_threads(std::int64_t fallback = 0) const;
 
   /// Flags that were present but never queried with one of the getters;
   /// useful for catching typos in sweep scripts.

@@ -1,0 +1,81 @@
+// Small thread-pool executor for the experiment layer.
+//
+// Design goals, in order: (1) determinism of callers must be easy -
+// the pool never decides *what* a work item computes, only *when* it
+// runs, so a caller that pre-derives all randomness and writes results
+// into per-index slots gets bit-identical output for any thread count;
+// (2) dynamic load balancing - Monte-Carlo trials have wildly varying
+// durations (a stuck election runs to the horizon), so indices are
+// claimed from a shared atomic counter rather than pre-chunked;
+// (3) zero dependencies beyond <thread>.
+//
+// Thread-safety contract for RNG/coin accounting (see support/rng.hpp):
+// an `rng` is NOT thread-safe; every parallel work item must own its
+// generators, and per-trial coin counts are summed by the caller after
+// the join barrier - never through shared mutable state.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace beepkit::support {
+
+/// Resolves a user-facing `--threads` value: 0 means "one per hardware
+/// thread", anything else is clamped to at least 1.
+[[nodiscard]] std::size_t resolve_threads(std::int64_t requested) noexcept;
+
+/// Fixed-size pool of worker threads with a shared task queue.
+/// Tasks are `void()` closures; `wait_idle` is the join barrier.
+class thread_pool {
+ public:
+  /// Spawns `threads` workers (0 = hardware concurrency). A pool with
+  /// one worker still runs tasks off the calling thread, which keeps
+  /// the execution model uniform; use `parallel_for` with threads == 1
+  /// for a true inline serial path.
+  explicit thread_pool(std::size_t threads = 0);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a task. Tasks must not submit to the same pool and then
+  /// block on wait_idle (no recursive joins).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle. If any
+  /// task threw, rethrows the first exception (by submission-drain
+  /// order) here.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::vector<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for every i in [0, count). With threads <= 1 this is a
+/// plain inline loop (no pool, no atomics); otherwise indices are
+/// claimed dynamically by `threads` workers. The body must be safe to
+/// call concurrently for distinct indices; the call returns after all
+/// indices completed (join barrier) and rethrows the first exception
+/// any body raised.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace beepkit::support

@@ -10,6 +10,13 @@
 // which hashes (state, stream-id) through splitmix64, so results do not
 // depend on node iteration order and streams are statistically
 // independent for all practical purposes.
+//
+// Thread-safety contract: an `rng` (its state *and* its coin account)
+// is plain mutable data - never share one across threads. The parallel
+// trial runner gives every trial its own generators and aggregates
+// coin counts per trial after the join barrier (summing
+// `coins_consumed()` of finished trials in trial order), so the
+// accounting needs no atomics and stays bit-identical to a serial run.
 #pragma once
 
 #include <array>
