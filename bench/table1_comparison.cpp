@@ -9,19 +9,29 @@
 // closing as the diameter shrinks; the clique lottery only functions
 // on single-hop networks.
 //
+// Scale-out: the Part-B sweep runs on the sharded streaming sweep
+// subsystem. `--shard i/N` executes only this process's (start,
+// stride) slice, `--jsonl out.jsonl` streams one record per trial
+// (crash-resumable with --resume), and `sweep_merge` reassembles the
+// exact single-process statistics from the per-shard files.
+//
 //   ./build/bench/table1_comparison [--n 64] [--trials 15] [--seed 1]
 //                                   [--threads 0] [--csv out.csv]
+//                                   [--shard i/N] [--jsonl out.jsonl]
+//                                   [--resume]
 #include <cstdio>
+#include <exception>
 #include <vector>
 
 #include "analysis/experiment.hpp"
 #include "graph/generators.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
+#include "sweep/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace beepkit;
-  const support::cli args(argc, argv);
+  const support::cli args(argc, argv, {"resume"});
   const auto n = static_cast<std::size_t>(args.get_int("n", 64));
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 15));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
@@ -63,8 +73,10 @@ int main(int argc, char** argv) {
   results.set_title("Part B - measured convergence rounds (" +
                     std::to_string(trials) + " trials each)");
 
-  // Every (graph, algorithm) cell goes through one worker pool: a
-  // horizon-bound cell cannot serialize the whole table.
+  // Every (graph, algorithm) cell goes through the streaming sweep
+  // executor: one worker pool (a horizon-bound cell cannot serialize
+  // the whole table), a lazy (cell, trial) work source, and - when
+  // sharded - only this process's (start, stride) slice of the units.
   analysis::throughput_meter meter;
   std::vector<analysis::matrix_cell> cells;
   for (const auto& inst : instances) {
@@ -81,8 +93,16 @@ int main(int argc, char** argv) {
       cells.push_back({&inst, std::move(algo), trials, seed + 17, horizon});
     }
   }
-  const auto all_stats =
-      analysis::run_matrix(cells, analysis::run_options{threads});
+  sweep::spec sweep_spec{"table1_comparison", std::move(cells)};
+  const sweep::options sweep_opts = sweep::options_from_cli(args);
+  sweep::shard_result sweep_result;
+  try {
+    sweep_result = sweep::run(sweep_spec, sweep_opts);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "table1_comparison: %s\n", error.what());
+    return 1;
+  }
+  const auto& all_stats = sweep_result.cells;
   for (const auto& stats : all_stats) {
     meter.add(stats);
     results.add_row({stats.graph_name,
@@ -97,6 +117,9 @@ int main(int argc, char** argv) {
                      support::table::num(stats.mean_coins_per_node_round, 3)});
   }
   std::printf("%s\n", results.to_string().c_str());
+  const std::string sweep_note =
+      sweep::describe_result(sweep_result, sweep_opts);
+  if (!sweep_note.empty()) std::printf("%s\n", sweep_note.c_str());
   std::printf("%s\n", meter.summary(threads).c_str());
   std::printf("expected shape: IdBroadcast <= BFW(1/(D+1)) < BFW(1/2) on\n"
               "high-diameter graphs; near-parity on the clique; the lottery\n"

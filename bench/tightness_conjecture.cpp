@@ -9,11 +9,20 @@
 // slope of the median elimination time vs D is ~2, and the survivor is
 // an unbiased coin flip between the two ends.
 //
+// Scale-out: the Part-1 sweep runs on the sharded streaming sweep
+// subsystem (`--shard i/N`, `--jsonl out.jsonl`, `--resume`; merge
+// shard files with sweep_merge). The survivor split is accumulated
+// through the executor's per-trial hook, since "which endpoint won"
+// is not part of the standard aggregates.
+//
 //   ./build/bench/tightness_conjecture [--trials 20] [--seed 4]
 //                                      [--max-d 128] [--threads 0]
-//                                      [--csv out.csv]
+//                                      [--csv out.csv] [--shard i/N]
+//                                      [--jsonl out.jsonl] [--resume]
 #include <cmath>
 #include <cstdio>
+#include <deque>
+#include <exception>
 #include <vector>
 
 #include "analysis/experiment.hpp"
@@ -26,10 +35,11 @@
 #include "support/cli.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
+#include "sweep/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace beepkit;
-  const support::cli args(argc, argv);
+  const support::cli args(argc, argv, {"resume"});
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 20));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 4));
   const auto max_d = static_cast<std::uint32_t>(args.get_int("max-d", 128));
@@ -39,43 +49,76 @@ int main(int argc, char** argv) {
   std::printf("=== E8: Section 5 conjecture - two leaders on a path die in "
               "Theta(D^2) ===\n\n");
 
-  support::table sweep({"D", "median", "mean", "p95", "median/D^2",
-                        "left wins"});
-  sweep.set_title("Two leaders at path ends, p = 1/2 (" +
-                  std::to_string(trials) + " trials)");
-  std::vector<double> ds, medians;
+  support::table sweep_table({"D", "median", "mean", "p95", "median/D^2",
+                              "left wins"});
+  sweep_table.set_title("Two leaders at path ends, p = 1/2 (" +
+                        std::to_string(trials) + " trials)");
+
+  // Uniform BFW started from the Eq. 2-compliant two-leader
+  // configuration; deterministic in (graph, seed) like every sweep
+  // algorithm, so it shards and resumes like the standard cells.
+  const analysis::algorithm two_leader_algo{
+      "BFW(p=0.5, two leaders at path ends)",
+      [](const graph::graph& g, std::uint64_t trial_seed,
+         std::uint64_t max_rounds) {
+        return core::run_bfw_election_from(
+            g, 0.5, core::two_leaders_at_path_ends(g.node_count()),
+            trial_seed, max_rounds);
+      }};
+
+  std::deque<analysis::instance> instances;
+  std::vector<analysis::matrix_cell> cells;
+  std::vector<double> ds;
   for (std::uint32_t d = 8; d <= max_d; d *= 2) {
     const std::size_t n = d + 1;
-    const auto g = graph::make_path(n);
+    instances.push_back(analysis::make_instance(graph::make_path(n)));
     const auto horizon = 64ULL * d * d *
                          (4 + static_cast<std::uint64_t>(std::log2(n)));
-    const auto outcomes = analysis::map_trials(
-        trials, seed * 131 + d, threads,
-        [&](std::size_t /*trial*/, std::uint64_t trial_seed) {
-          return core::run_bfw_election_from(
-              g, 0.5, core::two_leaders_at_path_ends(n), trial_seed,
-              horizon);
-        });
-    std::vector<double> rounds;
-    std::size_t left_wins = 0;
-    for (const auto& outcome : outcomes) {
-      meter.add_run(outcome.rounds);
-      rounds.push_back(static_cast<double>(
-          outcome.converged ? outcome.rounds : horizon));
-      if (outcome.converged && outcome.leader == 0) ++left_wins;
-    }
-    const auto s = support::summarize(rounds);
+    cells.push_back(
+        {&instances.back(), two_leader_algo, trials, seed * 131 + d,
+         horizon});
     ds.push_back(d);
-    medians.push_back(s.median);
-    sweep.add_row({support::table::num(static_cast<long long>(d)),
-                   support::table::num(s.median, 0),
-                   support::table::num(s.mean, 1),
-                   support::table::num(s.q95, 0),
-                   support::table::num(s.median / (double(d) * d), 3),
-                   std::to_string(left_wins) + "/" + std::to_string(trials)});
   }
-  const auto fit = support::fit_loglog(ds, medians);
-  std::printf("%s", sweep.to_string().c_str());
+
+  std::vector<std::size_t> left_wins(cells.size(), 0);
+  sweep::spec sweep_spec{"tightness_conjecture", std::move(cells)};
+  sweep::options sweep_opts = sweep::options_from_cli(args);
+  sweep_opts.on_trial = [&left_wins](const sweep::unit& u,
+                                     const core::election_outcome& outcome) {
+    if (outcome.converged && outcome.leader == 0) ++left_wins[u.cell];
+  };
+  sweep::shard_result sweep_result;
+  try {
+    sweep_result = sweep::run(sweep_spec, sweep_opts);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "tightness_conjecture: %s\n", error.what());
+    return 1;
+  }
+
+  std::vector<double> fit_ds, medians;
+  for (std::size_t i = 0; i < sweep_result.cells.size(); ++i) {
+    const auto& stats = sweep_result.cells[i];
+    meter.add(stats);
+    const double d = ds[i];
+    if (stats.rounds.median > 0) {
+      fit_ds.push_back(d);
+      medians.push_back(stats.rounds.median);
+    }
+    sweep_table.add_row(
+        {support::table::num(static_cast<long long>(d)),
+         support::table::num(stats.rounds.median, 0),
+         support::table::num(stats.rounds.mean, 1),
+         support::table::num(stats.rounds.q95, 0),
+         support::table::num(stats.rounds.median / (d * d), 3),
+         std::to_string(left_wins[i]) + "/" +
+             std::to_string(stats.trials)});
+  }
+  const auto fit = medians.size() >= 2 ? support::fit_loglog(fit_ds, medians)
+                                       : support::linear_fit{};
+  std::printf("%s", sweep_table.to_string().c_str());
+  const std::string sweep_note =
+      sweep::describe_result(sweep_result, sweep_opts);
+  if (!sweep_note.empty()) std::printf("%s", sweep_note.c_str());
   std::printf("log-log slope of median elimination time vs D: %.2f "
               "(R^2 %.3f)\n",
               fit.slope, fit.r_squared);
@@ -163,7 +206,7 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", meter.summary(threads).c_str());
 
   if (const auto csv = args.get("csv")) {
-    if (support::write_text_file(*csv, sweep.to_csv())) {
+    if (support::write_text_file(*csv, sweep_table.to_csv())) {
       std::printf("\ncsv written to %s\n", csv->c_str());
     }
   }

@@ -33,39 +33,24 @@ trial_record execute_trial(const graph::graph& g, const algorithm& algo,
   return record;
 }
 
-/// Folds per-trial records in trial order. This is the exact
-/// arithmetic of the historical serial loop, so a parallel run (which
-/// only reorders *execution*, never aggregation) stays bit-identical.
+/// Folds per-trial records in trial order through the shared
+/// aggregate_trial_points arithmetic, then adds the timing fields
+/// (which are never part of the reproducibility contract).
 trial_stats aggregate(const graph::graph& g, std::uint32_t diameter,
                       const algorithm& algo,
                       std::span<const trial_record> records,
                       std::uint64_t max_rounds) {
-  trial_stats stats;
-  stats.algorithm_name = algo.name;
-  stats.graph_name = g.name();
-  stats.node_count = g.node_count();
-  stats.diameter = diameter;
-  stats.trials = records.size();
-
-  std::vector<double> rounds;
-  rounds.reserve(records.size());
-  double coin_rate_sum = 0.0;
+  std::vector<trial_point> points;
+  points.reserve(records.size());
   for (const trial_record& record : records) {
-    const auto& outcome = record.outcome;
-    if (outcome.converged) ++stats.converged;
-    const double r = static_cast<double>(
-        outcome.converged ? outcome.rounds : max_rounds);
-    rounds.push_back(r);
-    const double node_rounds =
-        static_cast<double>(g.node_count()) * std::max(1.0, r);
-    coin_rate_sum += static_cast<double>(outcome.total_coins) / node_rounds;
-    stats.total_rounds += outcome.rounds;
+    points.push_back({record.outcome.rounds, record.outcome.converged,
+                      record.outcome.total_coins});
+  }
+  trial_stats stats = aggregate_trial_points(
+      {algo.name, g.name(), g.node_count(), diameter}, points, max_rounds);
+  for (const trial_record& record : records) {
     stats.busy_seconds += record.seconds;
   }
-  stats.rounds = support::summarize(rounds);
-  stats.mean_coins_per_node_round =
-      coin_rate_sum /
-      static_cast<double>(std::max<std::size_t>(1, records.size()));
   return stats;
 }
 
@@ -97,6 +82,39 @@ core::election_outcome run_protocol(const graph::graph& g,
 }
 
 }  // namespace
+
+trial_stats aggregate_trial_points(const cell_meta& meta,
+                                   std::span<const trial_point> points,
+                                   std::uint64_t max_rounds) {
+  // The exact arithmetic of the historical serial loop: any change to
+  // operation order here silently breaks the shard-merge bit-identity
+  // contract (tests/test_sweep.cpp pins it).
+  trial_stats stats;
+  stats.algorithm_name = meta.algorithm_name;
+  stats.graph_name = meta.graph_name;
+  stats.node_count = meta.node_count;
+  stats.diameter = meta.diameter;
+  stats.trials = points.size();
+
+  std::vector<double> rounds;
+  rounds.reserve(points.size());
+  double coin_rate_sum = 0.0;
+  for (const trial_point& point : points) {
+    if (point.converged) ++stats.converged;
+    const double r =
+        static_cast<double>(point.converged ? point.rounds : max_rounds);
+    rounds.push_back(r);
+    const double node_rounds =
+        static_cast<double>(meta.node_count) * std::max(1.0, r);
+    coin_rate_sum += static_cast<double>(point.coins) / node_rounds;
+    stats.total_rounds += point.rounds;
+  }
+  stats.rounds = support::summarize(rounds);
+  stats.mean_coins_per_node_round =
+      coin_rate_sum /
+      static_cast<double>(std::max<std::size_t>(1, points.size()));
+  return stats;
+}
 
 algorithm make_bfw(double p) {
   std::ostringstream name;

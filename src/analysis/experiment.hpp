@@ -62,6 +62,35 @@ struct trial_stats {
   double busy_seconds = 0.0;       ///< Sum of per-trial durations.
 };
 
+/// The deterministic per-trial quantities that feed the aggregates -
+/// exactly the payload of one sweep JSONL trial record. Everything in
+/// trial_stats except the timing fields is a pure function of a
+/// cell's trial points folded in trial order.
+struct trial_point {
+  std::uint64_t rounds = 0;
+  bool converged = false;
+  std::uint64_t coins = 0;
+};
+
+/// Identity of one (graph, algorithm) cell, decoupled from the live
+/// graph/algorithm objects so that a merge tool can rebuild aggregates
+/// from records alone.
+struct cell_meta {
+  std::string algorithm_name;
+  std::string graph_name;
+  std::size_t node_count = 0;
+  std::uint32_t diameter = 0;
+};
+
+/// Folds trial points in index order - the exact arithmetic of the
+/// historical serial loop. run_trials, run_matrix, the sweep shard
+/// executor and sweep_merge all share this fold; that single code path
+/// is what makes an N-shard merge bit-identical to a serial run.
+/// (busy_seconds is timing-only and stays zero here.)
+[[nodiscard]] trial_stats aggregate_trial_points(
+    const cell_meta& meta, std::span<const trial_point> points,
+    std::uint64_t max_rounds);
+
 /// Execution knobs for the trial runners. `threads == 1` runs inline
 /// on the calling thread (the reference serial path); `threads == 0`
 /// uses one worker per hardware thread.

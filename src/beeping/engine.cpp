@@ -57,10 +57,9 @@ void engine::refresh_round_state() {
   beeper_count_ = 0;
   beeper_degree_sum_ = 0;
   std::fill(beep_words_.begin(), beep_words_.end(), 0);
+  beep_flags_valid_ = false;  // byte mirror rebuilt lazily on demand
   for (graph::node_id u = 0; u < n; ++u) {
-    const bool beeps = proto_->beeping(u);
-    beeping_[u] = beeps ? 1 : 0;
-    if (beeps) {
+    if (proto_->beeping(u)) {
       ++beep_counts_[u];
       set_bit(beep_words_, u);
       ++beeper_count_;
@@ -70,7 +69,17 @@ void engine::refresh_round_state() {
   }
 }
 
+void engine::ensure_beep_flags() const {
+  if (beep_flags_valid_) return;
+  const std::size_t n = g_->node_count();
+  for (graph::node_id u = 0; u < n; ++u) {
+    beeping_[u] = test_bit(beep_words_, u) ? 1 : 0;
+  }
+  beep_flags_valid_ = true;
+}
+
 round_view engine::make_view() const {
+  ensure_beep_flags();  // observers read the byte flags
   round_view view;
   view.round = round_;
   view.g = g_;
@@ -191,6 +200,7 @@ void engine::step_reference() {
   const std::size_t n = g_->node_count();
   // The original scalar loop, kept verbatim in behavior: per-node
   // neighbor scan over byte flags, writing the packed heard set.
+  ensure_beep_flags();
   std::fill(heard_words_.begin(), heard_words_.end(), 0);
   for (graph::node_id u = 0; u < n; ++u) {
     bool heard = beeping_[u] != 0;

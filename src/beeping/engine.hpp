@@ -19,6 +19,11 @@
 // Both sweeps compute the same set, so the choice never affects
 // results; `step_reference()` keeps the original scalar byte-array
 // path alive for differential tests and benchmarks.
+//
+// The per-node byte flags behind the observer API are a *mirror* of
+// the packed beep set and are materialized lazily: a round only pays
+// the O(n) byte refresh when an observer is attached or beep_flags()
+// is actually called.
 #pragma once
 
 #include <cstdint>
@@ -118,9 +123,13 @@ class engine {
 
   /// Whether u beeps in the current round (u in B_t).
   [[nodiscard]] bool beeping(graph::node_id u) const {
-    return beeping_[u] != 0;
+    return (beep_words_[u >> 6] >> (u & 63)) & 1ULL;
   }
-  [[nodiscard]] std::span<const std::uint8_t> beep_flags() const noexcept {
+  /// Per-node byte flags of B_t. The byte array is materialized from
+  /// the packed beep set on demand - observer-free rounds never build
+  /// it (see the lazy-refresh note in the header comment).
+  [[nodiscard]] std::span<const std::uint8_t> beep_flags() const {
+    ensure_beep_flags();
     return beeping_;
   }
 
@@ -138,6 +147,7 @@ class engine {
 
  private:
   void refresh_round_state();
+  void ensure_beep_flags() const;
   void gather_heard_push();
   void gather_heard_pull();
   void apply_noise();
@@ -149,7 +159,11 @@ class engine {
   std::vector<support::rng> rngs_;
   std::vector<support::rng> noise_rngs_;  // empty unless noise enabled
   noise_model noise_;
-  std::vector<std::uint8_t> beeping_;
+  // Byte mirror of beep_words_ for the observer API; rebuilt lazily
+  // (only when observers are attached or beep_flags() is queried), so
+  // observer-free rounds skip the O(n) byte refresh entirely.
+  mutable std::vector<std::uint8_t> beeping_;
+  mutable bool beep_flags_valid_ = false;
   std::vector<std::uint64_t> beep_words_;   // packed B_t
   std::vector<std::uint64_t> heard_words_;  // packed delta_top set
   std::vector<std::uint64_t> beep_counts_;

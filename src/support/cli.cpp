@@ -1,20 +1,33 @@
 #include "support/cli.hpp"
 
+#include <charconv>
+#include <cstdio>
 #include <cstdlib>
 
 #include "support/parallel.hpp"
 
 namespace beepkit::support {
 
-cli::cli(int argc, const char* const* argv) {
+cli::cli(int argc, const char* const* argv,
+         std::initializer_list<const char*> switches) {
+  const auto is_switch = [&switches](const std::string& name) {
+    for (const char* s : switches) {
+      if (name == s) return true;
+    }
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
     arg.erase(0, 2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
       values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    } else if (!is_switch(arg) && i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
       values_[arg] = argv[i + 1];
       ++i;
     } else {
@@ -61,6 +74,45 @@ bool cli::get_bool(const std::string& name, bool fallback) const {
 
 std::size_t cli::get_threads(std::int64_t fallback) const {
   return resolve_threads(get_int("threads", fallback));
+}
+
+std::optional<shard_spec> cli::parse_shard(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 ||
+      slash + 1 == text.size()) {
+    return std::nullopt;
+  }
+  const std::string index_part = text.substr(0, slash);
+  const std::string count_part = text.substr(slash + 1);
+  const auto parse_u64 =
+      [](const std::string& part) -> std::optional<std::uint64_t> {
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), value);
+    if (ec != std::errc() || ptr != part.data() + part.size()) {
+      return std::nullopt;
+    }
+    return value;
+  };
+  const auto index = parse_u64(index_part);
+  const auto count = parse_u64(count_part);
+  if (!index || !count) return std::nullopt;
+  if (*count == 0 || *index >= *count) return std::nullopt;
+  return shard_spec{*index, *count};
+}
+
+shard_spec cli::get_shard() const {
+  const auto value = get("shard");
+  if (!value) return shard_spec{};
+  const auto parsed = parse_shard(*value);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "invalid --shard '%s': expected i/N with N >= 1 and "
+                 "0 <= i < N\n",
+                 value->c_str());
+    std::exit(2);
+  }
+  return *parsed;
 }
 
 std::vector<std::string> cli::unused() const {

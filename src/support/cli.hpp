@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <string>
@@ -14,11 +15,29 @@
 
 namespace beepkit::support {
 
+/// A (start, stride) slice of a sweep: shard `index` of `count` owns
+/// exactly the work units whose global index is congruent to `index`
+/// modulo `count`. The default is the whole sweep (shard 0 of 1).
+struct shard_spec {
+  std::uint64_t index = 0;
+  std::uint64_t count = 1;
+
+  [[nodiscard]] bool owns(std::uint64_t global_index) const noexcept {
+    return global_index % count == index;
+  }
+  [[nodiscard]] bool whole() const noexcept { return count == 1; }
+};
+
 /// Parsed flags. Unknown flags are collected rather than rejected so a
 /// harness can print a warning without aborting a long sweep.
 class cli {
  public:
-  cli(int argc, const char* const* argv);
+  /// `switches` names boolean flags that never consume a following
+  /// argument as their value, so `prog --quiet file.jsonl` keeps
+  /// file.jsonl as a positional. (`--flag=value` still works for
+  /// switches.) Value flags keep the usual `--name value` form.
+  cli(int argc, const char* const* argv,
+      std::initializer_list<const char*> switches = {});
 
   [[nodiscard]] bool has(const std::string& name) const;
 
@@ -37,12 +56,33 @@ class cli {
   /// means one worker per hardware thread. Always returns >= 1.
   [[nodiscard]] std::size_t get_threads(std::int64_t fallback = 0) const;
 
+  /// Strict `i/N` shard parser: both parts must be plain decimal with
+  /// nothing else, N >= 1 and i < N. Anything else yields nullopt.
+  [[nodiscard]] static std::optional<shard_spec> parse_shard(
+      const std::string& text);
+
+  /// `--shard i/N` for the sweep runners; absence means the whole
+  /// sweep. A malformed or out-of-range value terminates the process
+  /// with a message on stderr - a sweep silently running the wrong
+  /// slice would be worse than an aborted launch script.
+  [[nodiscard]] shard_spec get_shard() const;
+
+  /// Arguments that are neither `--flags` nor a flag's value, in
+  /// command-line order (e.g. the input files of sweep_merge). A
+  /// positional directly after a value-less flag NOT listed in
+  /// `switches` is consumed as that flag's value - declare boolean
+  /// flags as switches (or pass `--flag=value`) to avoid that.
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
   /// Flags that were present but never queried with one of the getters;
   /// useful for catching typos in sweep scripts.
   [[nodiscard]] std::vector<std::string> unused() const;
 
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
   mutable std::map<std::string, bool> queried_;
 };
 

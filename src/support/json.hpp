@@ -1,0 +1,83 @@
+// Minimal JSON value, parser and serializer for the sweep subsystem's
+// JSONL trial records and BENCH-style summaries. Deliberately small -
+// not a general-purpose JSON library. Three properties matter here:
+// objects preserve insertion order (shard files diff cleanly and
+// serialize deterministically), unsigned 64-bit integers round-trip
+// exactly (seeds and coin counts must never pass through a double),
+// and serialization of equal values is byte-identical, so two merge
+// runs over the same shards produce identical summary files.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace beepkit::support {
+
+/// One JSON value. Numbers keep their lexical class: an unsigned
+/// integer literal stays a uint64, a signed one an int64, and only
+/// fractional/exponent literals become doubles.
+class json {
+ public:
+  using array = std::vector<json>;
+  /// Insertion-ordered members; lookups are linear (records are small).
+  using object = std::vector<std::pair<std::string, json>>;
+
+  json() = default;  // null
+  json(std::nullptr_t) {}
+  json(bool value) : value_(value) {}
+  json(std::uint64_t value) : value_(value) {}
+  json(std::int64_t value) : value_(value) {}
+  json(int value) : value_(static_cast<std::int64_t>(value)) {}
+  json(unsigned value) : value_(static_cast<std::uint64_t>(value)) {}
+  json(double value) : value_(value) {}
+  json(std::string value) : value_(std::move(value)) {}
+  json(const char* value) : value_(std::string(value)) {}
+  json(array value) : value_(std::move(value)) {}
+  json(object value) : value_(std::move(value)) {}
+
+  [[nodiscard]] bool is_null() const noexcept;
+  [[nodiscard]] bool is_bool() const noexcept;
+  [[nodiscard]] bool is_number() const noexcept;
+  [[nodiscard]] bool is_string() const noexcept;
+  [[nodiscard]] bool is_array() const noexcept;
+  [[nodiscard]] bool is_object() const noexcept;
+
+  /// Typed reads with fallbacks; integer reads convert between the
+  /// unsigned/signed alternatives when the value fits.
+  [[nodiscard]] bool as_bool(bool fallback = false) const noexcept;
+  [[nodiscard]] std::uint64_t as_u64(std::uint64_t fallback = 0) const noexcept;
+  [[nodiscard]] std::int64_t as_i64(std::int64_t fallback = 0) const noexcept;
+  [[nodiscard]] double as_double(double fallback = 0.0) const noexcept;
+  [[nodiscard]] std::string as_string(std::string fallback = {}) const;
+
+  /// Empty when the value is not an array/object.
+  [[nodiscard]] const array& as_array() const noexcept;
+  [[nodiscard]] const object& as_object() const noexcept;
+
+  /// Object member by key, nullptr when absent or not an object.
+  [[nodiscard]] const json* find(std::string_view key) const noexcept;
+
+  /// Appends (or replaces) an object member; a null value becomes an
+  /// empty object first, so records can be built field by field.
+  void set(std::string key, json value);
+
+  /// Compact single-line serialization (JSONL-friendly): no spaces,
+  /// keys in insertion order, doubles at round-trip precision.
+  [[nodiscard]] std::string dump() const;
+
+  /// Parses one JSON document; trailing garbage or malformed input
+  /// yields nullopt. Nesting is capped (64) to bound recursion.
+  [[nodiscard]] static std::optional<json> parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, std::uint64_t, std::int64_t, double,
+               std::string, array, object>
+      value_ = nullptr;
+};
+
+}  // namespace beepkit::support

@@ -1,0 +1,390 @@
+#include "sweep/jsonl.hpp"
+
+#include <stdexcept>
+
+namespace beepkit::sweep {
+
+namespace {
+
+using support::json;
+
+[[noreturn]] void fail(const std::string& path, std::size_t line,
+                       const std::string& message) {
+  throw std::runtime_error(path + ":" + std::to_string(line) + ": " +
+                           message);
+}
+
+/// Required-field extraction for the strict (merge) reader.
+std::uint64_t require_u64(const json& record, const char* key,
+                          const std::string& path, std::size_t line) {
+  const json* field = record.find(key);
+  if (!field || !field->is_number()) {
+    fail(path, line, std::string("missing numeric field '") + key + "'");
+  }
+  return field->as_u64();
+}
+
+bool require_bool(const json& record, const char* key,
+                  const std::string& path, std::size_t line) {
+  const json* field = record.find(key);
+  if (!field || !field->is_bool()) {
+    fail(path, line, std::string("missing boolean field '") + key + "'");
+  }
+  return field->as_bool();
+}
+
+std::string require_string(const json& record, const char* key,
+                           const std::string& path, std::size_t line) {
+  const json* field = record.find(key);
+  if (!field || !field->is_string()) {
+    fail(path, line, std::string("missing string field '") + key + "'");
+  }
+  return field->as_string();
+}
+
+trial_record parse_trial(const json& record, const std::string& path,
+                         std::size_t line) {
+  trial_record trial;
+  trial.cell = require_u64(record, "cell", path, line);
+  trial.trial = require_u64(record, "trial", path, line);
+  trial.global = require_u64(record, "global", path, line);
+  trial.seed = require_u64(record, "seed", path, line);
+  trial.rounds = require_u64(record, "rounds", path, line);
+  trial.converged = require_bool(record, "converged", path, line);
+  trial.coins = require_u64(record, "coins", path, line);
+  trial.leader = require_u64(record, "leader", path, line);
+  return trial;
+}
+
+json summary_to_json(const support::summary& s) {
+  return json(json::object{
+      {"count", json(static_cast<std::uint64_t>(s.count))},
+      {"mean", json(s.mean)},
+      {"stddev", json(s.stddev)},
+      {"min", json(s.min)},
+      {"max", json(s.max)},
+      {"median", json(s.median)},
+      {"q25", json(s.q25)},
+      {"q75", json(s.q75)},
+      {"q95", json(s.q95)},
+  });
+}
+
+}  // namespace
+
+bool record_writer::open(const std::string& path) {
+  out_.open(path, std::ios::out | std::ios::trunc);
+  return out_.is_open();
+}
+
+void record_writer::write_line(const json& record) {
+  out_ << record.dump() << '\n';
+}
+
+void record_writer::write_header(const std::string& sweep_name,
+                                 support::shard_spec shard,
+                                 std::uint64_t cell_count,
+                                 std::uint64_t total_units) {
+  write_line(json(json::object{
+      {"type", json("sweep")},
+      {"name", json(sweep_name)},
+      {"shard_index", json(shard.index)},
+      {"shard_count", json(shard.count)},
+      {"cells", json(cell_count)},
+      {"total_units", json(total_units)},
+      {"format_version", json(std::uint64_t{1})},
+  }));
+}
+
+void record_writer::write_cell(const cell_record& cell) {
+  write_line(json(json::object{
+      {"type", json("cell")},
+      {"cell", json(cell.cell)},
+      {"algorithm", json(cell.algorithm)},
+      {"graph", json(cell.graph)},
+      {"n", json(cell.n)},
+      {"diameter", json(cell.diameter)},
+      {"trials", json(cell.trials)},
+      {"seed", json(cell.seed)},
+      {"max_rounds", json(cell.max_rounds)},
+  }));
+}
+
+void record_writer::write_trial(const trial_record& trial,
+                                const cell_record& meta) {
+  write_line(json(json::object{
+      {"type", json("trial")},
+      {"cell", json(trial.cell)},
+      {"trial", json(trial.trial)},
+      {"global", json(trial.global)},
+      {"algorithm", json(meta.algorithm)},
+      {"graph", json(meta.graph)},
+      {"n", json(meta.n)},
+      {"diameter", json(meta.diameter)},
+      {"seed", json(trial.seed)},
+      {"rounds", json(trial.rounds)},
+      {"converged", json(trial.converged)},
+      {"coins", json(trial.coins)},
+      {"leader", json(trial.leader)},
+  }));
+}
+
+void record_writer::write_checkpoint(std::uint64_t units_done,
+                                     std::uint64_t units_owned) {
+  write_line(json(json::object{
+      {"type", json("checkpoint")},
+      {"units_done", json(units_done)},
+      {"units_owned", json(units_owned)},
+  }));
+  flush();
+}
+
+void record_writer::write_cell_summary(const analysis::trial_stats& stats,
+                                       std::uint64_t cell) {
+  write_line(json(json::object{
+      {"type", json("cell_summary")},
+      {"cell", json(cell)},
+      {"algorithm", json(stats.algorithm_name)},
+      {"graph", json(stats.graph_name)},
+      {"trials", json(static_cast<std::uint64_t>(stats.trials))},
+      {"converged", json(static_cast<std::uint64_t>(stats.converged))},
+      {"rounds", summary_to_json(stats.rounds)},
+      {"mean_coins_per_node_round", json(stats.mean_coins_per_node_round)},
+      {"total_rounds", json(stats.total_rounds)},
+  }));
+}
+
+void record_writer::write_done(std::uint64_t units_run,
+                               std::uint64_t units_resumed) {
+  write_line(json(json::object{
+      {"type", json("done")},
+      {"units_run", json(units_run)},
+      {"units_resumed", json(units_resumed)},
+  }));
+  flush();
+}
+
+void record_writer::flush() { out_.flush(); }
+
+bool record_writer::close() {
+  out_.flush();
+  const bool ok = out_.good();
+  out_.close();
+  return ok;
+}
+
+shard_file read_shard_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    throw std::runtime_error(path + ": cannot open");
+  }
+  shard_file file;
+  std::string line;
+  std::size_t line_number = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto record = json::parse(line);
+    if (!record || !record->is_object()) {
+      // A torn line from a crashed writer is legitimate in a resumed
+      // shard file. Every complete record is self-contained JSON, so
+      // skipping the fragment is safe: a torn *trial* leaves its unit
+      // unrecorded, and the merge's completeness check reports it if
+      // no resumed run re-executed the unit.
+      ++file.torn_lines;
+      continue;
+    }
+    const std::string type = record->find("type")
+                                 ? record->find("type")->as_string()
+                                 : std::string();
+    if (type == "sweep") {
+      if (saw_header) fail(path, line_number, "duplicate sweep header");
+      saw_header = true;
+      file.sweep_name = require_string(*record, "name", path, line_number);
+      file.shard.index = require_u64(*record, "shard_index", path,
+                                     line_number);
+      file.shard.count = require_u64(*record, "shard_count", path,
+                                     line_number);
+      file.total_units = require_u64(*record, "total_units", path,
+                                     line_number);
+    } else if (type == "cell") {
+      cell_record cell;
+      cell.cell = require_u64(*record, "cell", path, line_number);
+      cell.algorithm = require_string(*record, "algorithm", path,
+                                      line_number);
+      cell.graph = require_string(*record, "graph", path, line_number);
+      cell.n = require_u64(*record, "n", path, line_number);
+      cell.diameter = static_cast<std::uint32_t>(
+          require_u64(*record, "diameter", path, line_number));
+      cell.trials = require_u64(*record, "trials", path, line_number);
+      cell.seed = require_u64(*record, "seed", path, line_number);
+      cell.max_rounds = require_u64(*record, "max_rounds", path,
+                                    line_number);
+      if (cell.cell != file.cells.size()) {
+        fail(path, line_number, "out-of-order cell record");
+      }
+      file.cells.push_back(std::move(cell));
+    } else if (type == "trial") {
+      file.trials.push_back(parse_trial(*record, path, line_number));
+    } else if (type == "done") {
+      file.done = true;
+    } else if (type == "checkpoint" || type == "cell_summary") {
+      // Progress/diagnostic records; the merge recomputes aggregates
+      // from the trial records themselves.
+    } else {
+      fail(path, line_number, "unknown record type '" + type + "'");
+    }
+  }
+  if (!saw_header) {
+    throw std::runtime_error(path + ": not a sweep shard file (no header)");
+  }
+  return file;
+}
+
+std::map<std::uint64_t, trial_record> scan_trials(const std::string& path) {
+  std::map<std::uint64_t, trial_record> trials;
+  std::ifstream in(path);
+  if (!in.is_open()) return trials;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto record = json::parse(line);
+    // A torn line (mid-write crash) parses as garbage; skip it. Only
+    // complete, well-formed trial records count as done work.
+    if (!record || !record->is_object()) continue;
+    const json* type = record->find("type");
+    if (!type || type->as_string() != "trial") continue;
+    const json* global = record->find("global");
+    if (!global || !global->is_number()) continue;
+    try {
+      trials[global->as_u64()] = parse_trial(*record, path, 0);
+    } catch (const std::runtime_error&) {
+      continue;  // incomplete trial record - treat as not done
+    }
+  }
+  return trials;
+}
+
+merge_result merge_shards(std::span<const std::string> paths) {
+  if (paths.empty()) {
+    throw std::runtime_error("merge_shards: no input files");
+  }
+  merge_result merged;
+  std::vector<cell_record> cells;
+  // trials[c][t] = the record for (cell c, trial t), once seen.
+  std::vector<std::vector<trial_record>> trials;
+  std::vector<std::vector<bool>> seen;
+
+  bool first = true;
+  for (const std::string& path : paths) {
+    shard_file file = read_shard_file(path);
+    if (first) {
+      merged.sweep_name = file.sweep_name;
+      cells = std::move(file.cells);
+      trials.resize(cells.size());
+      seen.resize(cells.size());
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        trials[c].resize(cells[c].trials);
+        seen[c].assign(cells[c].trials, false);
+      }
+      first = false;
+    } else {
+      if (file.sweep_name != merged.sweep_name ||
+          file.cells.size() != cells.size()) {
+        throw std::runtime_error(path + ": shard belongs to a different "
+                                        "sweep ('" + file.sweep_name + "')");
+      }
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (!(file.cells[c] == cells[c])) {
+          throw std::runtime_error(
+              path + ": cell " + std::to_string(c) +
+              " metadata disagrees with earlier shards");
+        }
+      }
+    }
+    for (const trial_record& trial : file.trials) {
+      if (trial.cell >= cells.size() ||
+          trial.trial >= cells[trial.cell].trials) {
+        throw std::runtime_error(path + ": trial record outside the "
+                                        "sweep's cell/trial bounds");
+      }
+      auto& slot = trials[trial.cell][trial.trial];
+      auto&& seen_flag = seen[trial.cell][trial.trial];
+      if (seen_flag) {
+        if (!(slot == trial)) {
+          throw std::runtime_error(
+              path + ": conflicting duplicate for cell " +
+              std::to_string(trial.cell) + " trial " +
+              std::to_string(trial.trial) +
+              " (same unit recorded with different outcomes)");
+        }
+        ++merged.duplicate_records;
+        continue;
+      }
+      slot = trial;
+      seen_flag = true;
+      ++merged.units;
+    }
+  }
+
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    std::uint64_t have = 0;
+    for (std::uint64_t t = 0; t < cells[c].trials; ++t) {
+      if (seen[c][t]) ++have;
+    }
+    if (have != cells[c].trials) {
+      throw std::runtime_error(
+          "incomplete sweep: cell " + std::to_string(c) + " ('" +
+          cells[c].algorithm + "' on " + cells[c].graph + ") has " +
+          std::to_string(have) + " of " + std::to_string(cells[c].trials) +
+          " trials - are all shard files present?");
+    }
+  }
+
+  merged.cells.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    std::vector<analysis::trial_point> points;
+    points.reserve(trials[c].size());
+    for (const trial_record& trial : trials[c]) {
+      points.push_back({trial.rounds, trial.converged, trial.coins});
+    }
+    merged_cell cell;
+    cell.meta = cells[c];
+    cell.stats = analysis::aggregate_trial_points(
+        {cells[c].algorithm, cells[c].graph,
+         static_cast<std::size_t>(cells[c].n), cells[c].diameter},
+        points, cells[c].max_rounds);
+    merged.cells.push_back(std::move(cell));
+  }
+  return merged;
+}
+
+support::json merge_summary(const merge_result& merged) {
+  json::array cells;
+  for (const merged_cell& cell : merged.cells) {
+    cells.push_back(json(json::object{
+        {"cell", json(cell.meta.cell)},
+        {"algorithm", json(cell.meta.algorithm)},
+        {"graph", json(cell.meta.graph)},
+        {"n", json(cell.meta.n)},
+        {"diameter", json(cell.meta.diameter)},
+        {"trials", json(cell.meta.trials)},
+        {"seed", json(cell.meta.seed)},
+        {"max_rounds", json(cell.meta.max_rounds)},
+        {"converged", json(static_cast<std::uint64_t>(cell.stats.converged))},
+        {"rounds", summary_to_json(cell.stats.rounds)},
+        {"mean_coins_per_node_round",
+         json(cell.stats.mean_coins_per_node_round)},
+        {"total_rounds", json(cell.stats.total_rounds)},
+    }));
+  }
+  return json(json::object{
+      {"sweep", json(merged.sweep_name)},
+      {"units", json(merged.units)},
+      {"duplicate_records", json(merged.duplicate_records)},
+      {"cells", json(std::move(cells))},
+  });
+}
+
+}  // namespace beepkit::sweep

@@ -1,0 +1,152 @@
+// JSONL record schema for sweep shards, plus the reader/merger that
+// turns N shard files back into the exact single-process aggregates.
+//
+// A shard file is a sequence of single-line JSON records:
+//
+//   {"type":"sweep", "name":..., "shard_index":i, "shard_count":N,
+//    "cells":M, "total_units":T, "format_version":1}
+//   {"type":"cell", "cell":c, "algorithm":..., "graph":..., "n":...,
+//    "diameter":..., "trials":..., "seed":..., "max_rounds":...}   (x M)
+//   {"type":"trial", "cell":c, "trial":t, "global":g, "algorithm":...,
+//    "graph":..., "n":..., "diameter":..., "seed":..., "rounds":...,
+//    "converged":..., "coins":..., "leader":...}                   (streamed)
+//   {"type":"checkpoint", "units_done":..., "units_owned":...}     (periodic)
+//   {"type":"cell_summary", "cell":c, ...shard-local aggregates}   (x M)
+//   {"type":"done", "units_run":..., "units_resumed":...}
+//
+// Trial records are self-describing (they repeat the cell's identity)
+// so a single grep/jq pass over any shard file yields analyzable
+// trajectories without a side table. All integer fields - seeds, coin
+// counts, round counts - round-trip exactly through support::json;
+// that exactness is what lets `merge_shards` re-run the shared
+// analysis::aggregate_trial_points fold and land on bit-identical
+// doubles. A file without a "done" record is a crashed/partial shard;
+// both readers tolerate torn lines (every complete record is
+// self-contained, and the merge's completeness check catches any unit
+// a crash actually lost).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "support/cli.hpp"
+#include "support/json.hpp"
+
+namespace beepkit::sweep {
+
+/// Cell identity + trial plan as recorded in a shard file header.
+struct cell_record {
+  std::uint64_t cell = 0;
+  std::string algorithm;
+  std::string graph;
+  std::uint64_t n = 0;
+  std::uint32_t diameter = 0;
+  std::uint64_t trials = 0;
+  std::uint64_t seed = 0;       ///< Cell root seed (trial seeds derive from it).
+  std::uint64_t max_rounds = 0;
+
+  friend bool operator==(const cell_record&, const cell_record&) = default;
+};
+
+/// One executed trial as recorded in a shard file.
+struct trial_record {
+  std::uint64_t cell = 0;
+  std::uint64_t trial = 0;
+  std::uint64_t global = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t rounds = 0;
+  bool converged = false;
+  std::uint64_t coins = 0;
+  std::uint64_t leader = 0;  ///< Meaningful only when converged.
+
+  friend bool operator==(const trial_record&, const trial_record&) = default;
+};
+
+/// Streams one shard's records to disk. Not thread-safe: the executor
+/// writes from the aggregation thread only, in global unit order.
+/// Always truncates: resumed runs rewrite the file (header + salvaged
+/// records) rather than appending, so output is always well-formed.
+class record_writer {
+ public:
+  /// Opens (and truncates) `path`. Returns false when the file cannot
+  /// be opened.
+  [[nodiscard]] bool open(const std::string& path);
+  [[nodiscard]] bool is_open() const noexcept { return out_.is_open(); }
+
+  void write_header(const std::string& sweep_name, support::shard_spec shard,
+                    std::uint64_t cell_count, std::uint64_t total_units);
+  void write_cell(const cell_record& cell);
+  void write_trial(const trial_record& trial, const cell_record& meta);
+  void write_checkpoint(std::uint64_t units_done, std::uint64_t units_owned);
+  void write_cell_summary(const analysis::trial_stats& stats,
+                          std::uint64_t cell);
+  void write_done(std::uint64_t units_run, std::uint64_t units_resumed);
+  void flush();
+
+  /// False once any write has failed (disk full, quota, ...); callers
+  /// check at flush points so losses surface as errors, not silence.
+  [[nodiscard]] bool healthy() const noexcept { return out_.good(); }
+  /// Flushes and closes; false when the final flush failed.
+  [[nodiscard]] bool close();
+
+ private:
+  void write_line(const support::json& record);
+  std::ofstream out_;
+};
+
+/// Fully parsed shard file (strict: the merge path). Throws
+/// std::runtime_error with a line reference on malformed input.
+struct shard_file {
+  std::string sweep_name;
+  support::shard_spec shard{};
+  std::uint64_t total_units = 0;
+  bool done = false;  ///< A "done" record was present (clean finish).
+  std::uint64_t torn_lines = 0;  ///< Unparseable lines skipped (crash scars).
+  std::vector<cell_record> cells;
+  std::vector<trial_record> trials;
+};
+
+[[nodiscard]] shard_file read_shard_file(const std::string& path);
+
+/// Lenient scan of an existing (possibly crashed) shard file for the
+/// resume path: recorded trials keyed by global index. A torn trailing
+/// line - the signature of a mid-write crash - is ignored; other
+/// record types are skipped.
+[[nodiscard]] std::map<std::uint64_t, trial_record> scan_trials(
+    const std::string& path);
+
+/// One merged cell: recorded identity plus the recomputed aggregates.
+struct merged_cell {
+  cell_record meta;
+  analysis::trial_stats stats;
+};
+
+/// Result of merging shard files covering a sweep.
+struct merge_result {
+  std::string sweep_name;
+  std::vector<merged_cell> cells;
+  std::uint64_t units = 0;              ///< Distinct trials merged.
+  std::uint64_t duplicate_records = 0;  ///< Identical duplicates tolerated.
+};
+
+/// Merges shard JSONL files into exactly the per-cell aggregates a
+/// single-process run_matrix over the same spec would have produced
+/// (bit-for-bit: the same analysis::aggregate_trial_points fold over
+/// the same integer trial points in the same order). Throws
+/// std::runtime_error on inconsistent cell metadata across files,
+/// conflicting duplicate records, or missing units (an absent shard).
+/// Identical duplicates - the overlap a resumed run can legitimately
+/// produce - are tolerated and counted.
+[[nodiscard]] merge_result merge_shards(std::span<const std::string> paths);
+
+/// Deterministic BENCH_*-style JSON summary of a merge: cell
+/// identities plus every statistical aggregate, no timing fields, so
+/// equal merges serialize byte-identically.
+[[nodiscard]] support::json merge_summary(const merge_result& merged);
+
+}  // namespace beepkit::sweep

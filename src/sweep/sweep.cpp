@@ -1,0 +1,364 @@
+#include "sweep/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/parallel.hpp"
+#include "sweep/jsonl.hpp"
+
+namespace beepkit::sweep {
+
+namespace {
+
+/// Number of x in [base, base + span) with x % count == index.
+std::uint64_t owned_in_range(std::uint64_t base, std::uint64_t span,
+                             support::shard_spec shard) {
+  if (span == 0) return 0;
+  const std::uint64_t r = base % shard.count;
+  const std::uint64_t first =
+      base + (shard.index + shard.count - r) % shard.count;
+  if (first >= base + span) return 0;
+  return 1 + (base + span - 1 - first) / shard.count;
+}
+
+cell_record make_cell_record(std::size_t index,
+                             const analysis::matrix_cell& cell) {
+  cell_record record;
+  record.cell = index;
+  record.algorithm = cell.algo.name;
+  record.graph = cell.inst->g.name();
+  record.n = cell.inst->g.node_count();
+  record.diameter = cell.inst->diameter;
+  record.trials = cell.trials;
+  record.seed = cell.seed;
+  record.max_rounds = cell.max_rounds;
+  return record;
+}
+
+}  // namespace
+
+std::uint64_t spec::total_units() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells) {
+    total += cell.trials;
+  }
+  return total;
+}
+
+work_source::work_source(const spec& s, support::shard_spec shard)
+    : spec_(&s), shard_(shard) {
+  std::uint64_t base = 0;
+  for (const auto& cell : s.cells) {
+    owned_ += owned_in_range(base, cell.trials, shard_);
+    base += cell.trials;
+  }
+  total_ = base;
+  if (!s.cells.empty()) {
+    seeder_ = support::rng(s.cells.front().seed);
+  }
+}
+
+std::optional<unit> work_source::next() {
+  const auto& cells = spec_->cells;
+  while (cell_ < cells.size()) {
+    const std::uint64_t trials = cells[cell_].trials;
+    std::uint64_t t = next_trial_;
+    if (t < trials) {
+      // Jump to the next trial this shard owns: global index congruent
+      // to shard.index modulo shard.count.
+      const std::uint64_t r = (cell_base_ + t) % shard_.count;
+      t += (shard_.index + shard_.count - r) % shard_.count;
+    }
+    if (t >= trials) {
+      cell_base_ += trials;
+      ++cell_;
+      next_trial_ = 0;
+      drawn_ = 0;
+      if (cell_ < cells.size()) {
+        seeder_ = support::rng(cells[cell_].seed);
+      }
+      continue;
+    }
+    // Advance the cell's seed stream to trial t - drawing and
+    // discarding the seeds of units other shards own, which is what
+    // keeps the derivation identical to the serial run_matrix loop.
+    std::uint64_t seed = 0;
+    while (drawn_ <= t) {
+      seed = seeder_.next_u64();
+      ++drawn_;
+    }
+    next_trial_ = t + 1;
+    return unit{cell_, t, cell_base_ + t, seed};
+  }
+  return std::nullopt;
+}
+
+shard_result run(const spec& s, const options& opts) {
+  work_source source(s, opts.shard);
+  shard_result result;
+  result.units_total = source.total_units();
+
+  std::vector<cell_record> meta;
+  meta.reserve(s.cells.size());
+  for (std::size_t c = 0; c < s.cells.size(); ++c) {
+    meta.push_back(make_cell_record(c, s.cells[c]));
+  }
+
+  // Resume: salvage the trials already recorded in the existing file
+  // (and in a ".tmp" left by a crashed earlier resume), validate that
+  // the file belongs to THIS sweep, then rewrite everything through a
+  // temp file that replaces the original only on a clean finish - the
+  // salvaged records on disk are never destroyed before the rewritten
+  // file is complete, so repeated crashes lose at most the units run
+  // since the last finish.
+  std::map<std::uint64_t, trial_record> recorded;
+  const std::string tmp_path =
+      opts.jsonl_path.empty() ? std::string() : opts.jsonl_path + ".tmp";
+  bool salvaging = false;
+  if (!opts.jsonl_path.empty() && opts.resume &&
+      std::ifstream(opts.jsonl_path).good()) {
+    salvaging = true;
+    recorded = scan_trials(opts.jsonl_path);
+    for (auto& [global, rec] : scan_trials(tmp_path)) {
+      recorded.emplace(global, rec);
+    }
+    bool header_ok = false;
+    shard_file existing;
+    try {
+      existing = read_shard_file(opts.jsonl_path);
+      header_ok = true;
+    } catch (const std::runtime_error&) {
+      // Headerless but salvageable files proceed on the strength of
+      // the per-record bounds and per-unit seed checks below; a
+      // non-empty file that is neither is not ours to overwrite.
+      if (recorded.empty()) {
+        std::ifstream probe(opts.jsonl_path,
+                            std::ios::binary | std::ios::ate);
+        if (probe.is_open() && probe.tellg() > std::streamoff{0}) {
+          throw std::runtime_error(opts.jsonl_path +
+                                   ": not a sweep shard file; refusing "
+                                   "to overwrite it");
+        }
+      }
+    }
+    if (header_ok) {
+      if (existing.sweep_name != s.name) {
+        throw std::runtime_error(
+            opts.jsonl_path + ": resume file belongs to sweep '" +
+            existing.sweep_name + "', not '" + s.name + "'");
+      }
+      if (existing.shard.index != opts.shard.index ||
+          existing.shard.count != opts.shard.count) {
+        throw std::runtime_error(
+            opts.jsonl_path + ": resume file was written by shard " +
+            std::to_string(existing.shard.index) + "/" +
+            std::to_string(existing.shard.count) +
+            "; rerun with that --shard (sweep_merge handles overlap "
+            "across files)");
+      }
+      // A crash can tear the cell block mid-write, so accept a prefix
+      // of the current block; a file that already holds trials must
+      // have written the whole block first.
+      const bool cells_ok =
+          existing.cells.size() <= meta.size() &&
+          (existing.trials.empty() ||
+           existing.cells.size() == meta.size()) &&
+          std::equal(existing.cells.begin(), existing.cells.end(),
+                     meta.begin());
+      if (!cells_ok) {
+        throw std::runtime_error(
+            opts.jsonl_path + ": resume file records a different sweep "
+                              "spec (graphs, trial counts, seeds or "
+                              "horizons changed)");
+      }
+    }
+    for (const auto& [global, rec] : recorded) {
+      if (rec.cell >= meta.size() ||
+          rec.trial >= meta[rec.cell].trials) {
+        throw std::runtime_error(
+            opts.jsonl_path +
+            ": recorded trial outside the sweep's cell/trial bounds");
+      }
+    }
+  }
+
+  record_writer writer;
+  const std::string write_path = salvaging ? tmp_path : opts.jsonl_path;
+  if (!opts.jsonl_path.empty()) {
+    if (!writer.open(write_path)) {
+      throw std::runtime_error(write_path + ": cannot open for writing");
+    }
+    writer.write_header(s.name, opts.shard, meta.size(),
+                        source.total_units());
+    for (const cell_record& cell : meta) {
+      writer.write_cell(cell);
+    }
+    // Salvaged records are re-emitted up front (global order - the
+    // map is keyed by global index) so the rewritten file fully
+    // supersedes the crashed one.
+    for (const auto& [global, rec] : recorded) {
+      writer.write_trial(rec, meta[rec.cell]);
+    }
+    writer.flush();
+    if (!writer.healthy()) {
+      throw std::runtime_error(write_path + ": write failure");
+    }
+  }
+
+  struct pending {
+    unit u;
+    bool resumed = false;
+    core::election_outcome outcome;
+    double seconds = 0.0;
+  };
+
+  std::vector<std::vector<analysis::trial_point>> points(s.cells.size());
+  std::vector<double> busy(s.cells.size(), 0.0);
+  const std::size_t threads = std::max<std::size_t>(1, opts.threads);
+  const std::size_t batch_size = std::max<std::size_t>(64, threads * 32);
+  std::uint64_t done_units = 0;
+  std::uint64_t since_checkpoint = 0;
+
+  for (;;) {
+    // Pull the next slice of owned units; memory stays bounded by the
+    // batch no matter how large the sweep is.
+    std::vector<pending> batch;
+    batch.reserve(batch_size);
+    while (batch.size() < batch_size) {
+      const auto u = source.next();
+      if (!u) break;
+      pending p;
+      p.u = *u;
+      if (!recorded.empty()) {
+        const auto it = recorded.find(u->global);
+        if (it != recorded.end()) {
+          const trial_record& rec = it->second;
+          if (rec.cell != u->cell || rec.trial != u->trial ||
+              rec.seed != u->seed) {
+            throw std::runtime_error(
+                opts.jsonl_path + ": resume record for unit " +
+                std::to_string(u->global) +
+                " does not match this sweep (different spec or seed?)");
+          }
+          p.resumed = true;
+          p.outcome.converged = rec.converged;
+          p.outcome.rounds = rec.rounds;
+          p.outcome.total_coins = rec.coins;
+          p.outcome.leader = static_cast<graph::node_id>(rec.leader);
+          p.outcome.final_leader_count = rec.converged ? 1 : 0;
+        }
+      }
+      batch.push_back(std::move(p));
+    }
+    if (batch.empty()) break;
+
+    std::vector<std::size_t> fresh;
+    fresh.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!batch[i].resumed) fresh.push_back(i);
+    }
+    support::parallel_for(fresh.size(), opts.threads, [&](std::size_t k) {
+      pending& p = batch[fresh[k]];
+      const analysis::matrix_cell& cell = s.cells[p.u.cell];
+      const auto start = std::chrono::steady_clock::now();
+      p.outcome = cell.algo.run(cell.inst->g, p.u.seed, cell.max_rounds);
+      p.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    });
+
+    // Stream + fold in global unit order (the aggregation order is
+    // part of the bit-identity contract).
+    for (const pending& p : batch) {
+      points[p.u.cell].push_back(
+          {p.outcome.rounds, p.outcome.converged, p.outcome.total_coins});
+      busy[p.u.cell] += p.seconds;
+      if (p.resumed) {
+        ++result.units_resumed;
+      } else {
+        ++result.units_run;
+        if (writer.is_open()) {
+          writer.write_trial({p.u.cell, p.u.trial, p.u.global, p.u.seed,
+                              p.outcome.rounds, p.outcome.converged,
+                              p.outcome.total_coins, p.outcome.leader},
+                             meta[p.u.cell]);
+        }
+      }
+      if (opts.on_trial) opts.on_trial(p.u, p.outcome);
+      ++done_units;
+      ++since_checkpoint;
+    }
+    if (writer.is_open() && opts.checkpoint_every > 0 &&
+        since_checkpoint >= opts.checkpoint_every) {
+      writer.write_checkpoint(done_units, source.shard_units());
+      since_checkpoint = 0;
+      if (!writer.healthy()) {  // fail fast, not after hours of trials
+        throw std::runtime_error(write_path + ": write failure");
+      }
+    }
+  }
+
+  result.cells.reserve(s.cells.size());
+  for (std::size_t c = 0; c < s.cells.size(); ++c) {
+    analysis::trial_stats stats = analysis::aggregate_trial_points(
+        {meta[c].algorithm, meta[c].graph,
+         static_cast<std::size_t>(meta[c].n), meta[c].diameter},
+        points[c], meta[c].max_rounds);
+    stats.busy_seconds = busy[c];
+    if (writer.is_open()) {
+      writer.write_cell_summary(stats, c);
+    }
+    result.cells.push_back(std::move(stats));
+  }
+  if (writer.is_open()) {
+    writer.write_done(result.units_run, result.units_resumed);
+    if (!writer.close()) {
+      throw std::runtime_error(write_path + ": write failure");
+    }
+    if (salvaging) {
+      // Atomically replace the crashed file with the rewritten one.
+      if (std::rename(tmp_path.c_str(), opts.jsonl_path.c_str()) != 0) {
+        throw std::runtime_error(tmp_path + ": cannot rename over " +
+                                 opts.jsonl_path);
+      }
+    } else {
+      std::remove(tmp_path.c_str());  // stale leftover, if any
+    }
+  }
+  return result;
+}
+
+options options_from_cli(const support::cli& args) {
+  options opts;
+  opts.threads = args.get_threads();
+  opts.shard = args.get_shard();
+  opts.jsonl_path = args.get_string("jsonl", "");
+  opts.resume = args.get_bool("resume", false);
+  return opts;
+}
+
+std::string describe_result(const shard_result& result,
+                            const options& opts) {
+  std::ostringstream out;
+  if (!opts.shard.whole()) {
+    out << "shard " << opts.shard.index << "/" << opts.shard.count
+        << " ran " << (result.units_run + result.units_resumed) << " of "
+        << result.units_total
+        << " units - the statistics above are shard-local;\nmerge the "
+           "per-shard --jsonl files with sweep_merge for the exact sweep "
+           "statistics.\n";
+  }
+  if (!opts.jsonl_path.empty()) {
+    out << "jsonl trial records written to " << opts.jsonl_path << " ("
+        << result.units_run << " run, " << result.units_resumed
+        << " resumed)\n";
+  }
+  return out.str();
+}
+
+}  // namespace beepkit::sweep

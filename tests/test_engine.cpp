@@ -201,6 +201,51 @@ TEST(EngineTest, RunUntilHorizonReportsNonConvergence) {
   EXPECT_EQ(result.rounds, 0U);
 }
 
+TEST(EngineTest, LazyBeepFlagsMatchPackedWords) {
+  // The byte flags behind the observer API are materialized lazily;
+  // querying them at any round must agree with the packed beep set
+  // and with the per-node beeping() accessor.
+  const auto g = graph::make_grid(5, 13);  // 65 nodes: crosses a word
+  const core::bfw_machine machine(0.5);
+  fsm_protocol proto(machine);
+  engine sim(g, proto, 77);
+  for (int round = 0; round < 40; ++round) {
+    sim.step();
+    const auto flags = sim.beep_flags();
+    const auto words = sim.beep_words();
+    ASSERT_EQ(flags.size(), g.node_count());
+    for (graph::node_id u = 0; u < g.node_count(); ++u) {
+      const bool packed = (words[u >> 6] >> (u & 63)) & 1ULL;
+      EXPECT_EQ(flags[u] != 0, packed) << "node " << u;
+      EXPECT_EQ(sim.beeping(u), packed) << "node " << u;
+    }
+  }
+}
+
+TEST(EngineTest, LazyBeepFlagsObserverFreeRunUnchanged) {
+  // An observer-free run (which skips the byte refresh entirely) must
+  // stay bit-identical to a run that queries the flags every round.
+  const auto g = graph::make_cycle(64);  // exact word boundary
+  const core::bfw_machine machine(0.5);
+  fsm_protocol lazy_proto(machine);
+  fsm_protocol eager_proto(machine);
+  engine lazy(g, lazy_proto, 31);
+  engine eager(g, eager_proto, 31);
+  for (int round = 0; round < 200; ++round) {
+    lazy.step();
+    eager.step();
+    (void)eager.beep_flags();  // force materialization every round
+    ASSERT_EQ(lazy_proto.states(), eager_proto.states())
+        << "diverged at round " << round;
+  }
+  EXPECT_EQ(lazy.total_coins_consumed(), eager.total_coins_consumed());
+  // The flags are still correct when finally queried.
+  const auto flags = lazy.beep_flags();
+  for (graph::node_id u = 0; u < g.node_count(); ++u) {
+    EXPECT_EQ(flags[u] != 0, lazy.beeping(u));
+  }
+}
+
 TEST(EngineTest, FairCoinRateMatchesWaitingLeaders) {
   // With p = 1/2 every waiting leader consumes one coin per silent
   // round and no other transition consumes any: after the first round

@@ -68,6 +68,83 @@ TEST(CliTest, ParsesEqualsAndSpaceForms) {
   EXPECT_EQ(args.get_int("missing", -7), -7);
 }
 
+TEST(CliTest, ParseShardAcceptsValidSlices) {
+  const auto whole = cli::parse_shard("0/1");
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(whole->index, 0U);
+  EXPECT_EQ(whole->count, 1U);
+  EXPECT_TRUE(whole->whole());
+
+  const auto slice = cli::parse_shard("2/8");
+  ASSERT_TRUE(slice.has_value());
+  EXPECT_EQ(slice->index, 2U);
+  EXPECT_EQ(slice->count, 8U);
+  EXPECT_FALSE(slice->whole());
+  EXPECT_TRUE(slice->owns(2));
+  EXPECT_TRUE(slice->owns(10));
+  EXPECT_FALSE(slice->owns(3));
+}
+
+TEST(CliTest, ParseShardRejectsInvalidSlices) {
+  EXPECT_FALSE(cli::parse_shard("8/8").has_value());   // i >= N
+  EXPECT_FALSE(cli::parse_shard("9/8").has_value());   // i >= N
+  EXPECT_FALSE(cli::parse_shard("3/0").has_value());   // N == 0
+  EXPECT_FALSE(cli::parse_shard("0/0").has_value());   // N == 0
+  EXPECT_FALSE(cli::parse_shard("").has_value());
+  EXPECT_FALSE(cli::parse_shard("3").has_value());     // no slash
+  EXPECT_FALSE(cli::parse_shard("/8").has_value());    // empty index
+  EXPECT_FALSE(cli::parse_shard("3/").has_value());    // empty count
+  EXPECT_FALSE(cli::parse_shard("-1/8").has_value());  // sign
+  EXPECT_FALSE(cli::parse_shard("1/2/3").has_value()); // extra slash
+  EXPECT_FALSE(cli::parse_shard("a/8").has_value());
+  EXPECT_FALSE(cli::parse_shard("1/8x").has_value());
+  EXPECT_FALSE(cli::parse_shard("1 /8").has_value());
+}
+
+TEST(CliTest, GetShardDefaultsToWholeSweep) {
+  const char* argv[] = {"prog"};
+  const cli args(1, argv);
+  const auto shard = args.get_shard();
+  EXPECT_EQ(shard.index, 0U);
+  EXPECT_EQ(shard.count, 1U);
+}
+
+TEST(CliTest, GetShardParsesFlag) {
+  const char* argv[] = {"prog", "--shard", "1/3"};
+  const cli args(3, argv);
+  const auto shard = args.get_shard();
+  EXPECT_EQ(shard.index, 1U);
+  EXPECT_EQ(shard.count, 3U);
+}
+
+TEST(CliTest, CollectsPositionalArguments) {
+  const char* argv[] = {"prog", "a.jsonl", "b.jsonl", "--json=out.json",
+                        "c.jsonl"};
+  const cli args(5, argv);
+  EXPECT_EQ(args.positionals(),
+            (std::vector<std::string>{"a.jsonl", "b.jsonl", "c.jsonl"}));
+  EXPECT_EQ(args.get_string("json", ""), "out.json");
+}
+
+TEST(CliTest, DeclaredSwitchesNeverConsumePositionals) {
+  const char* argv[] = {"prog", "--quiet", "a.jsonl", "--resume",
+                        "b.jsonl"};
+  const cli args(5, argv, {"quiet", "resume"});
+  EXPECT_TRUE(args.get_bool("quiet", false));
+  EXPECT_TRUE(args.get_bool("resume", false));
+  EXPECT_EQ(args.positionals(),
+            (std::vector<std::string>{"a.jsonl", "b.jsonl"}));
+  // Undeclared flags keep the usual --name value form.
+  const char* argv2[] = {"prog", "--json", "out.json"};
+  const cli args2(3, argv2, {"quiet"});
+  EXPECT_EQ(args2.get_string("json", ""), "out.json");
+  // And `--switch=value` still works for declared switches.
+  const char* argv3[] = {"prog", "--quiet=false", "x.jsonl"};
+  const cli args3(3, argv3, {"quiet"});
+  EXPECT_FALSE(args3.get_bool("quiet", true));
+  EXPECT_EQ(args3.positionals(), (std::vector<std::string>{"x.jsonl"}));
+}
+
 TEST(CliTest, TypedGetters) {
   const char* argv[] = {"prog", "--p=0.25", "--csv=/tmp/x.csv", "--flag=no"};
   const cli args(4, argv);

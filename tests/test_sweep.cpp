@@ -1,0 +1,546 @@
+// Tests for the sharded streaming sweep subsystem: lazy work-source
+// enumeration, the (start, stride) shard convention, JSONL record
+// round-trips, crash-resume, and the headline contract - merging any
+// shard partition's JSONL outputs is bit-identical to the
+// single-process run_matrix result (coin accounting included, at
+// word-boundary graph sizes).
+#include "sweep/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "graph/generators.hpp"
+#include "support/json.hpp"
+#include "sweep/jsonl.hpp"
+
+namespace beepkit {
+namespace {
+
+/// Word-boundary graph sizes (64, 65) plus an odd one, with trial
+/// counts that do not divide evenly by any tested shard count.
+class sweep_fixture {
+ public:
+  sweep_fixture() {
+    instances_.push_back(analysis::make_instance(graph::make_path(64)));
+    instances_.push_back(analysis::make_instance(graph::make_complete(65)));
+    instances_.push_back(analysis::make_instance(graph::make_star(33)));
+    auto horizon = [](const analysis::instance& inst) {
+      return 4 * core::default_horizon(inst.g, inst.diameter);
+    };
+    spec_.name = "test_sweep";
+    spec_.cells.push_back({&instances_[0], analysis::make_bfw(0.5), 7, 101,
+                           horizon(instances_[0])});
+    spec_.cells.push_back({&instances_[1],
+                           analysis::make_bfw_known_diameter(
+                               instances_[1].diameter),
+                           5, 202, horizon(instances_[1])});
+    spec_.cells.push_back({&instances_[2],
+                           analysis::make_id_broadcast(
+                               instances_[2].diameter),
+                           6, 303, horizon(instances_[2])});
+  }
+
+  [[nodiscard]] const sweep::spec& spec() const { return spec_; }
+
+  [[nodiscard]] std::vector<analysis::trial_stats> reference() const {
+    return analysis::run_matrix(spec_.cells, analysis::run_options{1});
+  }
+
+ private:
+  std::vector<analysis::instance> instances_;
+  sweep::spec spec_;
+};
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "beepkit_sweep_" + name;
+}
+
+/// Every statistical field, compared exactly - EXPECT_EQ on doubles is
+/// deliberate: the contract is bit-identity, not closeness.
+void expect_stats_bit_identical(const analysis::trial_stats& a,
+                                const analysis::trial_stats& b,
+                                const std::string& label) {
+  EXPECT_EQ(a.algorithm_name, b.algorithm_name) << label;
+  EXPECT_EQ(a.graph_name, b.graph_name) << label;
+  EXPECT_EQ(a.node_count, b.node_count) << label;
+  EXPECT_EQ(a.diameter, b.diameter) << label;
+  EXPECT_EQ(a.trials, b.trials) << label;
+  EXPECT_EQ(a.converged, b.converged) << label;
+  EXPECT_EQ(a.total_rounds, b.total_rounds) << label;
+  EXPECT_EQ(a.rounds.count, b.rounds.count) << label;
+  EXPECT_EQ(a.rounds.mean, b.rounds.mean) << label;
+  EXPECT_EQ(a.rounds.stddev, b.rounds.stddev) << label;
+  EXPECT_EQ(a.rounds.min, b.rounds.min) << label;
+  EXPECT_EQ(a.rounds.max, b.rounds.max) << label;
+  EXPECT_EQ(a.rounds.median, b.rounds.median) << label;
+  EXPECT_EQ(a.rounds.q25, b.rounds.q25) << label;
+  EXPECT_EQ(a.rounds.q75, b.rounds.q75) << label;
+  EXPECT_EQ(a.rounds.q95, b.rounds.q95) << label;
+  EXPECT_EQ(a.mean_coins_per_node_round, b.mean_coins_per_node_round)
+      << label;
+}
+
+TEST(WorkSourceTest, ShardsPartitionUnitsExactly) {
+  const sweep_fixture fixture;
+  const std::uint64_t total = fixture.spec().total_units();
+  ASSERT_EQ(total, 18U);
+  for (const std::uint64_t shards : {1U, 2U, 3U, 8U}) {
+    std::vector<int> covered(total, 0);
+    std::uint64_t owned_sum = 0;
+    for (std::uint64_t i = 0; i < shards; ++i) {
+      sweep::work_source source(fixture.spec(),
+                                support::shard_spec{i, shards});
+      EXPECT_EQ(source.total_units(), total);
+      owned_sum += source.shard_units();
+      std::uint64_t last_global = 0;
+      bool first = true;
+      while (const auto u = source.next()) {
+        ASSERT_LT(u->global, total);
+        ++covered[u->global];
+        EXPECT_EQ(u->global % shards, i) << "stride violated";
+        if (!first) EXPECT_GT(u->global, last_global) << "not in order";
+        last_global = u->global;
+        first = false;
+      }
+    }
+    EXPECT_EQ(owned_sum, total);
+    for (std::uint64_t g = 0; g < total; ++g) {
+      EXPECT_EQ(covered[g], 1) << "unit " << g << " with " << shards
+                               << " shards";
+    }
+  }
+}
+
+TEST(WorkSourceTest, SeedsMatchSerialDerivationOnEveryShard) {
+  const sweep_fixture fixture;
+  // Reference: the exact run_matrix/map_trials derivation.
+  std::vector<std::vector<std::uint64_t>> expected;
+  for (const auto& cell : fixture.spec().cells) {
+    support::rng seeder(cell.seed);
+    std::vector<std::uint64_t> seeds(cell.trials);
+    for (auto& s : seeds) s = seeder.next_u64();
+    expected.push_back(std::move(seeds));
+  }
+  for (const std::uint64_t shards : {1U, 3U, 8U}) {
+    for (std::uint64_t i = 0; i < shards; ++i) {
+      sweep::work_source source(fixture.spec(),
+                                support::shard_spec{i, shards});
+      while (const auto u = source.next()) {
+        EXPECT_EQ(u->seed, expected[u->cell][u->trial])
+            << "cell " << u->cell << " trial " << u->trial << " shard "
+            << i << "/" << shards;
+      }
+    }
+  }
+}
+
+TEST(SweepRunTest, UnshardedMatchesRunMatrixBitForBit) {
+  const sweep_fixture fixture;
+  const auto reference = fixture.reference();
+  for (const std::size_t threads : {1U, 2U, 8U}) {
+    sweep::options opts;
+    opts.threads = threads;
+    const auto result = sweep::run(fixture.spec(), opts);
+    ASSERT_EQ(result.cells.size(), reference.size());
+    EXPECT_EQ(result.units_run, fixture.spec().total_units());
+    for (std::size_t c = 0; c < reference.size(); ++c) {
+      expect_stats_bit_identical(
+          result.cells[c], reference[c],
+          "threads=" + std::to_string(threads) + " cell " +
+              std::to_string(c));
+    }
+  }
+}
+
+TEST(SweepRunTest, TrialHookSeesEveryUnitInGlobalOrder) {
+  const sweep_fixture fixture;
+  sweep::options opts;
+  opts.threads = 4;
+  std::vector<std::uint64_t> globals;
+  opts.on_trial = [&globals](const sweep::unit& u,
+                             const core::election_outcome& outcome) {
+    globals.push_back(u.global);
+    EXPECT_GT(outcome.rounds + 1, 0U);  // outcome populated
+  };
+  (void)sweep::run(fixture.spec(), opts);
+  ASSERT_EQ(globals.size(), fixture.spec().total_units());
+  for (std::size_t i = 0; i < globals.size(); ++i) {
+    EXPECT_EQ(globals[i], i);
+  }
+}
+
+TEST(SweepMergeTest, AnyShardCountBitIdenticalToRunMatrix) {
+  const sweep_fixture fixture;
+  const auto reference = fixture.reference();
+  for (const std::uint64_t shards : {1U, 2U, 3U, 8U}) {
+    std::vector<std::string> paths;
+    for (std::uint64_t i = 0; i < shards; ++i) {
+      const std::string path =
+          temp_path("merge_" + std::to_string(shards) + "_" +
+                    std::to_string(i) + ".jsonl");
+      sweep::options opts;
+      opts.threads = 2;
+      opts.shard = {i, shards};
+      opts.jsonl_path = path;
+      opts.checkpoint_every = 3;  // exercise checkpoint records too
+      (void)sweep::run(fixture.spec(), opts);
+      paths.push_back(path);
+    }
+    const auto merged = sweep::merge_shards(paths);
+    EXPECT_EQ(merged.sweep_name, "test_sweep");
+    EXPECT_EQ(merged.units, fixture.spec().total_units());
+    EXPECT_EQ(merged.duplicate_records, 0U);
+    ASSERT_EQ(merged.cells.size(), reference.size());
+    for (std::size_t c = 0; c < reference.size(); ++c) {
+      expect_stats_bit_identical(
+          merged.cells[c].stats, reference[c],
+          std::to_string(shards) + " shards, cell " + std::to_string(c));
+    }
+    for (const auto& path : paths) std::remove(path.c_str());
+  }
+}
+
+TEST(SweepMergeTest, ShardFilesRoundTripThroughReader) {
+  const sweep_fixture fixture;
+  const std::string path = temp_path("roundtrip.jsonl");
+  sweep::options opts;
+  opts.jsonl_path = path;
+  const auto result = sweep::run(fixture.spec(), opts);
+  const auto file = sweep::read_shard_file(path);
+  EXPECT_EQ(file.sweep_name, "test_sweep");
+  EXPECT_TRUE(file.done);
+  EXPECT_EQ(file.torn_lines, 0U);
+  EXPECT_EQ(file.cells.size(), fixture.spec().cells.size());
+  EXPECT_EQ(file.trials.size(), result.units_run);
+  for (std::size_t c = 0; c < file.cells.size(); ++c) {
+    const auto& cell = fixture.spec().cells[c];
+    EXPECT_EQ(file.cells[c].algorithm, cell.algo.name);
+    EXPECT_EQ(file.cells[c].graph, cell.inst->g.name());
+    EXPECT_EQ(file.cells[c].trials, cell.trials);
+    EXPECT_EQ(file.cells[c].seed, cell.seed);
+    EXPECT_EQ(file.cells[c].max_rounds, cell.max_rounds);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SweepMergeTest, ResumeAfterTornFileIsBitIdentical) {
+  const sweep_fixture fixture;
+  const auto reference = fixture.reference();
+  const std::string shard0 = temp_path("resume_shard0.jsonl");
+  const std::string shard1 = temp_path("resume_shard1.jsonl");
+  {
+    sweep::options opts;
+    opts.shard = {0, 2};
+    opts.jsonl_path = shard0;
+    (void)sweep::run(fixture.spec(), opts);
+    opts.shard = {1, 2};
+    opts.jsonl_path = shard1;
+    (void)sweep::run(fixture.spec(), opts);
+  }
+  // Simulate a crash: keep ~60% of shard 0's bytes, leaving a torn
+  // final line, then resume into the same file.
+  {
+    std::ifstream in(shard0, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(shard0, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() * 6 / 10));
+  }
+  sweep::options opts;
+  opts.shard = {0, 2};
+  opts.jsonl_path = shard0;
+  opts.resume = true;
+  const auto resumed = sweep::run(fixture.spec(), opts);
+  EXPECT_GT(resumed.units_resumed, 0U) << "nothing was resumed";
+  EXPECT_GT(resumed.units_run, 0U) << "nothing was re-run";
+  // Shard-local aggregates after resume match a fresh shard 0 run.
+  {
+    sweep::options fresh;
+    fresh.shard = {0, 2};
+    const auto fresh_result = sweep::run(fixture.spec(), fresh);
+    ASSERT_EQ(resumed.cells.size(), fresh_result.cells.size());
+    for (std::size_t c = 0; c < resumed.cells.size(); ++c) {
+      expect_stats_bit_identical(resumed.cells[c], fresh_result.cells[c],
+                                 "resumed shard cell " + std::to_string(c));
+    }
+  }
+  const std::vector<std::string> paths = {shard0, shard1};
+  const auto merged = sweep::merge_shards(paths);
+  ASSERT_EQ(merged.cells.size(), reference.size());
+  for (std::size_t c = 0; c < reference.size(); ++c) {
+    expect_stats_bit_identical(merged.cells[c].stats, reference[c],
+                               "resume-merged cell " + std::to_string(c));
+  }
+  std::remove(shard0.c_str());
+  std::remove(shard1.c_str());
+}
+
+TEST(SweepMergeTest, ResumeRewritesCrashedFileIntoMergeableShard) {
+  // Cut the file so deep that even the header/cell block is torn; a
+  // resumed run must leave a complete, mergeable shard file behind.
+  const sweep_fixture fixture;
+  const std::string path = temp_path("headercrash.jsonl");
+  sweep::options opts;
+  opts.shard = {0, 2};
+  opts.jsonl_path = path;
+  (void)sweep::run(fixture.spec(), opts);
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), 200);  // mid-header-block crash, no trials
+  }
+  opts.resume = true;
+  const auto resumed = sweep::run(fixture.spec(), opts);
+  EXPECT_EQ(resumed.units_resumed, 0U);  // no complete trial survived
+  const auto file = sweep::read_shard_file(path);
+  EXPECT_TRUE(file.done);
+  EXPECT_EQ(file.cells.size(), fixture.spec().cells.size());
+  EXPECT_EQ(file.trials.size(), resumed.units_run);
+  std::remove(path.c_str());
+}
+
+TEST(SweepMergeTest, ResumeOntoEmptyFileRunsFresh) {
+  const sweep_fixture fixture;
+  const std::string path = temp_path("empty_resume.jsonl");
+  { std::ofstream touch(path, std::ios::trunc); }
+  sweep::options opts;
+  opts.jsonl_path = path;
+  opts.resume = true;
+  const auto result = sweep::run(fixture.spec(), opts);
+  EXPECT_EQ(result.units_resumed, 0U);
+  EXPECT_EQ(result.units_run, fixture.spec().total_units());
+  EXPECT_TRUE(sweep::read_shard_file(path).done);
+  std::remove(path.c_str());
+}
+
+TEST(SweepMergeTest, ResumeRejectsFileFromDifferentSpec) {
+  // A resume file whose cell block disagrees with the current spec
+  // (different graph size here) must be refused, not silently folded.
+  const sweep_fixture fixture;
+  const std::string path = temp_path("wrongspec.jsonl");
+  sweep::options opts;
+  opts.jsonl_path = path;
+  (void)sweep::run(fixture.spec(), opts);
+
+  std::vector<analysis::instance> other_instances;
+  other_instances.push_back(analysis::make_instance(graph::make_path(32)));
+  other_instances.push_back(
+      analysis::make_instance(graph::make_complete(65)));
+  other_instances.push_back(analysis::make_instance(graph::make_star(33)));
+  sweep::spec other;
+  other.name = "test_sweep";  // same name, different first graph
+  for (std::size_t c = 0; c < fixture.spec().cells.size(); ++c) {
+    auto cell = fixture.spec().cells[c];
+    cell.inst = &other_instances[c];
+    other.cells.push_back(cell);
+  }
+  opts.resume = true;
+  EXPECT_THROW((void)sweep::run(other, opts), std::runtime_error);
+
+  sweep::spec renamed = other;
+  renamed.name = "some_other_sweep";
+  EXPECT_THROW((void)sweep::run(renamed, opts), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SweepMergeTest, ResumeRejectsShardLayoutChange) {
+  // The rewritten header must describe the file's contents: resuming
+  // a 0/2 file as 1/2 would mislabel every salvaged record.
+  const sweep_fixture fixture;
+  const std::string path = temp_path("layoutchange.jsonl");
+  sweep::options opts;
+  opts.shard = {0, 2};
+  opts.jsonl_path = path;
+  (void)sweep::run(fixture.spec(), opts);
+  opts.shard = {1, 2};
+  opts.resume = true;
+  EXPECT_THROW((void)sweep::run(fixture.spec(), opts), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SweepMergeTest, ResumeRefusesAlienFile) {
+  // A non-empty file that is neither a shard file nor salvageable is
+  // not ours to overwrite.
+  const sweep_fixture fixture;
+  const std::string path = temp_path("alien.jsonl");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "these are not the records you are looking for\n";
+  }
+  sweep::options opts;
+  opts.jsonl_path = path;
+  opts.resume = true;
+  EXPECT_THROW((void)sweep::run(fixture.spec(), opts), std::runtime_error);
+  // The refused file is untouched.
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "these are not the records you are looking for");
+  std::remove(path.c_str());
+}
+
+TEST(SweepMergeTest, ResumeRejectsWrongSweepEvenWithoutTrials) {
+  // A header-only file (crashed before its first trial flush) from a
+  // different sweep must still be refused, not silently truncated.
+  const sweep_fixture fixture;
+  const std::string path = temp_path("wrongname.jsonl");
+  {
+    sweep::record_writer writer;
+    ASSERT_TRUE(writer.open(path));
+    writer.write_header("some_other_sweep", {0, 1}, 0, 0);
+    ASSERT_TRUE(writer.close());
+  }
+  sweep::options opts;
+  opts.jsonl_path = path;
+  opts.resume = true;
+  EXPECT_THROW((void)sweep::run(fixture.spec(), opts), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(SweepRunTest, WriteFailureIsReportedNotSwallowed) {
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  const sweep_fixture fixture;
+  sweep::options opts;
+  opts.jsonl_path = "/dev/full";
+  EXPECT_THROW((void)sweep::run(fixture.spec(), opts), std::runtime_error);
+}
+
+TEST(SweepMergeTest, OverlappingIdenticalRecordsAreTolerated) {
+  const sweep_fixture fixture;
+  const auto reference = fixture.reference();
+  const std::string full = temp_path("overlap_full.jsonl");
+  const std::string extra = temp_path("overlap_extra.jsonl");
+  sweep::options opts;
+  opts.jsonl_path = full;
+  (void)sweep::run(fixture.spec(), opts);
+  opts.shard = {1, 3};
+  opts.jsonl_path = extra;
+  (void)sweep::run(fixture.spec(), opts);
+  const std::vector<std::string> paths = {full, extra};
+  const auto merged = sweep::merge_shards(paths);
+  EXPECT_GT(merged.duplicate_records, 0U);
+  for (std::size_t c = 0; c < reference.size(); ++c) {
+    expect_stats_bit_identical(merged.cells[c].stats, reference[c],
+                               "overlap cell " + std::to_string(c));
+  }
+  std::remove(full.c_str());
+  std::remove(extra.c_str());
+}
+
+TEST(SweepMergeTest, MissingShardIsReportedAsIncomplete) {
+  const sweep_fixture fixture;
+  const std::string shard0 = temp_path("missing_shard0.jsonl");
+  sweep::options opts;
+  opts.shard = {0, 2};
+  opts.jsonl_path = shard0;
+  (void)sweep::run(fixture.spec(), opts);
+  const std::vector<std::string> paths = {shard0};
+  EXPECT_THROW((void)sweep::merge_shards(paths), std::runtime_error);
+  std::remove(shard0.c_str());
+}
+
+TEST(SweepMergeTest, ConflictingDuplicateIsRejected) {
+  const sweep_fixture fixture;
+  const std::string original = temp_path("conflict_a.jsonl");
+  const std::string tampered = temp_path("conflict_b.jsonl");
+  sweep::options opts;
+  opts.jsonl_path = original;
+  (void)sweep::run(fixture.spec(), opts);
+  // Copy the file, flipping one trial's coin count.
+  std::ifstream in(original);
+  std::ofstream out(tampered, std::ios::trunc);
+  std::string line;
+  bool flipped = false;
+  while (std::getline(in, line)) {
+    auto record = support::json::parse(line);
+    ASSERT_TRUE(record.has_value());
+    const auto* type = record->find("type");
+    if (!flipped && type && type->as_string() == "trial") {
+      record->set("coins", record->find("coins")->as_u64() + 1);
+      flipped = true;
+    }
+    out << record->dump() << '\n';
+  }
+  ASSERT_TRUE(flipped);
+  out.close();
+  const std::vector<std::string> paths = {original, tampered};
+  EXPECT_THROW((void)sweep::merge_shards(paths), std::runtime_error);
+  std::remove(original.c_str());
+  std::remove(tampered.c_str());
+}
+
+TEST(SweepMergeTest, SummaryJsonIsDeterministic) {
+  const sweep_fixture fixture;
+  const std::string path = temp_path("summary.jsonl");
+  sweep::options opts;
+  opts.jsonl_path = path;
+  (void)sweep::run(fixture.spec(), opts);
+  const std::vector<std::string> paths = {path};
+  const auto once = sweep::merge_summary(sweep::merge_shards(paths)).dump();
+  const auto twice = sweep::merge_summary(sweep::merge_shards(paths)).dump();
+  EXPECT_EQ(once, twice);
+  EXPECT_NE(once.find("\"sweep\":\"test_sweep\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JsonTest, ExactUint64RoundTrip) {
+  const std::uint64_t big = 18446744073709551615ULL;  // 2^64 - 1
+  support::json record;
+  record.set("seed", big);
+  record.set("coins", std::uint64_t{1} << 63);
+  const auto parsed = support::json::parse(record.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("seed")->as_u64(), big);
+  EXPECT_EQ(parsed->find("coins")->as_u64(), std::uint64_t{1} << 63);
+}
+
+TEST(JsonTest, EscapesAndNesting) {
+  support::json inner;
+  inner.set("name", "quote\" backslash\\ newline\n tab\t");
+  support::json outer;
+  outer.set("cell", inner);
+  outer.set("values", support::json(support::json::array{
+                          support::json(1), support::json(true),
+                          support::json(nullptr), support::json(-3)}));
+  const std::string text = outer.dump();
+  const auto parsed = support::json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("cell")->find("name")->as_string(),
+            "quote\" backslash\\ newline\n tab\t");
+  EXPECT_EQ(parsed->find("values")->as_array().size(), 4U);
+  EXPECT_EQ(parsed->find("values")->as_array()[3].as_i64(), -3);
+  EXPECT_EQ(parsed->dump(), text);  // stable serialization
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(support::json::parse("{\"a\":").has_value());
+  EXPECT_FALSE(support::json::parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(support::json::parse("{'a':1}").has_value());
+  EXPECT_FALSE(support::json::parse("").has_value());
+  EXPECT_FALSE(support::json::parse("{\"a\":1,}").has_value());
+}
+
+TEST(JsonTest, DoublesSurviveRoundTrip) {
+  support::json record;
+  record.set("mean", 1234.5678901234567);
+  record.set("rate", 0.1);
+  const auto parsed = support::json::parse(record.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("mean")->as_double(), 1234.5678901234567);
+  EXPECT_EQ(parsed->find("rate")->as_double(), 0.1);
+}
+
+}  // namespace
+}  // namespace beepkit
