@@ -4,10 +4,16 @@
 // is the "laptop-scale pure-algorithm build" sanity check: all paper
 // experiments run in seconds.
 //
-// The *Reference suites drive the pre-bit-packing scalar step (kept as
-// engine::step_reference) on identical inputs, so the packed/scalar
-// rounds-per-second ratio is read straight off the report; the
-// RunTrials suite measures the parallel Monte-Carlo runner's
+// Three columns per topology measure the dispatch tiers:
+//   * plain suites (BM_BfwOnPath, ...) - the devirtualized table-driven
+//     FSM fast path (default engine behaviour);
+//   * *Virtual suites - the packed sweeps with per-node virtual
+//     dispatch (engine::set_fast_path_enabled(false)), i.e. the
+//     pre-fast-path engine, so the fast/virtual ratio is read straight
+//     off the report;
+//   * *Reference suites - the original scalar byte-array step (kept as
+//     engine::step_reference).
+// The RunTrials suite measures the parallel Monte-Carlo runner's
 // trials-per-second scaling across worker counts.
 #include <benchmark/benchmark.h>
 
@@ -27,6 +33,22 @@ void run_bfw_rounds(benchmark::State& state, const graph::graph& g) {
   const core::bfw_machine machine(0.5);
   beeping::fsm_protocol proto(machine);
   beeping::engine sim(g, proto, 42);
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(sim.leader_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.node_count()));
+}
+
+// The packed engine with the table-driven fast path disabled: per-node
+// virtual protocol::step/beeping/is_leader dispatch, exactly the
+// pre-fast-path hot loop.
+void run_bfw_rounds_virtual(benchmark::State& state, const graph::graph& g) {
+  const core::bfw_machine machine(0.5);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 42);
+  sim.set_fast_path_enabled(false);
   for (auto _ : state) {
     sim.step();
     benchmark::DoNotOptimize(sim.leader_count());
@@ -67,6 +89,40 @@ void BM_BfwOnComplete(benchmark::State& state) {
   run_bfw_rounds(state, g);
 }
 BENCHMARK(BM_BfwOnComplete)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BfwOnTree(benchmark::State& state) {
+  const auto g = graph::make_complete_binary_tree(
+      static_cast<std::size_t>(state.range(0)));
+  run_bfw_rounds(state, g);
+}
+BENCHMARK(BM_BfwOnTree)->Arg(256)->Arg(4096);
+
+void BM_BfwOnPathVirtual(benchmark::State& state) {
+  const auto g = graph::make_path(static_cast<std::size_t>(state.range(0)));
+  run_bfw_rounds_virtual(state, g);
+}
+BENCHMARK(BM_BfwOnPathVirtual)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BfwOnGridVirtual(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_grid(side, side);
+  run_bfw_rounds_virtual(state, g);
+}
+BENCHMARK(BM_BfwOnGridVirtual)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BfwOnCompleteVirtual(benchmark::State& state) {
+  const auto g =
+      graph::make_complete(static_cast<std::size_t>(state.range(0)));
+  run_bfw_rounds_virtual(state, g);
+}
+BENCHMARK(BM_BfwOnCompleteVirtual)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BfwOnTreeVirtual(benchmark::State& state) {
+  const auto g = graph::make_complete_binary_tree(
+      static_cast<std::size_t>(state.range(0)));
+  run_bfw_rounds_virtual(state, g);
+}
+BENCHMARK(BM_BfwOnTreeVirtual)->Arg(256)->Arg(4096);
 
 void BM_BfwOnPathReference(benchmark::State& state) {
   const auto g = graph::make_path(static_cast<std::size_t>(state.range(0)));
@@ -109,6 +165,21 @@ void BM_StoneAgeOnGrid(benchmark::State& state) {
                           static_cast<std::int64_t>(g.node_count()));
 }
 BENCHMARK(BM_StoneAgeOnGrid)->Arg(16)->Arg(64);
+
+void BM_StoneAgeOnGridVirtual(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_grid(side, side);
+  const core::bfw_stone_automaton automaton(0.5);
+  stoneage::engine sim(g, automaton, 1, 42);
+  sim.set_fast_path_enabled(false);
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(sim.leader_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_StoneAgeOnGridVirtual)->Arg(16)->Arg(64);
 
 void BM_BfwWithInvariantChecker(benchmark::State& state) {
   const auto side = static_cast<std::size_t>(state.range(0));

@@ -69,16 +69,7 @@ core::election_outcome run_protocol(const graph::graph& g,
                                     std::uint64_t seed,
                                     std::uint64_t max_rounds) {
   beeping::engine sim(g, proto, seed);
-  const auto result = sim.run_until_single_leader(max_rounds);
-  core::election_outcome outcome;
-  outcome.converged = result.converged;
-  outcome.rounds = result.rounds;
-  outcome.final_leader_count = sim.leader_count();
-  outcome.total_coins = sim.total_coins_consumed();
-  if (result.converged && sim.leader_count() == 1) {
-    outcome.leader = sim.sole_leader();
-  }
-  return outcome;
+  return core::finish_election(sim, sim.run_until_single_leader(max_rounds));
 }
 
 }  // namespace

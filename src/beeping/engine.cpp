@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
+#include <stdexcept>
 
 namespace beepkit::beeping {
 
@@ -19,6 +21,24 @@ constexpr bool test_bit(const std::vector<std::uint64_t>& words,
 constexpr void set_bit(std::vector<std::uint64_t>& words,
                        graph::node_id u) noexcept {
   words[u >> 6] |= 1ULL << (u & 63);
+}
+
+// Spreads the low 8 bits of `x` into 8 bytes holding 0/1 (bit i ->
+// byte i). The multiply places bit i at bit 7 of byte 7-i; the byte
+// swap restores ascending order.
+inline std::uint64_t spread_bits_to_bytes(std::uint64_t x) noexcept {
+  return __builtin_bswap64((x * 0x8040201008040201ULL) &
+                           0x8080808080808080ULL) >>
+         7;
+}
+
+// Widens the low/high 4 bytes of a packed-byte word into 4 uint16
+// lanes (classic morton spacing).
+inline std::uint64_t widen_bytes_to_u16(std::uint64_t bytes) noexcept {
+  std::uint64_t x = bytes & 0xFFFFFFFFULL;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFULL;
+  return x;
 }
 
 }  // namespace
@@ -39,10 +59,28 @@ engine::engine(const graph::graph& g, protocol& proto, std::uint64_t seed,
     // coins, and a (0, 0) noise model stays bit-identical.
     noise_rngs_ = support::make_node_streams(seed ^ 0x6e015eULL, n);
   }
+  // Bind-time fast-path detection: an FSM protocol whose machine
+  // compiles to a flat table runs rounds without virtual dispatch.
+  fsm_ = dynamic_cast<fsm_protocol*>(&proto);
+  if (fsm_ != nullptr) {
+    table_ = fsm_->machine().compile_table();
+  }
   beeping_.assign(n, 0);
   beep_words_.assign(word_count(n), 0);
   heard_words_.assign(word_count(n), 0);
+  active_words_.assign(word_count(n), 0);
   beep_counts_.assign(n, 0);
+  // Plane-mode scratch: the byte sidecar is padded to whole words so
+  // the SWAR ledger update never runs past the last node. (The SWAR
+  // transpose writes state ids through little-endian byte order; the
+  // sparse sweep carries big-endian hosts.)
+  plane_capable_ = table_.has_value() && table_->state_count() <= 8 &&
+                   std::endian::native == std::endian::little;
+  if (plane_capable_) {
+    for (auto& plane : planes_) plane.assign(word_count(n), 0);
+  }
+  tail_mask_ = (n % 64 == 0) ? ~0ULL : ((1ULL << (n % 64)) - 1);
+  pending_beeps_.assign(word_count(n) * 64, 0);
   refresh_round_state();
 }
 
@@ -53,19 +91,97 @@ void engine::add_observer(observer* obs) {
 
 void engine::refresh_round_state() {
   const std::size_t n = g_->node_count();
+  // The protocol's state vector is the source of truth here (plane
+  // rounds keep it fresh), so drop out of plane mode; it re-engages on
+  // the next dense round.
+  plane_mode_ = false;
   leader_count_ = 0;
-  beeper_count_ = 0;
-  beeper_degree_sum_ = 0;
   std::fill(beep_words_.begin(), beep_words_.end(), 0);
   beep_flags_valid_ = false;  // byte mirror rebuilt lazily on demand
-  for (graph::node_id u = 0; u < n; ++u) {
-    if (proto_->beeping(u)) {
-      ++beep_counts_[u];
-      set_bit(beep_words_, u);
-      ++beeper_count_;
-      beeper_degree_sum_ += g_->degree(u);
+  if (fast_path_active()) {
+    // Table-driven refresh: same sweep, zero virtual calls; also
+    // rebuilds the active set the fused round sweep relies on.
+    const machine_table& table = *table_;
+    const std::span<state_id> states = fsm_->raw_states();
+    std::fill(active_words_.begin(), active_words_.end(), 0);
+    for (graph::node_id u = 0; u < n; ++u) {
+      const state_id s = states[u];
+      if (table.beeps(s)) {
+        ++beep_counts_[u];
+        set_bit(beep_words_, u);
+      }
+      leader_count_ += table.leader_flag[s];
+      if (table.bot_identity[s] == 0) set_bit(active_words_, u);
     }
-    if (proto_->is_leader(u)) ++leader_count_;
+  } else {
+    for (graph::node_id u = 0; u < n; ++u) {
+      if (proto_->beeping(u)) {
+        ++beep_counts_[u];
+        set_bit(beep_words_, u);
+      }
+      if (proto_->is_leader(u)) ++leader_count_;
+    }
+  }
+  if (fsm_ != nullptr) synced_version_ = fsm_->config_version();
+}
+
+void engine::rebuild_active_set() {
+  const std::size_t n = g_->node_count();
+  const machine_table& table = *table_;
+  const std::span<state_id> states = fsm_->raw_states();
+  std::fill(active_words_.begin(), active_words_.end(), 0);
+  for (graph::node_id u = 0; u < n; ++u) {
+    if (table.bot_identity[states[u]] == 0) set_bit(active_words_, u);
+  }
+}
+
+void engine::set_fast_path_enabled(bool enabled) {
+  if (enabled && !fast_enabled_ && table_.has_value()) {
+    // States may have moved under the virtual path while the active
+    // set was not maintained; rebuild it before fast rounds resume.
+    fast_enabled_ = true;
+    rebuild_active_set();
+    return;
+  }
+  if (!enabled) plane_mode_ = false;  // the state vector stays truth
+  fast_enabled_ = enabled;
+}
+
+void engine::flush_pending_ledger() const {
+  if (pending_rounds_ == 0) return;
+  const std::size_t n = g_->node_count();
+  for (std::size_t u = 0; u < n; ++u) {
+    beep_counts_[u] += pending_beeps_[u];
+    pending_beeps_[u] = 0;
+  }
+  pending_rounds_ = 0;
+}
+
+// Transposes the state vector into the three bit-planes; called when a
+// dense round engages the word-parallel sweep.
+void engine::enter_plane_mode() {
+  const std::size_t n = g_->node_count();
+  const state_id* const states = fsm_->raw_states().data();
+  for (auto& plane : planes_) {
+    std::fill(plane.begin(), plane.end(), 0);
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::uint64_t bit = 1ULL << (u & 63);
+    const state_id s = states[u];
+    if ((s & 1) != 0) planes_[0][u >> 6] |= bit;
+    if ((s & 2) != 0) planes_[1][u >> 6] |= bit;
+    if ((s & 4) != 0) planes_[2][u >> 6] |= bit;
+  }
+  plane_mode_ = true;
+}
+
+void engine::check_in_sync() const {
+  if (fsm_ != nullptr && fsm_->config_version() != synced_version_) {
+    throw std::logic_error(
+        "beeping::engine: protocol configuration was replaced "
+        "(fsm_protocol::set_states or reset) without "
+        "engine::restart_from_protocol(); the engine's round state is "
+        "stale");
   }
 }
 
@@ -79,7 +195,8 @@ void engine::ensure_beep_flags() const {
 }
 
 round_view engine::make_view() const {
-  ensure_beep_flags();  // observers read the byte flags
+  ensure_beep_flags();     // observers read the byte flags
+  flush_pending_ledger();  // ... and the exact beep counts
   round_view view;
   view.round = round_;
   view.g = g_;
@@ -93,13 +210,27 @@ round_view engine::make_view() const {
 void engine::restart_from_protocol() {
   round_ = 0;
   std::fill(beep_counts_.begin(), beep_counts_.end(), 0);
+  std::fill(pending_beeps_.begin(), pending_beeps_.end(), 0);
+  pending_rounds_ = 0;
   refresh_round_state();
-  if (!observers_.empty()) {
-    const round_view view = make_view();
-    for (observer* obs : observers_) {
-      obs->on_round(view);
+  notify_round_observers();
+}
+
+void engine::resync_with_protocol() {
+  // Undo the current round's ledger contribution (added by the refresh
+  // that entered this round), then recompute all bookkeeping from the
+  // protocol's new configuration; the round counter keeps running.
+  flush_pending_ledger();  // the contribution may live in the sidecar
+  for (std::size_t w = 0; w < beep_words_.size(); ++w) {
+    std::uint64_t bits = beep_words_[w];
+    while (bits != 0) {
+      const auto u = static_cast<graph::node_id>(
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      --beep_counts_[u];
     }
   }
+  refresh_round_state();
 }
 
 // Push sweep: enumerate the beepers via the packed words and OR each
@@ -158,6 +289,14 @@ void engine::apply_noise() {
   }
 }
 
+void engine::notify_round_observers() {
+  if (observers_.empty()) return;
+  const round_view view = make_view();
+  for (observer* obs : observers_) {
+    obs->on_round(view);
+  }
+}
+
 // Phase 2 + bookkeeping shared by step() and step_reference(); expects
 // heard_words_ to hold the delta_top set for the current round.
 void engine::finish_step() {
@@ -167,24 +306,233 @@ void engine::finish_step() {
   }
   ++round_;
   refresh_round_state();
-  if (!observers_.empty()) {
-    const round_view view = make_view();
-    for (observer* obs : observers_) {
-      obs->on_round(view);
+  notify_round_observers();
+}
+
+// Table-driven phase 2 fused with the next round's beep/leader refresh:
+// one sweep over heard ∪ active applies the compiled rules to the raw
+// state vector and updates all bookkeeping incrementally. Skipped nodes
+// (silent, bot row a draw-free self-loop) keep their state, contribute
+// no bookkeeping deltas, and - crucially - consume no generator draws,
+// so the sweep is draw-for-draw identical to the full virtual loop.
+void engine::finish_step_fast() {
+  const machine_table& table = *table_;
+  state_id* const states = fsm_->raw_states().data();
+  const transition_rule* const rules = table.rules.data();
+  const std::uint8_t* const meta = table.meta.data();
+  support::rng* const rngs = rngs_.data();
+  std::uint64_t* const beep_counts = beep_counts_.data();
+  const std::uint64_t* const heard = heard_words_.data();
+  std::uint64_t* const beep = beep_words_.data();
+  std::uint64_t* const active = active_words_.data();
+  // Every current beeper is in the heard set (it hears itself), so the
+  // new beep set is rebuilt entirely from visited nodes. Bookkeeping
+  // accumulates in locals: the loop stores into std::uint64_t arrays,
+  // which would otherwise force the member counters back to memory on
+  // every iteration (they may alias under TBAA).
+  std::fill(beep_words_.begin(), beep_words_.end(), 0);
+  beep_flags_valid_ = false;
+  std::size_t leaders = leader_count_;
+  const std::size_t words = heard_words_.size();
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t heard_bits = heard[w];
+    std::uint64_t bits = heard_bits | active[w];
+    std::uint64_t beep_bits = 0;
+    std::uint64_t active_bits = active[w];
+    while (bits != 0) {
+      const auto offset = static_cast<std::size_t>(std::countr_zero(bits));
+      const std::uint64_t mask = bits & (~bits + 1);
+      bits &= bits - 1;
+      const auto u = static_cast<graph::node_id>((w << 6) + offset);
+      const state_id s = states[u];
+      const transition_rule& rule =
+          rules[(static_cast<std::size_t>(s) << 1) |
+                ((heard_bits & mask) != 0 ? 1U : 0U)];
+      const state_id next = apply_rule(rule, rngs[u]);
+      states[u] = next;
+      // Branchless bookkeeping: wave fronts make beep/identity branches
+      // unpredictable, so fold the flag bits arithmetically instead.
+      const std::uint64_t next_meta = meta[next];
+      const std::uint64_t is_beep = next_meta & machine_table::meta_beep;
+      leaders += (next_meta >> 1) & 1U;
+      leaders -= (meta[s] >> 1) & 1U;
+      beep_counts[u] += is_beep;
+      beep_bits |= mask & (0 - is_beep);
+      active_bits =
+          (active_bits | mask) ^ (mask & (0 - ((next_meta >> 2) & 1U)));
+    }
+    beep[w] = beep_bits;
+    active[w] = active_bits;
+  }
+  leader_count_ = leaders;
+  ++round_;
+  notify_round_observers();
+}
+
+// Word-parallel phase 2 for machines with <= 8 states: per word, decode
+// a membership mask for every state, split it by the heard plane, and
+// route each part to its successor's mask with pure word ops. Only
+// stochastic rules visit nodes individually - their parts are iterated
+// jointly in ascending node order, so the per-node generator draws are
+// exactly those of the scalar loop. The new planes, beep set, leader
+// count and ledger all fall out of the per-successor masks, and the
+// protocol's state vector is rewritten through a SWAR transpose so
+// outside readers never see stale states.
+void engine::finish_step_plane() {
+  const machine_table& table = *table_;
+  const std::size_t q = table.state_count();
+  const std::size_t n = g_->node_count();
+  const std::size_t words = heard_words_.size();
+  state_id* const states = fsm_->raw_states().data();
+  support::rng* const rngs = rngs_.data();
+  const std::uint64_t* const heard = heard_words_.data();
+  std::uint64_t* const beep = beep_words_.data();
+  std::uint64_t* const p0 = planes_[0].data();
+  std::uint64_t* const p1 = planes_[1].data();
+  std::uint64_t* const p2 = planes_[2].data();
+  std::uint8_t* const pending = pending_beeps_.data();
+  beep_flags_valid_ = false;
+  std::size_t leaders = 0;
+  std::size_t active_next = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t valid = (w + 1 == words) ? tail_mask_ : ~0ULL;
+    const std::uint64_t h = heard[w];
+    const std::uint64_t b0 = p0[w];
+    const std::uint64_t b1 = p1[w];
+    const std::uint64_t b2 = p2[w];
+    std::uint64_t moved[8] = {};  // moved[t]: nodes whose successor is t
+    // Stochastic parts are deferred so their draws happen jointly in
+    // ascending node order, interleaved exactly as the scalar loop.
+    struct pending_draw {
+      const transition_rule* rule;
+      std::uint64_t part;
+    };
+    std::array<pending_draw, 16> draws;
+    std::size_t draw_rules = 0;
+    std::uint64_t draw_union = 0;
+    for (std::size_t s = 0; s < q; ++s) {
+      std::uint64_t dec = valid;
+      dec &= ((s & 1) != 0) ? b0 : ~b0;
+      dec &= ((s & 2) != 0) ? b1 : ~b1;
+      dec &= ((s & 4) != 0) ? b2 : ~b2;
+      if (dec == 0) continue;
+      const transition_rule& top = table.rule(static_cast<state_id>(s), true);
+      const transition_rule& bot = table.rule(static_cast<state_id>(s), false);
+      const std::uint64_t top_part = dec & h;
+      const std::uint64_t bot_part = dec & ~h;
+      if (top_part != 0) {
+        if (top.draw == transition_rule::draw_kind::none) {
+          moved[top.next] |= top_part;
+        } else {
+          draws[draw_rules++] = {&top, top_part};
+          draw_union |= top_part;
+        }
+      }
+      if (bot_part != 0) {
+        if (bot.draw == transition_rule::draw_kind::none) {
+          moved[bot.next] |= bot_part;
+        } else {
+          draws[draw_rules++] = {&bot, bot_part};
+          draw_union |= bot_part;
+        }
+      }
+    }
+    while (draw_union != 0) {
+      const auto offset = static_cast<std::size_t>(std::countr_zero(draw_union));
+      const std::uint64_t mask = draw_union & (~draw_union + 1);
+      draw_union &= draw_union - 1;
+      const auto u = static_cast<graph::node_id>((w << 6) + offset);
+      for (std::size_t i = 0; i < draw_rules; ++i) {
+        if ((draws[i].part & mask) != 0) {
+          moved[apply_rule(*draws[i].rule, rngs[u])] |= mask;
+          break;
+        }
+      }
+    }
+    std::uint64_t np0 = 0;
+    std::uint64_t np1 = 0;
+    std::uint64_t np2 = 0;
+    std::uint64_t beep_bits = 0;
+    std::uint64_t leader_bits = 0;
+    std::uint64_t active_bits = 0;
+    for (std::size_t t = 0; t < q; ++t) {
+      const std::uint64_t m = moved[t];
+      if (m == 0) continue;
+      if ((t & 1) != 0) np0 |= m;
+      if ((t & 2) != 0) np1 |= m;
+      if ((t & 4) != 0) np2 |= m;
+      const std::uint8_t t_meta = table.meta[t];
+      if ((t_meta & machine_table::meta_beep) != 0) beep_bits |= m;
+      if ((t_meta & machine_table::meta_leader) != 0) leader_bits |= m;
+      if ((t_meta & machine_table::meta_bot_identity) == 0) active_bits |= m;
+    }
+    p0[w] = np0;
+    p1[w] = np1;
+    p2[w] = np2;
+    beep[w] = beep_bits;
+    leaders += static_cast<std::size_t>(std::popcount(leader_bits));
+    active_next += static_cast<std::size_t>(std::popcount(active_bits));
+    // Ledger: bank this round's +1s as bytes, 8 nodes per word op.
+    if (beep_bits != 0) {
+      std::uint8_t* const row = pending + (w << 6);
+      for (std::size_t g = 0; g < 64; g += 8) {
+        const std::uint64_t add = spread_bits_to_bytes((beep_bits >> g) & 0xFF);
+        if (add == 0) continue;
+        std::uint64_t cur;
+        std::memcpy(&cur, row + g, 8);
+        cur += add;  // bytes stay < 255: the sidecar is flushed in time
+        std::memcpy(row + g, &cur, 8);
+      }
+    }
+    // Rewrite the protocol's state vector for this word (SWAR
+    // bit-to-byte transpose, then bytes widened to the uint16 ids).
+    const std::size_t base = w << 6;
+    const std::size_t in_word = std::min<std::size_t>(64, n - base);
+    std::size_t i = 0;
+    for (; i + 8 <= in_word; i += 8) {
+      const std::uint64_t bytes = spread_bits_to_bytes((np0 >> i) & 0xFF) |
+                                  (spread_bits_to_bytes((np1 >> i) & 0xFF) << 1) |
+                                  (spread_bits_to_bytes((np2 >> i) & 0xFF) << 2);
+      const std::uint64_t lo = widen_bytes_to_u16(bytes);
+      const std::uint64_t hi = widen_bytes_to_u16(bytes >> 32);
+      std::memcpy(states + base + i, &lo, 8);
+      std::memcpy(states + base + i + 4, &hi, 8);
+    }
+    for (; i < in_word; ++i) {
+      states[base + i] = static_cast<state_id>(
+          ((np0 >> i) & 1U) | (((np1 >> i) & 1U) << 1) |
+          (((np2 >> i) & 1U) << 2));
     }
   }
+  leader_count_ = leaders;
+  ++round_;
+  if (++pending_rounds_ >= 254) flush_pending_ledger();
+  // Hysteresis: when the wave traffic dies down, hand the next rounds
+  // back to the sparse sweep (which needs the active set rebuilt).
+  if (active_next * 8 < n) {
+    plane_mode_ = false;
+    rebuild_active_set();
+  }
+  notify_round_observers();
 }
 
 void engine::step() {
+  check_in_sync();
   // Phase 1: a node applies delta_top iff it beeped or a neighbor did.
   // Seed the heard set with the beep set (a beeper always "hears").
   std::copy(beep_words_.begin(), beep_words_.end(), heard_words_.begin());
-  // Push costs ~sum of beeper degrees; pull costs at most one probe
-  // per arc but usually far less thanks to the early exit. The factor
-  // 4 biases toward pull on dense beep sets, where early exits make
-  // probes nearly free; either sweep yields the same set.
-  const std::size_t arc_count = 2 * g_->edge_count();
-  if (beeper_degree_sum_ * 4 <= arc_count) {
+  // Push costs ~sum of beeper degrees (~|B| x average degree); pull
+  // costs ~one probe per node thanks to the early exit, so it only wins
+  // when the beep set is so dense that push would touch most arcs (the
+  // opening rounds on a clique). "Beepers x avg-degree x 2 <= arcs"
+  // reduces to 2|B| <= n, with |B| read off the packed words in a
+  // handful of popcounts. Either sweep yields the same set, so the
+  // choice never affects results.
+  std::size_t beepers = 0;
+  for (const std::uint64_t word : beep_words_) {
+    beepers += static_cast<std::size_t>(std::popcount(word));
+  }
+  if (2 * beepers <= g_->node_count()) {
     gather_heard_push();
   } else {
     gather_heard_pull();
@@ -193,10 +541,29 @@ void engine::step() {
     apply_noise();
   }
   // Phase 2: simultaneous transitions (the heard set is frozen above).
-  finish_step();
+  if (fast_path_active()) {
+    if (plane_capable_ && !plane_mode_) {
+      // Engage the word-parallel sweep when the visited set is dense:
+      // per-node iteration overhead then exceeds whole-word routing.
+      std::size_t processed = 0;
+      for (std::size_t w = 0; w < heard_words_.size(); ++w) {
+        processed += static_cast<std::size_t>(
+            std::popcount(heard_words_[w] | active_words_[w]));
+      }
+      if (processed * 4 >= g_->node_count()) enter_plane_mode();
+    }
+    if (plane_mode_) {
+      finish_step_plane();
+    } else {
+      finish_step_fast();
+    }
+  } else {
+    finish_step();
+  }
 }
 
 void engine::step_reference() {
+  check_in_sync();
   const std::size_t n = g_->node_count();
   // The original scalar loop, kept verbatim in behavior: per-node
   // neighbor scan over byte flags, writing the packed heard set.
@@ -229,13 +596,14 @@ void engine::step_reference() {
 }
 
 run_result engine::run_until_single_leader(std::uint64_t max_rounds) {
+  check_in_sync();
   while (round_ < max_rounds) {
-    if (leader_count_ <= 1) {
-      return {round_, true};
-    }
+    // Both absorbing cases stop the run for leader-monotone protocols;
+    // only exactly-one-leader counts as a successful election.
+    if (leader_count_ <= 1) break;
     step();
   }
-  return {round_, leader_count_ <= 1};
+  return {round_, leader_count_ == 1, leader_count_};
 }
 
 void engine::run_rounds(std::uint64_t count) {

@@ -24,9 +24,38 @@
 // the packed beep set and are materialized lazily: a round only pays
 // the O(n) byte refresh when an observer is attached or beep_flags()
 // is actually called.
+//
+// FSM fast path: when the bound protocol is an fsm_protocol whose
+// machine compiles to a flat table (state_machine::compile_table), the
+// engine runs phase 2 directly over the raw state vector with zero
+// virtual dispatch, fusing the transitions with the next round's
+// beep/leader refresh in one sweep. The sweep only visits nodes that
+// heard a beep or whose delta_bot row is not a draw-free self-loop
+// (tracked in a packed "active" set), so a quiet round on a sparse
+// graph costs O(n/64) + O(active) instead of three virtual calls per
+// node.
+//
+// For machines with at most 8 states the fast path has a second gear:
+// when wave traffic makes the visited set dense (most rounds on paths
+// and grids, where every leader beep floods the graph with relay
+// waves), states are held in three bit-planes and the whole transition
+// function is evaluated with word-parallel set algebra - per-state
+// decode masks route 64 nodes at a time to their successors, the beep
+// and leader sets fall out as word ORs, and the state vector is
+// rewritten through a SWAR bit-to-byte transpose. Only rules that
+// actually draw (e.g. the BFW W-state coin) are visited per node, in
+// ascending node order, so the generator sequence is untouched. The
+// engine switches between the sparse sweep and the plane sweep per
+// round with hysteresis; both are bit-identical to the virtual path -
+// same states, same beep counts, same generator draws - and
+// set_fast_path_enabled(false) forces the virtual reference for
+// differential testing.
 #pragma once
 
+#include <array>
+
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -39,8 +68,13 @@ namespace beepkit::beeping {
 
 /// Outcome of a bounded run.
 struct run_result {
-  std::uint64_t rounds = 0;   ///< Round index at which the run stopped.
-  bool converged = false;     ///< True iff the stop condition was met.
+  std::uint64_t rounds = 0;  ///< Round index at which the run stopped.
+  /// True iff exactly one leader remained at the stop round. A run that
+  /// ends with zero leaders (extinction - impossible for BFW from the
+  /// all-W• start, but reachable under adversarial injections and for
+  /// broken variants) is NOT a successful election.
+  bool converged = false;
+  std::size_t leaders = 0;  ///< Leader count at the stop round.
 };
 
 /// Reception-noise extension (not part of the paper's model - used by
@@ -88,14 +122,26 @@ class engine {
   /// Re-reads the protocol's current per-node states as a fresh round-0
   /// configuration: the round counter and beep counts restart. Call
   /// after injecting an explicit configuration (e.g. the Section-5
-  /// adversarial initializations) via fsm_protocol::set_states.
+  /// adversarial initializations) via fsm_protocol::set_states - the
+  /// engine refuses to step (std::logic_error) while its bookkeeping is
+  /// stale against the protocol's config_version().
   void restart_from_protocol();
+
+  /// Adopts a mid-run configuration change (the invariant-checker
+  /// corruption experiments) as the *current* round's configuration:
+  /// the round counter keeps running, the current round's beep-ledger
+  /// contribution is recomputed for the new states, and prior history
+  /// is preserved. Unlike restart_from_protocol this does not notify
+  /// observers - they see the corrupted configuration at the next
+  /// round, exactly as if an adversary rewrote states between rounds.
+  void resync_with_protocol();
 
   /// Runs until at most one leader remains, or `max_rounds` elapse.
   /// For leader-monotone protocols (no transition creates a leader -
-  /// true of BFW and all bundled baselines), reaching exactly one
-  /// leader is permanent by the paper's Lemma 9, so this is the
-  /// election round of Definition 1.
+  /// true of BFW and all bundled baselines), both absorbing cases are
+  /// permanent: exactly one leader is the election round of
+  /// Definition 1 (converged), zero leaders is extinction (reported as
+  /// converged == false with leaders == 0).
   run_result run_until_single_leader(std::uint64_t max_rounds);
 
   /// Runs exactly `count` rounds.
@@ -114,10 +160,13 @@ class engine {
   [[nodiscard]] graph::node_id sole_leader() const;
 
   /// N_beep_t(u): beeps of u up to and including the current round.
+  /// (Plane-mode rounds bank increments in a byte sidecar; the sum is
+  /// always exact.)
   [[nodiscard]] std::uint64_t beep_count(graph::node_id u) const {
-    return beep_counts_[u];
+    return beep_counts_[u] + pending_beeps_[u];
   }
-  [[nodiscard]] std::span<const std::uint64_t> beep_counts() const noexcept {
+  [[nodiscard]] std::span<const std::uint64_t> beep_counts() const {
+    flush_pending_ledger();
     return beep_counts_;
   }
 
@@ -145,6 +194,17 @@ class engine {
   /// Per-node generator access (tests use this to couple runs).
   [[nodiscard]] support::rng& node_rng(graph::node_id u) { return rngs_[u]; }
 
+  /// Forces the generic virtual-dispatch path (`enabled == false`) or
+  /// re-enables the table-driven FSM fast path. Toggling never changes
+  /// any number - both paths are bit-identical - only the speed.
+  void set_fast_path_enabled(bool enabled);
+  /// True iff rounds currently run through the compiled table: the
+  /// protocol is an fsm_protocol, its machine compiled, and the path
+  /// has not been disabled.
+  [[nodiscard]] bool fast_path_active() const noexcept {
+    return fast_enabled_ && table_.has_value();
+  }
+
  private:
   void refresh_round_state();
   void ensure_beep_flags() const;
@@ -152,10 +212,23 @@ class engine {
   void gather_heard_pull();
   void apply_noise();
   void finish_step();
+  void finish_step_fast();
+  void finish_step_plane();
+  void enter_plane_mode();
+  void flush_pending_ledger() const;
+  void rebuild_active_set();
+  void notify_round_observers();
+  void check_in_sync() const;
   [[nodiscard]] round_view make_view() const;
 
   const graph::graph* g_;
   protocol* proto_;
+  // Non-null iff the bound protocol is an fsm_protocol; paired with the
+  // compiled table this enables the devirtualized round sweep.
+  fsm_protocol* fsm_ = nullptr;
+  std::optional<machine_table> table_;
+  bool fast_enabled_ = true;
+  std::uint64_t synced_version_ = 0;  // fsm_->config_version() last synced
   std::vector<support::rng> rngs_;
   std::vector<support::rng> noise_rngs_;  // empty unless noise enabled
   noise_model noise_;
@@ -166,12 +239,29 @@ class engine {
   mutable bool beep_flags_valid_ = false;
   std::vector<std::uint64_t> beep_words_;   // packed B_t
   std::vector<std::uint64_t> heard_words_;  // packed delta_top set
-  std::vector<std::uint64_t> beep_counts_;
+  // Fast path only: bit u set iff the bot row of u's current state is
+  // not a draw-free self-loop - i.e. u can change state (or consume a
+  // draw) even in a silent round. Quiet-phase sweeps visit only
+  // heard ∪ active nodes. (Maintained by sparse rounds; rebuilt when
+  // leaving plane mode.)
+  std::vector<std::uint64_t> active_words_;
+  // Plane mode (machines with <= 8 states): bit j of node u's state id
+  // lives in planes_[j]; valid only while plane_mode_ is set - the
+  // protocol's state vector is rewritten every plane round, so it is
+  // never stale for outside readers.
+  std::array<std::vector<std::uint64_t>, 3> planes_;
+  bool plane_capable_ = false;
+  bool plane_mode_ = false;
+  std::uint64_t tail_mask_ = ~0ULL;  // valid bits of the last word
+  // Beep-ledger sidecar: plane rounds bank the per-node +1s as SWAR
+  // bytes and fold them into beep_counts_ lazily (and before any byte
+  // could reach 255). mutable: folding happens under const accessors.
+  mutable std::vector<std::uint8_t> pending_beeps_;
+  mutable std::uint32_t pending_rounds_ = 0;
+  mutable std::vector<std::uint64_t> beep_counts_;
   std::vector<observer*> observers_;
   std::uint64_t round_ = 0;
   std::size_t leader_count_ = 0;
-  std::size_t beeper_count_ = 0;       // |B_t|
-  std::size_t beeper_degree_sum_ = 0;  // sum of deg(u) over B_t
 };
 
 }  // namespace beepkit::beeping

@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,110 @@
 namespace beepkit::beeping {
 
 using state_id = std::uint16_t;
+
+/// One compiled transition row of a state_machine: the successor choice
+/// *and* the exact generator draw the delta function performs, so a
+/// table-driven round consumes the same random values, draw for draw,
+/// as calling the virtual delta_top/delta_bot.
+struct transition_rule {
+  enum class draw_kind : std::uint8_t {
+    none,       ///< deterministic: the delta never touches the generator
+    coin,       ///< exactly one rng.coin() (fair-bit accounting included)
+    bernoulli,  ///< exactly one rng.bernoulli(p)
+  };
+
+  draw_kind draw = draw_kind::none;
+  state_id next = 0;      ///< successor when draw == none
+  state_id on_true = 0;   ///< successor when the draw fires
+  state_id on_false = 0;  ///< successor when it does not
+  double p = 0.0;         ///< bernoulli parameter
+
+  [[nodiscard]] static transition_rule det(state_id next) {
+    transition_rule r;
+    r.next = next;
+    return r;
+  }
+  [[nodiscard]] static transition_rule fair_coin(state_id on_true,
+                                                 state_id on_false) {
+    transition_rule r;
+    r.draw = draw_kind::coin;
+    r.on_true = on_true;
+    r.on_false = on_false;
+    return r;
+  }
+  [[nodiscard]] static transition_rule bernoulli_draw(double p,
+                                                      state_id on_true,
+                                                      state_id on_false) {
+    transition_rule r;
+    r.draw = draw_kind::bernoulli;
+    r.p = p;
+    r.on_true = on_true;
+    r.on_false = on_false;
+    return r;
+  }
+};
+
+/// Applies one compiled rule, reproducing the delta's draws exactly.
+[[nodiscard]] inline state_id apply_rule(const transition_rule& rule,
+                                         support::rng& rng) {
+  switch (rule.draw) {
+    case transition_rule::draw_kind::none:
+      return rule.next;
+    case transition_rule::draw_kind::coin:
+      return rng.coin() ? rule.on_true : rule.on_false;
+    case transition_rule::draw_kind::bernoulli:
+      return rng.bernoulli(rule.p) ? rule.on_true : rule.on_false;
+  }
+  return rule.next;  // unreachable: draw_kind is exhaustive
+}
+
+/// Flat compiled form of a state_machine M = (Q_listen, Q_beep, q_s,
+/// delta_bot, delta_top): per-state beep/leader membership bytes plus
+/// the two transition rows, laid out so one round over the raw state
+/// vector needs zero virtual dispatch. Built via build_machine_table.
+struct machine_table {
+  /// rules[(s << 1) | heard]: delta_bot row at even slots, delta_top at
+  /// odd - one indexed load per node per round.
+  std::vector<transition_rule> rules;
+  std::vector<std::uint8_t> beep_flag;    ///< Q_beep membership
+  std::vector<std::uint8_t> leader_flag;  ///< L membership (Definition 1)
+  /// The bot row is a draw-free self-loop: under silence the node
+  /// neither changes state nor consumes randomness, so a bulk sweep can
+  /// skip it entirely without perturbing any generator.
+  std::vector<std::uint8_t> bot_identity;
+  /// beep | leader << 1 | bot_identity << 2, fused so the round sweep
+  /// pays one byte load per state lookup instead of three.
+  std::vector<std::uint8_t> meta;
+
+  static constexpr std::uint8_t meta_beep = 1;
+  static constexpr std::uint8_t meta_leader = 2;
+  static constexpr std::uint8_t meta_bot_identity = 4;
+
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return beep_flag.size();
+  }
+  [[nodiscard]] const transition_rule& rule(state_id s,
+                                            bool heard) const noexcept {
+    return rules[(static_cast<std::size_t>(s) << 1) | (heard ? 1U : 0U)];
+  }
+  [[nodiscard]] bool beeps(state_id s) const noexcept {
+    return beep_flag[s] != 0;
+  }
+  [[nodiscard]] bool is_leader(state_id s) const noexcept {
+    return leader_flag[s] != 0;
+  }
+};
+
+class state_machine;
+
+/// Assembles a machine_table from per-state bot/top rows, filling the
+/// beep/leader/bot-identity bytes from the machine's own predicates.
+/// Validates row sizes, successor ranges, and that every deterministic
+/// row agrees with the corresponding virtual delta (probed once).
+/// Throws std::invalid_argument on any mismatch.
+[[nodiscard]] machine_table build_machine_table(
+    const state_machine& machine, std::span<const transition_rule> bot,
+    std::span<const transition_rule> top);
 
 /// The paper's probabilistic finite-state machine
 /// M = (Q_listen, Q_beep, q_s, delta_bot, delta_top). Implementations
@@ -53,6 +159,16 @@ class state_machine {
                                            support::rng& rng) const = 0;
   [[nodiscard]] virtual std::string state_name(state_id state) const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Table-compilation hook for the engine's devirtualized fast path:
+  /// machines whose deltas fit the transition_rule draw kinds return
+  /// their compiled form (see build_machine_table); the default opts
+  /// out, keeping the generic virtual path. The table must be
+  /// draw-for-draw faithful - the engine's fast rounds are required to
+  /// be bit-identical to the virtual dispatch path.
+  [[nodiscard]] virtual std::optional<machine_table> compile_table() const {
+    return std::nullopt;
+  }
 };
 
 /// Generic per-node protocol behaviour driven by `engine`. One protocol
@@ -106,16 +222,38 @@ class fsm_protocol final : public protocol {
     return states_;
   }
   /// Overrides the configuration (used by the adversarial-initialization
-  /// experiments of Section 5; values must be valid machine states).
+  /// experiments of Section 5). The vector must hold one valid machine
+  /// state per node - a size mismatch or an out-of-range id throws
+  /// std::invalid_argument and leaves the configuration untouched.
+  ///
+  /// Contract: any engine bound to this protocol computes its round
+  /// bookkeeping (beep set, leader count) from the configuration, so
+  /// after set_states you MUST call engine::restart_from_protocol()
+  /// before stepping that engine again; the engine fails fast
+  /// (std::logic_error) if the call is forgotten.
   void set_states(std::vector<state_id> states);
 
   [[nodiscard]] const state_machine& machine() const noexcept {
     return *machine_;
   }
 
+  /// Bumped whenever the configuration is replaced wholesale (reset or
+  /// set_states). Engines record the version they last synchronized
+  /// with and refuse to step on a stale one.
+  [[nodiscard]] std::uint64_t config_version() const noexcept {
+    return config_version_;
+  }
+
+  /// Raw mutable state vector for the engine's table-driven sweep.
+  /// Engine-internal: writers must store valid machine states and keep
+  /// their own bookkeeping consistent (per-node transitions do not bump
+  /// config_version()).
+  [[nodiscard]] std::span<state_id> raw_states() noexcept { return states_; }
+
  private:
   const state_machine* machine_;
   std::vector<state_id> states_;
+  std::uint64_t config_version_ = 0;
 };
 
 }  // namespace beepkit::beeping

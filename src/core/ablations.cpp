@@ -1,5 +1,6 @@
 #include "core/ablations.hpp"
 
+#include <array>
 #include <sstream>
 #include <stdexcept>
 
@@ -39,6 +40,23 @@ beeping::state_id bw_machine::delta_bot(beeping::state_id state,
       return follower_wait;
   }
   throw std::invalid_argument("bw_machine::delta_bot: invalid state");
+}
+
+std::optional<beeping::machine_table> bw_machine::compile_table() const {
+  using rule = beeping::transition_rule;
+  const std::array<rule, 4> top = {
+      rule::det(follower_beep),  // W•: eliminated, relays once
+      rule::det(leader_wait),    // B•: no freeze, straight back to waiting
+      rule::det(follower_beep),  // W◦
+      rule::det(follower_wait),  // B◦
+  };
+  const std::array<rule, 4> bot = {
+      rule::bernoulli_draw(p_, leader_beep, leader_wait),
+      rule::det(leader_wait),
+      rule::det(follower_wait),  // the draw-free self-loop
+      rule::det(follower_wait),
+  };
+  return beeping::build_machine_table(*this, bot, top);
 }
 
 std::string bw_machine::state_name(beeping::state_id state) const {

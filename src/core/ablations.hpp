@@ -44,6 +44,12 @@ class bw_machine final : public beeping::state_machine {
   [[nodiscard]] std::string state_name(beeping::state_id state) const override;
   [[nodiscard]] std::string name() const override;
 
+  /// Compiled form for the engine fast path (the ablation must fail at
+  /// full speed too): delta_bot(W•) draws rng::bernoulli(p), everything
+  /// else is deterministic.
+  [[nodiscard]] std::optional<beeping::machine_table> compile_table()
+      const override;
+
  private:
   double p_;
 };

@@ -1,5 +1,6 @@
 #include "core/bfw.hpp"
 
+#include <array>
 #include <sstream>
 #include <stdexcept>
 
@@ -62,6 +63,33 @@ beeping::state_id bfw_machine::delta_bot(beeping::state_id state,
       return id(bfw_state::follower_wait);
   }
   throw std::invalid_argument("bfw_machine::delta_bot: invalid state");
+}
+
+std::optional<beeping::machine_table> bfw_machine::compile_table() const {
+  using rule = beeping::transition_rule;
+  const auto WL = id(bfw_state::leader_wait);
+  const auto BL = id(bfw_state::leader_beep);
+  const auto FL = id(bfw_state::leader_frozen);
+  const auto WF = id(bfw_state::follower_wait);
+  const auto BF = id(bfw_state::follower_beep);
+  const auto FF = id(bfw_state::follower_frozen);
+  const std::array<rule, bfw_state_count> top = {
+      rule::det(BF),  // W•: eliminated, beeps once as a follower
+      rule::det(FL),  // B• -> F•
+      rule::det(WL),  // F• -> W• (frozen nodes ignore the environment)
+      rule::det(BF),  // W◦: relays the wave
+      rule::det(FF),  // B◦ -> F◦
+      rule::det(WF),  // F◦ -> W◦
+  };
+  const std::array<rule, bfw_state_count> bot = {
+      fair_coin_ ? rule::fair_coin(BL, WL) : rule::bernoulli_draw(p_, BL, WL),
+      rule::det(FL),  // unreachable (beeping nodes take delta_top)
+      rule::det(WL),
+      rule::det(WF),  // W◦ under silence: the draw-free self-loop
+      rule::det(FF),  // unreachable
+      rule::det(WF),
+  };
+  return beeping::build_machine_table(*this, bot, top);
 }
 
 std::string bfw_machine::state_name(beeping::state_id state) const {

@@ -82,6 +82,13 @@ class bfw_machine final : public beeping::state_machine {
   [[nodiscard]] std::string state_name(beeping::state_id state) const override;
   [[nodiscard]] std::string name() const override;
 
+  /// Flat compiled form for the engine's devirtualized round sweep:
+  /// every row is deterministic except delta_bot(W•), which draws the
+  /// Figure-1 coin exactly as the virtual path does (rng::coin() when
+  /// p = 1/2, rng::bernoulli(p) otherwise).
+  [[nodiscard]] std::optional<beeping::machine_table> compile_table()
+      const override;
+
   [[nodiscard]] double p() const noexcept { return p_; }
 
  private:

@@ -56,6 +56,13 @@ class bfw_stone_automaton final : public stoneage::automaton {
     return "StoneAge-" + machine_.name();
   }
 
+  /// Fast-path hook: this automaton is exactly bfw_machine behind a
+  /// two-symbol display, so the stone-age engine can run BFW's compiled
+  /// table (alphabet layout matches stone_silent/stone_beep above).
+  [[nodiscard]] const beeping::state_machine* beep_machine() const override {
+    return &machine_;
+  }
+
   [[nodiscard]] double p() const noexcept { return machine_.p(); }
 
  private:

@@ -17,19 +17,25 @@ namespace {
 election_outcome run_engine(const graph::graph& g, beeping::protocol& proto,
                             std::uint64_t seed, std::uint64_t max_rounds) {
   beeping::engine sim(g, proto, seed);
-  const auto result = sim.run_until_single_leader(max_rounds);
+  return finish_election(sim, sim.run_until_single_leader(max_rounds));
+}
+
+}  // namespace
+
+election_outcome finish_election(beeping::engine& sim,
+                                 const beeping::run_result& result) {
   election_outcome outcome;
+  // converged means exactly one leader; a zero-leader stop (extinction)
+  // reports converged == false with final_leader_count == 0.
   outcome.converged = result.converged;
   outcome.rounds = result.rounds;
-  outcome.final_leader_count = sim.leader_count();
+  outcome.final_leader_count = result.leaders;
   outcome.total_coins = sim.total_coins_consumed();
-  if (result.converged && sim.leader_count() == 1) {
+  if (result.converged) {
     outcome.leader = sim.sole_leader();
   }
   return outcome;
 }
-
-}  // namespace
 
 election_outcome run_bfw_election(const graph::graph& g, double p,
                                   std::uint64_t seed,
@@ -55,16 +61,7 @@ election_outcome run_bfw_election_from(const graph::graph& g, double p,
   beeping::engine sim(g, proto, seed);
   proto.set_states(std::move(initial));
   sim.restart_from_protocol();
-  const auto result = sim.run_until_single_leader(max_rounds);
-  election_outcome outcome;
-  outcome.converged = result.converged;
-  outcome.rounds = result.rounds;
-  outcome.final_leader_count = sim.leader_count();
-  outcome.total_coins = sim.total_coins_consumed();
-  if (result.converged && sim.leader_count() == 1) {
-    outcome.leader = sim.sole_leader();
-  }
-  return outcome;
+  return finish_election(sim, sim.run_until_single_leader(max_rounds));
 }
 
 std::vector<double> convergence_rounds(const graph::graph& g,

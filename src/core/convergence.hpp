@@ -17,12 +17,21 @@ namespace beepkit::core {
 
 /// Result of one election trial.
 struct election_outcome {
-  bool converged = false;       ///< Single leader within the horizon.
+  /// Exactly one leader within the horizon. A run ending with zero
+  /// leaders (possible only under adversarial injections or broken
+  /// variants) is a failed election: converged == false,
+  /// final_leader_count == 0.
+  bool converged = false;
   std::uint64_t rounds = 0;     ///< First round with exactly one leader.
   graph::node_id leader = 0;    ///< The surviving leader (if converged).
   std::uint64_t total_coins = 0;  ///< Fair coins drawn by all nodes.
   std::size_t final_leader_count = 0;
 };
+
+/// Folds an engine run into an election_outcome (shared by every
+/// election runner; benches with bespoke loops can reuse it too).
+[[nodiscard]] election_outcome finish_election(
+    beeping::engine& sim, const beeping::run_result& result);
 
 /// Default horizon used by the runners when none is given: a generous
 /// multiple of the Theorem-2 bound D^2 log n (never tight in practice).

@@ -64,6 +64,33 @@ beeping::state_id timeout_bfw_machine::delta_bot(beeping::state_id state,
   throw std::invalid_argument("timeout_bfw_machine::delta_bot: bad state");
 }
 
+std::optional<beeping::machine_table> timeout_bfw_machine::compile_table()
+    const {
+  using rule = beeping::transition_rule;
+  const std::size_t n = state_count();
+  std::vector<rule> top(n);
+  std::vector<rule> bot(n);
+  top[leader_wait] = rule::det(follower_beep);
+  top[leader_beep] = rule::det(leader_frozen);
+  top[leader_frozen] = rule::det(leader_wait);
+  top[follower_beep] = rule::det(follower_frozen);
+  top[follower_frozen] = rule::det(follower_wait_base);
+  bot[leader_wait] = rule::bernoulli_draw(p_, leader_beep, leader_wait);
+  bot[leader_beep] = rule::det(leader_frozen);  // unreachable
+  bot[leader_frozen] = rule::det(leader_wait);
+  bot[follower_beep] = rule::det(follower_frozen);  // unreachable
+  bot[follower_frozen] = rule::det(follower_wait_base);
+  for (std::size_t s = follower_wait_base; s < n; ++s) {
+    const std::uint32_t patience =
+        static_cast<std::uint32_t>(s - follower_wait_base);
+    top[s] = rule::det(follower_beep);
+    bot[s] = rule::det(patience + 1 >= timeout_
+                           ? leader_wait
+                           : static_cast<beeping::state_id>(s + 1));
+  }
+  return beeping::build_machine_table(*this, bot, top);
+}
+
 std::string timeout_bfw_machine::state_name(beeping::state_id state) const {
   switch (state) {
     case leader_wait:

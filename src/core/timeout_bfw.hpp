@@ -69,6 +69,14 @@ class timeout_bfw_machine final : public beeping::state_machine {
   [[nodiscard]] std::string state_name(beeping::state_id state) const override;
   [[nodiscard]] std::string name() const override;
 
+  /// Compiled form for the engine fast path: only delta_bot(W•) draws
+  /// (rng::bernoulli(p), matching the virtual path); the patience
+  /// counter states are deterministic rows. Note W◦(k) is NOT a bot
+  /// self-loop - patience ticks every silent round - so the fast sweep
+  /// visits every waiting follower, unlike plain BFW.
+  [[nodiscard]] std::optional<beeping::machine_table> compile_table()
+      const override;
+
   [[nodiscard]] double p() const noexcept { return p_; }
   [[nodiscard]] std::uint32_t timeout() const noexcept { return timeout_; }
 

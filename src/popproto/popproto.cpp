@@ -49,10 +49,10 @@ void scheduler::run_interactions(std::uint64_t count) {
 scheduler::run_result scheduler::run_until_single_leader(
     std::uint64_t max_interactions) {
   while (interactions_ < max_interactions) {
-    if (leader_count_ <= 1) return {interactions_, true};
+    if (leader_count_ <= 1) break;
     step();
   }
-  return {interactions_, leader_count_ <= 1};
+  return {interactions_, leader_count_ == 1, leader_count_};
 }
 
 graph::node_id scheduler::sole_leader() const {

@@ -60,11 +60,13 @@ class scheduler {
 
   struct run_result {
     std::uint64_t interactions = 0;
-    bool converged = false;
+    bool converged = false;   ///< exactly one leader at stop
+    std::size_t leaders = 0;  ///< leader count at stop
   };
   /// Runs until a single leader remains or the budget is exhausted.
   /// Both bundled protocols are leader-monotone, so single-leader is
-  /// permanent.
+  /// permanent; zero leaders (unreachable for the bundled protocols
+  /// from the all-leader start) would be reported as non-convergence.
   run_result run_until_single_leader(std::uint64_t max_interactions);
 
   [[nodiscard]] std::uint64_t interactions() const noexcept {

@@ -53,10 +53,10 @@ void engine::run_rounds(std::uint64_t count) {
 
 engine::run_result engine::run_until_single_leader(std::uint64_t max_rounds) {
   while (round_ < max_rounds) {
-    if (leader_count_ <= 1) return {round_, true};
+    if (leader_count_ <= 1) break;
     step();
   }
-  return {round_, leader_count_ <= 1};
+  return {round_, leader_count_ == 1, leader_count_};
 }
 
 graph::node_id engine::sole_leader() const {

@@ -53,9 +53,13 @@ class engine {
   void step();
   void run_rounds(std::uint64_t count);
 
+  /// Only exactly-one-leader counts as convergence: in the lossy radio
+  /// model collisions can eliminate the last leader (extinction), and
+  /// that failure must not be reported as a successful election.
   struct run_result {
     std::uint64_t rounds = 0;
-    bool converged = false;
+    bool converged = false;   ///< exactly one leader at the stop round
+    std::size_t leaders = 0;  ///< leader count at the stop round
   };
   run_result run_until_single_leader(std::uint64_t max_rounds);
 

@@ -5,6 +5,14 @@
 
 namespace beepkit::stoneage {
 
+namespace {
+
+/// The beep symbol of a two-symbol beep automaton (bfw_stoneage.hpp
+/// pins silent = 0, beep = 1; the fast path requires this layout).
+constexpr symbol beep_symbol = 1;
+
+}  // namespace
+
 engine::engine(const graph::graph& g, const automaton& machine,
                std::uint32_t threshold, std::uint64_t seed)
     : g_(&g), machine_(&machine), threshold_(threshold) {
@@ -16,17 +24,52 @@ engine::engine(const graph::graph& g, const automaton& machine,
   states_.assign(n, machine.initial_state());
   next_states_.assign(n, machine.initial_state());
   census_.assign(machine.alphabet_size(), 0);
+  // Fast-path bind: an automaton that is a beeping machine in disguise
+  // runs its compiled table. The hook contract (two symbols, matching
+  // display/leader predicates) is verified here; any violation is a
+  // bug in the automaton, not a reason to fall back silently.
+  if (const beeping::state_machine* bm = machine.beep_machine();
+      bm != nullptr) {
+    if (machine.alphabet_size() != 2 ||
+        bm->state_count() != machine.state_count()) {
+      throw std::invalid_argument(
+          "stoneage::engine: beep_machine() automaton must have alphabet "
+          "{silent, beep} and matching state count");
+    }
+    table_ = bm->compile_table();
+    if (table_.has_value()) {
+      for (std::size_t s = 0; s < machine.state_count(); ++s) {
+        const auto state = static_cast<state_id>(s);
+        if ((machine.display(state) == beep_symbol) != table_->beeps(state) ||
+            machine.is_leader(state) != table_->is_leader(state)) {
+          throw std::invalid_argument(
+              "stoneage::engine: beep_machine() display/leader predicates "
+              "disagree with the automaton");
+        }
+      }
+    }
+  }
   refresh_counters();
 }
 
 void engine::refresh_counters() {
   leader_count_ = 0;
+  if (fast_path_active()) {
+    for (state_id s : states_) {
+      leader_count_ += table_->leader_flag[s];
+    }
+    return;
+  }
   for (state_id s : states_) {
     if (machine_->is_leader(s)) ++leader_count_;
   }
 }
 
 void engine::step() {
+  if (fast_path_active()) {
+    step_fast();
+    return;
+  }
   const std::size_t n = g_->node_count();
   for (graph::node_id u = 0; u < n; ++u) {
     std::fill(census_.begin(), census_.end(), 0U);
@@ -41,16 +84,47 @@ void engine::step() {
   refresh_counters();
 }
 
+// Table-driven round: one byte sweep materializes the displayed-beep
+// flags, then every node resolves "did at least one neighbor beep?"
+// with an early-exit scan and applies the compiled rule. With any
+// threshold b >= 1 the clipped census entry for `beep` is positive iff
+// some neighbor displays it, so this is exactly the generic round -
+// same transitions, same generator draws - minus all virtual dispatch.
+void engine::step_fast() {
+  const std::size_t n = g_->node_count();
+  const beeping::machine_table& table = *table_;
+  shows_beep_.resize(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    shows_beep_[u] = table.beep_flag[states_[u]];
+  }
+  for (graph::node_id u = 0; u < n; ++u) {
+    bool heard = shows_beep_[u] != 0;
+    if (!heard) {
+      for (graph::node_id v : g_->neighbors(u)) {
+        if (shows_beep_[v] != 0) {
+          heard = true;
+          break;
+        }
+      }
+    }
+    next_states_[u] = beeping::apply_rule(table.rule(states_[u], heard),
+                                          rngs_[u]);
+  }
+  states_.swap(next_states_);
+  ++round_;
+  refresh_counters();
+}
+
 void engine::run_rounds(std::uint64_t count) {
   for (std::uint64_t i = 0; i < count; ++i) step();
 }
 
 engine::run_result engine::run_until_single_leader(std::uint64_t max_rounds) {
   while (round_ < max_rounds) {
-    if (leader_count_ <= 1) return {round_, true};
+    if (leader_count_ <= 1) break;
     step();
   }
-  return {round_, leader_count_ <= 1};
+  return {round_, leader_count_ == 1, leader_count_};
 }
 
 graph::node_id engine::sole_leader() const {

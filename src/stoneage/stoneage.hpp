@@ -12,10 +12,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "beeping/protocol.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
 
@@ -43,6 +45,17 @@ class automaton {
       support::rng& rng) const = 0;
   [[nodiscard]] virtual std::string state_name(state_id state) const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Fast-path hook: when this automaton is a beeping machine in
+  /// disguise - alphabet {0 = silent, 1 = beep}, display(s) = beep iff
+  /// the machine beeps in s, is_leader matching, and transition(s,
+  /// counts, rng) == (beeps(s) || counts[1] > 0 ? delta_top : delta_bot)
+  /// with identical generator draws - return that machine, and the
+  /// engine runs its compiled table instead of the virtual
+  /// display/transition calls. Default: nullptr (generic path).
+  [[nodiscard]] virtual const beeping::state_machine* beep_machine() const {
+    return nullptr;
+  }
 };
 
 /// Synchronous stone-age engine: every node is activated every round
@@ -57,10 +70,13 @@ class engine {
   void run_rounds(std::uint64_t count);
 
   /// Runs until at most one leader remains or max_rounds elapse; for
-  /// leader-monotone automata this is the election round.
+  /// leader-monotone automata this is the election round. As in the
+  /// beeping engine, only exactly-one-leader counts as convergence -
+  /// extinction (zero leaders) is a failed election.
   struct run_result {
     std::uint64_t rounds = 0;
-    bool converged = false;
+    bool converged = false;   ///< exactly one leader at the stop round
+    std::size_t leaders = 0;  ///< leader count at the stop round
   };
   run_result run_until_single_leader(std::uint64_t max_rounds);
 
@@ -83,12 +99,28 @@ class engine {
   /// Overrides the configuration (adversarial-initialization tests).
   void set_states(std::vector<state_id> states);
 
+  /// Forces the generic virtual-dispatch round (`enabled == false`) or
+  /// re-enables the compiled-table fast path; bit-identical either way.
+  void set_fast_path_enabled(bool enabled) noexcept {
+    fast_enabled_ = enabled;
+  }
+  [[nodiscard]] bool fast_path_active() const noexcept {
+    return fast_enabled_ && table_.has_value();
+  }
+
  private:
   void refresh_counters();
+  void step_fast();
 
   const graph::graph* g_;
   const automaton* machine_;
   std::uint32_t threshold_;
+  // Set when the automaton exposes a compiled beeping machine
+  // (automaton::beep_machine): rounds then run table-driven, replacing
+  // the per-neighbor virtual display() and per-node transition() calls.
+  std::optional<beeping::machine_table> table_;
+  bool fast_enabled_ = true;
+  std::vector<std::uint8_t> shows_beep_;  // fast path: display == beep bytes
   std::vector<support::rng> rngs_;
   std::vector<state_id> states_;
   std::vector<state_id> next_states_;

@@ -32,40 +32,6 @@ rng rng::substream(std::uint64_t stream) const noexcept {
   return rng(sm.next());
 }
 
-std::uint64_t rng::next_u64() noexcept {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-double rng::uniform01() noexcept {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-bool rng::bernoulli(double p) noexcept {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform01() < p;
-}
-
-bool rng::coin() noexcept {
-  if (coin_bits_left_ == 0) {
-    coin_buffer_ = next_u64();
-    coin_bits_left_ = 64;
-  }
-  const bool bit = (coin_buffer_ & 1ULL) != 0;
-  coin_buffer_ >>= 1;
-  --coin_bits_left_;
-  ++coins_;
-  return bit;
-}
-
 std::uint64_t rng::uniform_below(std::uint64_t bound) noexcept {
   // Lemire's nearly-divisionless method.
   std::uint64_t x = next_u64();

@@ -57,19 +57,49 @@ class rng {
   /// per node). Deterministic in (current seed material, stream).
   [[nodiscard]] rng substream(std::uint64_t stream) const noexcept;
 
-  /// Raw 64 uniform bits.
-  std::uint64_t next_u64() noexcept;
+  // The draw primitives below are defined inline: they sit on the
+  // engine's per-node round path, where an out-of-line call would cost
+  // as much as the draw itself.
+
+  /// Raw 64 uniform bits (xoshiro256** scrambler).
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl_(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl_(state_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1) with 53 bits of precision.
-  double uniform01() noexcept;
+  double uniform01() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Bernoulli(p) trial; p is clamped to [0, 1].
-  bool bernoulli(double p) noexcept;
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
 
   /// One fair coin flip, served from an internal 64-bit buffer so that
   /// 64 flips consume a single generator call. Increments the coin
   /// account by exactly one bit.
-  bool coin() noexcept;
+  bool coin() noexcept {
+    if (coin_bits_left_ == 0) {
+      coin_buffer_ = next_u64();
+      coin_bits_left_ = 64;
+    }
+    const bool bit = (coin_buffer_ & 1ULL) != 0;
+    coin_buffer_ >>= 1;
+    --coin_bits_left_;
+    ++coins_;
+    return bit;
+  }
 
   /// Unbiased integer in [0, bound) via Lemire's method with rejection.
   /// bound == 0 is undefined; callers must guarantee bound >= 1.
@@ -109,6 +139,10 @@ class rng {
   result_type operator()() noexcept { return next_u64(); }
 
  private:
+  static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> state_{};
   std::uint64_t coin_buffer_ = 0;
   unsigned coin_bits_left_ = 0;

@@ -54,8 +54,11 @@ TEST(EdgeCaseTest, EngineOnEmptyGraph) {
   beeping::engine sim(g, proto, 1);
   EXPECT_EQ(sim.leader_count(), 0U);
   sim.step();  // must not crash
+  // Zero leaders is not an election: the run stops immediately but
+  // reports non-convergence (an empty network cannot elect anyone).
   const auto result = sim.run_until_single_leader(10);
-  EXPECT_TRUE(result.converged);  // vacuously: 0 <= 1 leaders
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.leaders, 0U);
 }
 
 TEST(EdgeCaseTest, EngineBeepAccountingMatchesSeriesTotals) {

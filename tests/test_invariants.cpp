@@ -107,6 +107,7 @@ TEST(InvariantInjectionTest, TeleportedFreezeTriggersClaim6) {
   states[1] = FF;
   states[0] = WF;  // also knock out any coincidental explanation
   proto.set_states(states);
+  sim.resync_with_protocol();  // adopt the corruption mid-run
   sim.step();
 
   EXPECT_FALSE(checker.ok());
@@ -159,6 +160,7 @@ TEST(InvariantInjectionTest, ResurrectedLeaderTriggersMonotonicity) {
   auto states = proto.states();
   states[2] = WL;
   proto.set_states(states);
+  sim.resync_with_protocol();  // adopt the corruption mid-run
   sim.step();
 
   ASSERT_FALSE(checker.ok());
