@@ -22,6 +22,7 @@
 #include "core/bfw.hpp"
 #include "core/bfw_stoneage.hpp"
 #include "core/invariants.hpp"
+#include "core/timeout_bfw.hpp"
 #include "graph/generators.hpp"
 #include "stoneage/stoneage.hpp"
 
@@ -151,6 +152,67 @@ void BM_BfwOnRandomRegular(benchmark::State& state) {
   run_bfw_rounds(state, g);
 }
 BENCHMARK(BM_BfwOnRandomRegular)->Arg(256)->Arg(4096);
+
+// Ring/torus: the wrap-around stencil kernels (make_cycle/make_torus
+// tag their instances; the gather touches no adjacency at all).
+void BM_BfwOnRing(benchmark::State& state) {
+  const auto g = graph::make_cycle(static_cast<std::size_t>(state.range(0)));
+  run_bfw_rounds(state, g);
+}
+BENCHMARK(BM_BfwOnRing)->Arg(256)->Arg(4096);
+
+void BM_BfwOnRingVirtual(benchmark::State& state) {
+  const auto g = graph::make_cycle(static_cast<std::size_t>(state.range(0)));
+  run_bfw_rounds_virtual(state, g);
+}
+BENCHMARK(BM_BfwOnRingVirtual)->Arg(256)->Arg(4096);
+
+void BM_BfwOnTorus(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_torus(side, side);
+  run_bfw_rounds(state, g);
+}
+BENCHMARK(BM_BfwOnTorus)->Arg(16)->Arg(64);
+
+void BM_BfwOnTorusVirtual(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_torus(side, side);
+  run_bfw_rounds_virtual(state, g);
+}
+BENCHMARK(BM_BfwOnTorusVirtual)->Arg(16)->Arg(64);
+
+// Timeout-BFW with T = 9 (14 states): every waiting follower ticks its
+// patience every silent round, so pre-bit-sliced-counter engines paid
+// an O(n) sparse sweep here; the plane gear now runs it word-parallel
+// (ripple-carry over the planes). The *Virtual row is the per-node
+// dispatch reference.
+void run_timeout_bfw_rounds(benchmark::State& state, const graph::graph& g,
+                            bool fast) {
+  const core::timeout_bfw_machine machine(0.5, 9);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 42);
+  sim.set_fast_path_enabled(fast);
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(sim.leader_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.node_count()));
+}
+
+void BM_TimeoutBfwT9OnGrid(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_grid(side, side);
+  run_timeout_bfw_rounds(state, g, true);
+}
+BENCHMARK(BM_TimeoutBfwT9OnGrid)->Arg(16)->Arg(64);
+
+void BM_TimeoutBfwT9OnGridVirtual(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_grid(side, side);
+  run_timeout_bfw_rounds(state, g, false);
+}
+BENCHMARK(BM_TimeoutBfwT9OnGridVirtual)->Arg(16)->Arg(64);
 
 void BM_StoneAgeOnGrid(benchmark::State& state) {
   const auto side = static_cast<std::size_t>(state.range(0));

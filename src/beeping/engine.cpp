@@ -5,6 +5,10 @@
 #include <cstring>
 #include <stdexcept>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 namespace beepkit::beeping {
 
 namespace {
@@ -48,7 +52,7 @@ engine::engine(const graph::graph& g, protocol& proto, std::uint64_t seed)
 
 engine::engine(const graph::graph& g, protocol& proto, std::uint64_t seed,
                const noise_model& noise)
-    : g_(&g), proto_(&proto), noise_(noise) {
+    : g_(&g), proto_(&proto), noise_(noise), gather_(g) {
   const std::size_t n = g.node_count();
   rngs_ = support::make_node_streams(seed, n + 1);
   // Stream n (never a node id) initializes the protocol, so identifier
@@ -70,18 +74,70 @@ engine::engine(const graph::graph& g, protocol& proto, std::uint64_t seed,
   heard_words_.assign(word_count(n), 0);
   active_words_.assign(word_count(n), 0);
   beep_counts_.assign(n, 0);
-  // Plane-mode scratch: the byte sidecar is padded to whole words so
-  // the SWAR ledger update never runs past the last node. (The SWAR
-  // transpose writes state ids through little-endian byte order; the
-  // sparse sweep carries big-endian hosts.)
-  plane_capable_ = table_.has_value() && table_->state_count() <= 8 &&
+  // Plane-mode eligibility. (The SWAR transpose writes state ids
+  // through little-endian byte order; the sparse sweep carries
+  // big-endian hosts.) The state cap is 64: six planes cover every
+  // bundled machine including Timeout-BFW up to T = 59; larger
+  // machines take the sparse sweep.
+  plane_capable_ = table_.has_value() && table_->state_count() <= 64 &&
                    std::endian::native == std::endian::little;
   if (plane_capable_) {
-    for (auto& plane : planes_) plane.assign(word_count(n), 0);
+    plane_count_ = 1;
+    while ((std::size_t{1} << plane_count_) < table_->state_count()) {
+      ++plane_count_;
+    }
+    for (std::size_t j = 0; j < plane_count_; ++j) {
+      planes_[j].assign(word_count(n), 0);
+    }
+    leader_words_.assign(word_count(n), 0);
+    analyze_plane_plan();
   }
   tail_mask_ = (n % 64 == 0) ? ~0ULL : ((1ULL << (n % 64)) - 1);
-  pending_beeps_.assign(word_count(n) * 64, 0);
+  if (plane_capable_) {
+    for (auto& lp : ledger_planes_) lp.assign(word_count(n), 0);
+  }
+  dirty_ledger_words_.assign(word_count(word_count(n)), 0);
   refresh_round_state();
+}
+
+// Detects the bit-sliced-counter runs (see plane_chain in the header):
+// maximal state ranges [first, last] where every member shares one
+// draw-free delta_top target and one meta byte, and delta_bot below
+// `last` is exactly "state + 1". Runs shorter than 4 states are left
+// to the per-state decode (the range comparison costs ~4 plane ops, so
+// tiny runs would not pay for it).
+void engine::analyze_plane_plan() {
+  const machine_table& table = *table_;
+  const std::size_t q = table.state_count();
+  plane_chain_member_.assign(q, 0);
+  plane_chains_.clear();
+  const auto det_next = [&table](std::size_t s, bool heard,
+                                 state_id& next) noexcept {
+    const transition_rule& rule =
+        table.rule(static_cast<state_id>(s), heard);
+    if (rule.draw != transition_rule::draw_kind::none) return false;
+    next = rule.next;
+    return true;
+  };
+  for (std::size_t s = 0; s < q; ++s) {
+    if (plane_chain_member_[s] != 0) continue;
+    state_id top_next = 0;
+    if (!det_next(s, true, top_next)) continue;
+    std::size_t last = s;
+    while (last + 1 < q && plane_chain_member_[last + 1] == 0) {
+      state_id bot_next = 0;
+      if (!det_next(last, false, bot_next) || bot_next != last + 1) break;
+      state_id next_top = 0;
+      if (!det_next(last + 1, true, next_top) || next_top != top_next) break;
+      if (table.meta[last + 1] != table.meta[s]) break;
+      ++last;
+    }
+    if (last - s + 1 < 4) continue;
+    plane_chains_.push_back({static_cast<state_id>(s),
+                             static_cast<state_id>(last), top_next,
+                             table.meta[s]});
+    for (std::size_t t = s; t <= last; ++t) plane_chain_member_[t] = 1;
+  }
 }
 
 void engine::add_observer(observer* obs) {
@@ -147,30 +203,62 @@ void engine::set_fast_path_enabled(bool enabled) {
   fast_enabled_ = enabled;
 }
 
+// Dirty-word fold: only words that banked a beep since the last flush
+// are visited, so observer rounds on mostly-quiet graphs pay
+// O(beeping region), not O(n). Each dirty word's vertical counters are
+// transposed back to per-node byte counts with the SWAR spread (8
+// groups x up to 8 planes) - paid once per flush, not per round.
 void engine::flush_pending_ledger() const {
   if (pending_rounds_ == 0) return;
   const std::size_t n = g_->node_count();
-  for (std::size_t u = 0; u < n; ++u) {
-    beep_counts_[u] += pending_beeps_[u];
-    pending_beeps_[u] = 0;
+  for (std::size_t d = 0; d < dirty_ledger_words_.size(); ++d) {
+    std::uint64_t dirty = dirty_ledger_words_[d];
+    dirty_ledger_words_[d] = 0;
+    while (dirty != 0) {
+      const std::size_t w =
+          (d << 6) + static_cast<std::size_t>(std::countr_zero(dirty));
+      dirty &= dirty - 1;
+      const std::size_t base = w << 6;
+      const std::size_t end = std::min(n, base + 64);
+      for (std::size_t g = 0; base + g < end; g += 8) {
+        std::uint64_t bytes = 0;
+        for (std::size_t j = 0; j < 8; ++j) {
+          const std::uint64_t plane = ledger_planes_[j][w];
+          if (plane == 0) continue;
+          bytes |= spread_bits_to_bytes((plane >> g) & 0xFF) << j;
+        }
+        if (bytes == 0) continue;
+        const std::size_t limit = std::min<std::size_t>(8, end - base - g);
+        for (std::size_t i = 0; i < limit; ++i) {
+          beep_counts_[base + g + i] += (bytes >> (i * 8)) & 0xFF;
+        }
+      }
+      for (std::size_t j = 0; j < 8; ++j) ledger_planes_[j][w] = 0;
+    }
   }
   pending_rounds_ = 0;
 }
 
-// Transposes the state vector into the three bit-planes; called when a
-// dense round engages the word-parallel sweep.
+// Transposes the state vector into the bit-planes (and snapshots the
+// packed leader set); called when a dense round engages the
+// word-parallel sweep.
 void engine::enter_plane_mode() {
   const std::size_t n = g_->node_count();
+  const machine_table& table = *table_;
   const state_id* const states = fsm_->raw_states().data();
-  for (auto& plane : planes_) {
-    std::fill(plane.begin(), plane.end(), 0);
+  for (std::size_t j = 0; j < plane_count_; ++j) {
+    std::fill(planes_[j].begin(), planes_[j].end(), 0);
   }
+  std::fill(leader_words_.begin(), leader_words_.end(), 0);
   for (std::size_t u = 0; u < n; ++u) {
     const std::uint64_t bit = 1ULL << (u & 63);
     const state_id s = states[u];
-    if ((s & 1) != 0) planes_[0][u >> 6] |= bit;
-    if ((s & 2) != 0) planes_[1][u >> 6] |= bit;
-    if ((s & 4) != 0) planes_[2][u >> 6] |= bit;
+    for (std::size_t j = 0; j < plane_count_; ++j) {
+      if ((s >> j) & 1U) planes_[j][u >> 6] |= bit;
+    }
+    if ((table.meta[s] & machine_table::meta_leader) != 0) {
+      leader_words_[u >> 6] |= bit;
+    }
   }
   plane_mode_ = true;
 }
@@ -210,7 +298,8 @@ round_view engine::make_view() const {
 void engine::restart_from_protocol() {
   round_ = 0;
   std::fill(beep_counts_.begin(), beep_counts_.end(), 0);
-  std::fill(pending_beeps_.begin(), pending_beeps_.end(), 0);
+  for (auto& lp : ledger_planes_) std::fill(lp.begin(), lp.end(), 0);
+  std::fill(dirty_ledger_words_.begin(), dirty_ledger_words_.end(), 0);
   pending_rounds_ = 0;
   refresh_round_state();
   notify_round_observers();
@@ -231,39 +320,6 @@ void engine::resync_with_protocol() {
     }
   }
   refresh_round_state();
-}
-
-// Push sweep: enumerate the beepers via the packed words and OR each
-// one's beep into its neighbors' heard bits. Cost ~ sum of beeper
-// degrees - a big win late in an election when almost nobody beeps.
-void engine::gather_heard_push() {
-  for (std::size_t w = 0; w < beep_words_.size(); ++w) {
-    std::uint64_t bits = beep_words_[w];
-    while (bits != 0) {
-      const auto u = static_cast<graph::node_id>(
-          (w << 6) + static_cast<std::size_t>(std::countr_zero(bits)));
-      bits &= bits - 1;
-      for (graph::node_id v : g_->neighbors(u)) {
-        set_bit(heard_words_, v);
-      }
-    }
-  }
-}
-
-// Pull sweep: each silent node scans its adjacency against the packed
-// beep set with an early exit - a big win when beeps are dense (on a
-// clique the first probed neighbor almost always beeps).
-void engine::gather_heard_pull() {
-  const std::size_t n = g_->node_count();
-  for (graph::node_id u = 0; u < n; ++u) {
-    if (test_bit(heard_words_, u)) continue;  // beeps itself
-    for (graph::node_id v : g_->neighbors(u)) {
-      if (test_bit(beep_words_, v)) {
-        set_bit(heard_words_, u);
-        break;
-      }
-    }
-  }
 }
 
 // Reception noise redraws every silent node's verdict from its own
@@ -369,16 +425,45 @@ void engine::finish_step_fast() {
   notify_round_observers();
 }
 
-// Word-parallel phase 2 for machines with <= 8 states: per word, decode
-// a membership mask for every state, split it by the heard plane, and
-// route each part to its successor's mask with pure word ops. Only
+// Word-parallel phase 2 for machines with <= 64 states: per word,
+// decode a membership mask for every state, split it by the heard
+// plane, and route each part to its successor's mask with pure word
+// ops. Bit-sliced-counter runs (Timeout-BFW patience) bypass per-state
+// decoding: one range comparison finds the run members and one
+// ripple-carry add over the planes advances all silent ones at once.
+// Words whose lanes are all silent and sitting in draw-free self-loops
+// are skipped wholesale (their beep word is provably 0 and their
+// states, leader lanes and active lanes are unchanged). Only
 // stochastic rules visit nodes individually - their parts are iterated
 // jointly in ascending node order, so the per-node generator draws are
 // exactly those of the scalar loop. The new planes, beep set, leader
 // count and ledger all fall out of the per-successor masks, and the
 // protocol's state vector is rewritten through a SWAR transpose so
 // outside readers never see stale states.
+// Dispatch to a plane-count-specialized instantiation: the inner loops
+// over the planes then unroll and the per-word plane words live in
+// registers (a runtime plane count costs ~40% on wave-saturated
+// rounds).
 void engine::finish_step_plane() {
+  switch (plane_count_) {
+    case 1:
+      return finish_step_plane_impl<1>();
+    case 2:
+      return finish_step_plane_impl<2>();
+    case 3:
+      return finish_step_plane_impl<3>();
+    case 4:
+      return finish_step_plane_impl<4>();
+    case 5:
+      return finish_step_plane_impl<5>();
+    default:
+      return finish_step_plane_impl<6>();
+  }
+}
+
+template <std::size_t P>
+void engine::finish_step_plane_impl() {
+  constexpr std::size_t p = P;
   const machine_table& table = *table_;
   const std::size_t q = table.state_count();
   const std::size_t n = g_->node_count();
@@ -387,35 +472,124 @@ void engine::finish_step_plane() {
   support::rng* const rngs = rngs_.data();
   const std::uint64_t* const heard = heard_words_.data();
   std::uint64_t* const beep = beep_words_.data();
-  std::uint64_t* const p0 = planes_[0].data();
-  std::uint64_t* const p1 = planes_[1].data();
-  std::uint64_t* const p2 = planes_[2].data();
-  std::uint8_t* const pending = pending_beeps_.data();
+  std::uint64_t* const active = active_words_.data();
+  std::uint64_t* const leader = leader_words_.data();
+  std::uint64_t* plane[P];
+  for (std::size_t j = 0; j < p; ++j) plane[j] = planes_[j].data();
+  std::uint64_t* ledger[8];
+  for (std::size_t j = 0; j < 8; ++j) ledger[j] = ledger_planes_[j].data();
   beep_flags_valid_ = false;
   std::size_t leaders = 0;
   std::size_t active_next = 0;
   for (std::size_t w = 0; w < words; ++w) {
     const std::uint64_t valid = (w + 1 == words) ? tail_mask_ : ~0ULL;
     const std::uint64_t h = heard[w];
-    const std::uint64_t b0 = p0[w];
-    const std::uint64_t b1 = p1[w];
-    const std::uint64_t b2 = p2[w];
-    std::uint64_t moved[8] = {};  // moved[t]: nodes whose successor is t
+    const std::uint64_t act = active[w];
+    if (((h | act) & valid) == 0) {
+      // Fully quiet word: every lane is silent (so beep[w] is already
+      // 0 - a beeper always hears itself) and sits in a draw-free bot
+      // self-loop. Nothing moves, beeps, or draws; the stored leader
+      // and active lanes still count.
+      leaders += static_cast<std::size_t>(std::popcount(leader[w]));
+      active_next += static_cast<std::size_t>(std::popcount(act));
+      continue;
+    }
+    std::uint64_t b[P];
+    for (std::size_t j = 0; j < p; ++j) b[j] = plane[j][w];
+    std::uint64_t moved[64];  // moved[t]: nodes whose successor is t
+    for (std::size_t t = 0; t < q; ++t) moved[t] = 0;
     // Stochastic parts are deferred so their draws happen jointly in
     // ascending node order, interleaved exactly as the scalar loop.
     struct pending_draw {
       const transition_rule* rule;
       std::uint64_t part;
     };
-    std::array<pending_draw, 16> draws;
+    std::array<pending_draw, 128> draws;  // <= 2 per state + 1 per run
     std::size_t draw_rules = 0;
     std::uint64_t draw_union = 0;
-    for (std::size_t s = 0; s < q; ++s) {
-      std::uint64_t dec = valid;
-      dec &= ((s & 1) != 0) ? b0 : ~b0;
-      dec &= ((s & 2) != 0) ? b1 : ~b1;
-      dec &= ((s & 4) != 0) ? b2 : ~b2;
+    // Bit-sliced comparison of the plane-encoded state ids against a
+    // constant: gt/eq masks accumulated from the highest plane down.
+    const auto compare = [&b, valid](std::uint64_t k, std::uint64_t& gt,
+                                     std::uint64_t& eq) noexcept {
+      gt = 0;
+      eq = valid;
+      for (std::size_t j = p; j-- > 0;) {
+        if ((k >> j) & 1U) {
+          eq &= b[j];
+        } else {
+          gt |= eq & b[j];
+          eq &= ~b[j];
+        }
+      }
+    };
+    std::uint64_t chain_np[P] = {};
+    std::uint64_t chain_members = 0;
+    std::uint64_t chain_beep = 0;
+    std::uint64_t chain_leader = 0;
+    std::uint64_t chain_active = 0;
+    for (const plane_chain& chain : plane_chains_) {
+      std::uint64_t gt_last = 0;
+      std::uint64_t eq_last = 0;
+      compare(chain.last, gt_last, eq_last);
+      std::uint64_t ge_first = valid;
+      if (chain.first != 0) {
+        std::uint64_t gt_before = 0;
+        std::uint64_t eq_before = 0;
+        compare(static_cast<std::uint64_t>(chain.first) - 1, gt_before,
+                eq_before);
+        ge_first = gt_before;
+      }
+      const std::uint64_t members = ge_first & ~gt_last;
+      if (members == 0) continue;
+      chain_members |= members;
+      const std::uint64_t top_part = members & h;
+      if (top_part != 0) moved[chain.top_next] |= top_part;
+      // The run's last state exits the counter; its silent transition
+      // is routed individually (it may even draw).
+      const std::uint64_t last_bot = eq_last & ~h;
+      if (last_bot != 0) {
+        const transition_rule& rule = table.rule(chain.last, false);
+        if (rule.draw == transition_rule::draw_kind::none) {
+          moved[rule.next] |= last_bot;
+        } else {
+          draws[draw_rules++] = {&rule, last_bot};
+          draw_union |= last_bot;
+        }
+      }
+      // Every other silent member ticks its counter: state id += 1 is
+      // a ripple-carry add over the planes, restricted to those lanes.
+      const std::uint64_t inc = members & ~eq_last & ~h;
+      if (inc != 0) {
+        std::uint64_t carry = inc;
+        for (std::size_t j = 0; j < p; ++j) {
+          chain_np[j] |= (b[j] ^ carry) & inc;
+          carry &= b[j];
+        }
+        if ((chain.meta & machine_table::meta_beep) != 0) chain_beep |= inc;
+        if ((chain.meta & machine_table::meta_leader) != 0) {
+          chain_leader |= inc;
+        }
+        if ((chain.meta & machine_table::meta_bot_identity) == 0) {
+          chain_active |= inc;
+        }
+      }
+    }
+    // Decode states in descending id order with a remaining-lanes mask:
+    // once every lane of the word is accounted for, the loop exits -
+    // wave-phase words typically hold only the 2-3 highest follower
+    // states, so the leader states are usually never decoded. State
+    // iteration order is free: the routed parts are disjoint and the
+    // draw loop below visits nodes in ascending order regardless.
+    std::uint64_t rem = valid & ~chain_members;
+    for (std::size_t s = q; s-- > 0;) {
+      if (rem == 0) break;
+      if (plane_chain_member_[s] != 0) continue;  // handled above
+      std::uint64_t dec = rem;
+      for (std::size_t j = 0; j < p; ++j) {
+        dec &= ((s >> j) & 1U) ? b[j] : ~b[j];
+      }
       if (dec == 0) continue;
+      rem &= ~dec;
       const transition_rule& top = table.rule(static_cast<state_id>(s), true);
       const transition_rule& bot = table.rule(static_cast<state_id>(s), false);
       const std::uint64_t top_part = dec & h;
@@ -449,39 +623,38 @@ void engine::finish_step_plane() {
         }
       }
     }
-    std::uint64_t np0 = 0;
-    std::uint64_t np1 = 0;
-    std::uint64_t np2 = 0;
-    std::uint64_t beep_bits = 0;
-    std::uint64_t leader_bits = 0;
-    std::uint64_t active_bits = 0;
+    std::uint64_t np[P];
+    for (std::size_t j = 0; j < p; ++j) np[j] = chain_np[j];
+    std::uint64_t beep_bits = chain_beep;
+    std::uint64_t leader_bits = chain_leader;
+    std::uint64_t active_bits = chain_active;
     for (std::size_t t = 0; t < q; ++t) {
       const std::uint64_t m = moved[t];
       if (m == 0) continue;
-      if ((t & 1) != 0) np0 |= m;
-      if ((t & 2) != 0) np1 |= m;
-      if ((t & 4) != 0) np2 |= m;
+      for (std::size_t j = 0; j < p; ++j) {
+        if ((t >> j) & 1U) np[j] |= m;
+      }
       const std::uint8_t t_meta = table.meta[t];
       if ((t_meta & machine_table::meta_beep) != 0) beep_bits |= m;
       if ((t_meta & machine_table::meta_leader) != 0) leader_bits |= m;
       if ((t_meta & machine_table::meta_bot_identity) == 0) active_bits |= m;
     }
-    p0[w] = np0;
-    p1[w] = np1;
-    p2[w] = np2;
+    for (std::size_t j = 0; j < p; ++j) plane[j][w] = np[j];
     beep[w] = beep_bits;
+    leader[w] = leader_bits;
+    active[w] = active_bits;
     leaders += static_cast<std::size_t>(std::popcount(leader_bits));
     active_next += static_cast<std::size_t>(std::popcount(active_bits));
-    // Ledger: bank this round's +1s as bytes, 8 nodes per word op.
+    // Ledger: bank this round's +1s with one ripple-carry add into the
+    // vertical counters (counts stay < 255: flushed in time), and mark
+    // the word dirty so the flush visits only beeping regions.
     if (beep_bits != 0) {
-      std::uint8_t* const row = pending + (w << 6);
-      for (std::size_t g = 0; g < 64; g += 8) {
-        const std::uint64_t add = spread_bits_to_bytes((beep_bits >> g) & 0xFF);
-        if (add == 0) continue;
-        std::uint64_t cur;
-        std::memcpy(&cur, row + g, 8);
-        cur += add;  // bytes stay < 255: the sidecar is flushed in time
-        std::memcpy(row + g, &cur, 8);
+      dirty_ledger_words_[w >> 6] |= 1ULL << (w & 63);
+      std::uint64_t carry = beep_bits;
+      for (std::size_t j = 0; carry != 0; ++j) {
+        const std::uint64_t old = ledger[j][w];
+        ledger[j][w] = old ^ carry;
+        carry &= old;
       }
     }
     // Rewrite the protocol's state vector for this word (SWAR
@@ -490,28 +663,49 @@ void engine::finish_step_plane() {
     const std::size_t in_word = std::min<std::size_t>(64, n - base);
     std::size_t i = 0;
     for (; i + 8 <= in_word; i += 8) {
-      const std::uint64_t bytes = spread_bits_to_bytes((np0 >> i) & 0xFF) |
-                                  (spread_bits_to_bytes((np1 >> i) & 0xFF) << 1) |
-                                  (spread_bits_to_bytes((np2 >> i) & 0xFF) << 2);
+      // Merge the planes before the byte reversal: the multiply parks
+      // bit k at the top of byte 7-k, so plane j's flags shift down to
+      // bit j of each byte and one bswap fixes the order for all
+      // planes at once (one bswap+shift per plane saved).
+      std::uint64_t acc = 0;
+      for (std::size_t j = 0; j < p; ++j) {
+        acc |= ((((np[j] >> i) & 0xFF) * 0x8040201008040201ULL) &
+                0x8080808080808080ULL) >>
+               (7 - j);
+      }
+      const std::uint64_t bytes = __builtin_bswap64(acc);
+#if defined(__SSE2__)
+      // One interleave-with-zero store replaces the two scalar morton
+      // widens - the write-back is the largest single term of a
+      // wave-saturated plane round, so this is worth the guard.
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(states + base + i),
+          _mm_unpacklo_epi8(_mm_cvtsi64_si128(static_cast<long long>(bytes)),
+                            _mm_setzero_si128()));
+#else
       const std::uint64_t lo = widen_bytes_to_u16(bytes);
       const std::uint64_t hi = widen_bytes_to_u16(bytes >> 32);
       std::memcpy(states + base + i, &lo, 8);
       std::memcpy(states + base + i + 4, &hi, 8);
+#endif
     }
     for (; i < in_word; ++i) {
-      states[base + i] = static_cast<state_id>(
-          ((np0 >> i) & 1U) | (((np1 >> i) & 1U) << 1) |
-          (((np2 >> i) & 1U) << 2));
+      state_id s = 0;
+      for (std::size_t j = 0; j < p; ++j) {
+        s |= static_cast<state_id>(((np[j] >> i) & 1U) << j);
+      }
+      states[base + i] = s;
     }
   }
   leader_count_ = leaders;
   ++round_;
+  ++plane_rounds_;
   if (++pending_rounds_ >= 254) flush_pending_ledger();
   // Hysteresis: when the wave traffic dies down, hand the next rounds
-  // back to the sparse sweep (which needs the active set rebuilt).
+  // back to the sparse sweep (the active set is maintained in plane
+  // rounds, so no rebuild is needed on the way out).
   if (active_next * 8 < n) {
     plane_mode_ = false;
-    rebuild_active_set();
   }
   notify_round_observers();
 }
@@ -519,24 +713,13 @@ void engine::finish_step_plane() {
 void engine::step() {
   check_in_sync();
   // Phase 1: a node applies delta_top iff it beeped or a neighbor did.
-  // Seed the heard set with the beep set (a beeper always "hears").
-  std::copy(beep_words_.begin(), beep_words_.end(), heard_words_.begin());
-  // Push costs ~sum of beeper degrees (~|B| x average degree); pull
-  // costs ~one probe per node thanks to the early exit, so it only wins
-  // when the beep set is so dense that push would touch most arcs (the
-  // opening rounds on a clique). "Beepers x avg-degree x 2 <= arcs"
-  // reduces to 2|B| <= n, with |B| read off the packed words in a
-  // handful of popcounts. Either sweep yields the same set, so the
+  // Seed the heard set with the beep set (a beeper always "hears"),
+  // then let the gather dispatch pick its kernel: stencil on tagged
+  // topologies, otherwise word-CSR push vs packed pull by beep density
+  // (with hysteresis). Every kernel computes the same set, so the
   // choice never affects results.
-  std::size_t beepers = 0;
-  for (const std::uint64_t word : beep_words_) {
-    beepers += static_cast<std::size_t>(std::popcount(word));
-  }
-  if (2 * beepers <= g_->node_count()) {
-    gather_heard_push();
-  } else {
-    gather_heard_pull();
-  }
+  std::copy(beep_words_.begin(), beep_words_.end(), heard_words_.begin());
+  gather_(beep_words_, heard_words_);
   if (noise_.enabled()) {
     apply_noise();
   }

@@ -11,14 +11,17 @@
 // independent of node iteration order.
 //
 // Hot loop: the beep set B_t and the heard set are kept bit-packed
-// (one std::uint64_t word per 64 nodes). Each round the heard set is
-// built by OR-gathering over the CSR adjacency, choosing per round
-// between a push sweep (enumerate beepers, OR their neighbor bits -
-// cheap when few nodes beep) and a pull sweep (per-node early-exit
-// scan against the packed beep set - cheap when beeps are dense).
-// Both sweeps compute the same set, so the choice never affects
-// results; `step_reference()` keeps the original scalar byte-array
-// path alive for differential tests and benchmarks.
+// (one std::uint64_t word per 64 nodes). The heard set is computed by
+// graph::heard_gather, a family of word-parallel kernels behind one
+// dispatch point: stencil kernels (shifted word ops) on
+// topology-tagged path/ring/grid/torus graphs, a word-CSR push
+// (premasked neighbor words per beeper) on general sparse rounds, and
+// a packed-row pull on dense beep sets, with the original single-bit
+// push/pull kept as forceable reference kernels. Every kernel computes
+// the same set, so the choice never affects results;
+// `step_reference()` keeps the original scalar byte-array path alive
+// for differential tests and benchmarks, and `set_gather_kernel` pins
+// one kernel for debugging.
 //
 // The per-node byte flags behind the observer API are a *mirror* of
 // the packed beep set and are materialized lazily: a round only pays
@@ -35,21 +38,34 @@
 // graph costs O(n/64) + O(active) instead of three virtual calls per
 // node.
 //
-// For machines with at most 8 states the fast path has a second gear:
+// For machines with at most 64 states the fast path has a second gear:
 // when wave traffic makes the visited set dense (most rounds on paths
 // and grids, where every leader beep floods the graph with relay
-// waves), states are held in three bit-planes and the whole transition
-// function is evaluated with word-parallel set algebra - per-state
-// decode masks route 64 nodes at a time to their successors, the beep
-// and leader sets fall out as word ORs, and the state vector is
-// rewritten through a SWAR bit-to-byte transpose. Only rules that
-// actually draw (e.g. the BFW W-state coin) are visited per node, in
-// ascending node order, so the generator sequence is untouched. The
-// engine switches between the sparse sweep and the plane sweep per
-// round with hysteresis; both are bit-identical to the virtual path -
-// same states, same beep counts, same generator draws - and
-// set_fast_path_enabled(false) forces the virtual reference for
-// differential testing.
+// waves), states are held in ceil(log2(q)) bit-planes and the whole
+// transition function is evaluated with word-parallel set algebra -
+// per-state decode masks route 64 nodes at a time to their successors,
+// the beep and leader sets fall out as word ORs, and the state vector
+// is rewritten through a SWAR bit-to-byte transpose. Runs of states
+// whose silent transition is "increment the state id" (the Timeout-BFW
+// patience counter W◦(0..T-1)) are detected at bind time and handled
+// as bit-sliced counters: one ripple-carry add over the planes,
+// restricted to the silent run members, replaces per-state decoding -
+// so Timeout-BFW with large T ticks every waiting follower's patience
+// at 64 nodes per word op instead of falling back to the O(n) sparse
+// sweep. Words whose lanes are all silent and draw-free are skipped
+// wholesale. Only rules that actually draw (e.g. the BFW W-state coin)
+// are visited per node, in ascending node order, so the generator
+// sequence is untouched. The engine switches between the sparse sweep
+// and the plane sweep per round with hysteresis; both are bit-identical
+// to the virtual path - same states, same beep counts, same generator
+// draws - and set_fast_path_enabled(false) forces the virtual
+// reference for differential testing.
+//
+// Observer ledger: plane rounds bank per-node beep increments in
+// bit-sliced vertical counters (a ripple-carry add per beeping word)
+// and mark the touched words in a dirty-word bitset, so materializing
+// exact beep counts (observers do it every round) folds only the words
+// that actually beeped instead of sweeping all n nodes.
 #pragma once
 
 #include <array>
@@ -61,6 +77,7 @@
 
 #include "beeping/observer.hpp"
 #include "beeping/protocol.hpp"
+#include "graph/gather.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
 
@@ -160,10 +177,10 @@ class engine {
   [[nodiscard]] graph::node_id sole_leader() const;
 
   /// N_beep_t(u): beeps of u up to and including the current round.
-  /// (Plane-mode rounds bank increments in a byte sidecar; the sum is
-  /// always exact.)
+  /// (Plane-mode rounds bank increments in the bit-sliced ledger
+  /// planes; the sum is always exact.)
   [[nodiscard]] std::uint64_t beep_count(graph::node_id u) const {
-    return beep_counts_[u] + pending_beeps_[u];
+    return beep_counts_[u] + pending_count(u);
   }
   [[nodiscard]] std::span<const std::uint64_t> beep_counts() const {
     flush_pending_ledger();
@@ -205,21 +222,72 @@ class engine {
     return fast_enabled_ && table_.has_value();
   }
 
+  /// Pins one heard-gather kernel (graph::gather_kernel::auto_select
+  /// restores the default topology-tag + density dispatch). All
+  /// kernels compute the same heard set, so this never changes a
+  /// number - it exists for debugging and differential tests. Throws
+  /// std::invalid_argument when the kernel cannot serve this graph
+  /// (stencil without a topology tag).
+  void set_gather_kernel(graph::gather_kernel kernel) {
+    gather_.force_kernel(kernel);
+  }
+  /// The kernel the most recent gather actually ran.
+  [[nodiscard]] graph::gather_kernel gather_kernel_used() const noexcept {
+    return gather_.last_used();
+  }
+
+  /// True iff the machine is eligible for the word-parallel plane gear
+  /// (compiled table, <= 64 states, little-endian host).
+  [[nodiscard]] bool plane_capable() const noexcept { return plane_capable_; }
+  /// Rounds executed by the plane gear so far (introspection for tests
+  /// and benchmarks; e.g. Timeout-BFW with T > 3 must report all but
+  /// the first rounds here instead of falling back to the sparse
+  /// sweep).
+  [[nodiscard]] std::uint64_t plane_rounds() const noexcept {
+    return plane_rounds_;
+  }
+
  private:
   void refresh_round_state();
   void ensure_beep_flags() const;
-  void gather_heard_push();
-  void gather_heard_pull();
   void apply_noise();
   void finish_step();
   void finish_step_fast();
   void finish_step_plane();
+  template <std::size_t P>
+  void finish_step_plane_impl();
   void enter_plane_mode();
+  void analyze_plane_plan();
   void flush_pending_ledger() const;
+  /// Pending (unflushed) ledger count of node u, read off the planes.
+  [[nodiscard]] std::uint64_t pending_count(graph::node_id u) const {
+    if (pending_rounds_ == 0) return 0;
+    const std::size_t w = u >> 6;
+    const std::uint64_t bit = u & 63;
+    std::uint64_t count = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      count |= ((ledger_planes_[j][w] >> bit) & 1ULL) << j;
+    }
+    return count;
+  }
   void rebuild_active_set();
   void notify_round_observers();
   void check_in_sync() const;
   [[nodiscard]] round_view make_view() const;
+
+  // A maximal run of states [first, last] whose silent transitions
+  // count: delta_bot(s) = s+1 for s < last, with a uniform draw-free
+  // delta_top target and uniform beep/leader/identity flags across the
+  // run. The plane sweep advances all silent run members with one
+  // ripple-carry add over the bit planes (last's exit transition is
+  // decoded individually) - the bit-sliced-counter gear that keeps
+  // Timeout-BFW's patience states word-parallel for any T.
+  struct plane_chain {
+    state_id first = 0;
+    state_id last = 0;
+    state_id top_next = 0;   ///< uniform delta_top target of the run
+    std::uint8_t meta = 0;   ///< uniform machine_table::meta byte
+  };
 
   const graph::graph* g_;
   protocol* proto_;
@@ -239,24 +307,46 @@ class engine {
   mutable bool beep_flags_valid_ = false;
   std::vector<std::uint64_t> beep_words_;   // packed B_t
   std::vector<std::uint64_t> heard_words_;  // packed delta_top set
+  // The heard-gather kernels (word-CSR, packed rows, stencil masks)
+  // behind the per-round dispatch; owns no graph state beyond derived
+  // layouts.
+  graph::heard_gather gather_;
   // Fast path only: bit u set iff the bot row of u's current state is
   // not a draw-free self-loop - i.e. u can change state (or consume a
   // draw) even in a silent round. Quiet-phase sweeps visit only
-  // heard ∪ active nodes. (Maintained by sparse rounds; rebuilt when
-  // leaving plane mode.)
+  // heard ∪ active nodes (the plane sweep skips whole quiet words).
+  // Maintained by both the sparse and the plane rounds.
   std::vector<std::uint64_t> active_words_;
-  // Plane mode (machines with <= 8 states): bit j of node u's state id
-  // lives in planes_[j]; valid only while plane_mode_ is set - the
+  // Plane mode only: packed leader set, so skipped quiet words still
+  // contribute their (unchanged) leader lanes to the round's count.
+  // Built on plane entry, maintained by plane rounds.
+  std::vector<std::uint64_t> leader_words_;
+  // Plane mode (machines with <= 64 states): bit j of node u's state
+  // id lives in planes_[j]; valid only while plane_mode_ is set - the
   // protocol's state vector is rewritten every plane round, so it is
   // never stale for outside readers.
-  std::array<std::vector<std::uint64_t>, 3> planes_;
+  std::array<std::vector<std::uint64_t>, 6> planes_;
+  std::size_t plane_count_ = 0;  // ceil(log2(state_count)), >= 1
+  // Bit-sliced-counter runs (see plane_chain) + the per-state skip
+  // bytes telling the decode loop which states the chains cover.
+  std::vector<plane_chain> plane_chains_;
+  std::vector<std::uint8_t> plane_chain_member_;
   bool plane_capable_ = false;
   bool plane_mode_ = false;
+  std::uint64_t plane_rounds_ = 0;
   std::uint64_t tail_mask_ = ~0ULL;  // valid bits of the last word
-  // Beep-ledger sidecar: plane rounds bank the per-node +1s as SWAR
-  // bytes and fold them into beep_counts_ lazily (and before any byte
-  // could reach 255). mutable: folding happens under const accessors.
-  mutable std::vector<std::uint8_t> pending_beeps_;
+  // Beep-ledger sidecar: plane rounds bank the per-node +1s as
+  // bit-sliced vertical counters - ledger_planes_[j] holds bit j of
+  // every node's pending count, so banking one round's beep word is a
+  // ripple-carry add costing ~2 word ops instead of a byte-array SWAR
+  // update. The counters are folded into beep_counts_ lazily (and
+  // before any count could reach 255: pending_rounds_ caps at 254,
+  // which 8 planes hold exactly). dirty_ledger_words_ marks which
+  // words hold nonzero counters, so the fold only visits words that
+  // actually beeped since the last flush. mutable: folding happens
+  // under const accessors.
+  mutable std::array<std::vector<std::uint64_t>, 8> ledger_planes_;
+  mutable std::vector<std::uint64_t> dirty_ledger_words_;
   mutable std::uint32_t pending_rounds_ = 0;
   mutable std::vector<std::uint64_t> beep_counts_;
   std::vector<observer*> observers_;

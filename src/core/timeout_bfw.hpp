@@ -72,8 +72,13 @@ class timeout_bfw_machine final : public beeping::state_machine {
   /// Compiled form for the engine fast path: only delta_bot(W•) draws
   /// (rng::bernoulli(p), matching the virtual path); the patience
   /// counter states are deterministic rows. Note W◦(k) is NOT a bot
-  /// self-loop - patience ticks every silent round - so the fast sweep
-  /// visits every waiting follower, unlike plain BFW.
+  /// self-loop - patience ticks every silent round - so the sparse
+  /// sweep would visit every waiting follower, unlike plain BFW. The
+  /// W◦(0..T-1) rows compile to an increment chain (delta_bot is
+  /// "state + 1" with a uniform delta_top), which the engine's plane
+  /// gear detects and runs as a bit-sliced counter: one ripple-carry
+  /// add over the state planes ticks 64 followers per word op, for any
+  /// T up to the 64-state plane cap (T <= 59).
   [[nodiscard]] std::optional<beeping::machine_table> compile_table()
       const override;
 

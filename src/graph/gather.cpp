@@ -1,0 +1,296 @@
+#include "graph/gather.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace beepkit::graph {
+
+namespace {
+
+constexpr bool test_bit(std::span<const std::uint64_t> words,
+                        node_id u) noexcept {
+  return (words[u >> 6] >> (u & 63)) & 1ULL;
+}
+
+constexpr void set_bit(std::span<std::uint64_t> words, node_id u) noexcept {
+  words[u >> 6] |= 1ULL << (u & 63);
+}
+
+// dst |= ((src & smask) << k) & lmask, over `words` words; bits shifted
+// past the top of the array are dropped (the caller masks the valid
+// tail afterwards). Null masks mean all-ones.
+void shl_or(const std::uint64_t* src, const std::uint64_t* smask,
+            const std::uint64_t* lmask, std::uint64_t* dst,
+            std::size_t words, std::size_t k) noexcept {
+  const std::size_t ws = k >> 6;
+  const unsigned bs = static_cast<unsigned>(k & 63);
+  const auto at = [&](std::size_t i) {
+    return smask != nullptr ? (src[i] & smask[i]) : src[i];
+  };
+  for (std::size_t w = words; w-- > ws;) {
+    const std::size_t s = w - ws;
+    std::uint64_t v = at(s);
+    if (bs != 0) {
+      v <<= bs;
+      if (s > 0) v |= at(s - 1) >> (64 - bs);
+    }
+    if (lmask != nullptr) v &= lmask[w];
+    dst[w] |= v;
+  }
+}
+
+// dst |= ((src & smask) >> k) & lmask; bits shifted below zero drop.
+void shr_or(const std::uint64_t* src, const std::uint64_t* smask,
+            const std::uint64_t* lmask, std::uint64_t* dst,
+            std::size_t words, std::size_t k) noexcept {
+  const std::size_t ws = k >> 6;
+  const unsigned bs = static_cast<unsigned>(k & 63);
+  const auto at = [&](std::size_t i) {
+    return smask != nullptr ? (src[i] & smask[i]) : src[i];
+  };
+  for (std::size_t w = 0; w + ws < words; ++w) {
+    const std::size_t s = w + ws;
+    std::uint64_t v = at(s);
+    if (bs != 0) {
+      v >>= bs;
+      if (s + 1 < words) v |= at(s + 1) << (64 - bs);
+    }
+    if (lmask != nullptr) v &= lmask[w];
+    dst[w] |= v;
+  }
+}
+
+}  // namespace
+
+heard_gather::heard_gather(const graph& g) : g_(&g) {
+  const std::size_t n = g.node_count();
+  words_ = packed_word_count(n);
+  tail_mask_ = (n % 64 == 0) ? ~0ULL : ((1ULL << (n % 64)) - 1);
+  stencil_ = g.topology_tag();
+  if (stencil_.has_value() && (stencil_->shape == topology::kind::grid ||
+                               stencil_->shape == topology::kind::torus)) {
+    // Periodic column masks, one bit per flat node index (indices past
+    // n follow the same formula; the beep set never has bits there).
+    const std::size_t cols = stencil_->cols;
+    const std::size_t words = words_;
+    not_first_col_.assign(words, 0);
+    not_last_col_.assign(words, 0);
+    for (std::size_t i = 0; i < words * 64; ++i) {
+      const std::uint64_t bit = 1ULL << (i & 63);
+      if (i % cols != 0) not_first_col_[i >> 6] |= bit;
+      if (i % cols != cols - 1) not_last_col_[i >> 6] |= bit;
+    }
+    if (stencil_->shape == topology::kind::torus) {
+      // Wrap-column source masks (the complements' bits above n are
+      // harmless: the beep set never has bits there).
+      first_col_.resize(words);
+      last_col_.resize(words);
+      for (std::size_t w = 0; w < words; ++w) {
+        first_col_[w] = ~not_first_col_[w];
+        last_col_[w] = ~not_last_col_[w];
+      }
+    }
+  }
+}
+
+// The adjacency layouts are derived lazily: a topology-tagged graph
+// auto-selects the stencil kernel forever, so building the word-CSR
+// (O(n + m)) per engine - engines are constructed per trial - would be
+// dead weight there.
+void heard_gather::ensure_adjacency_layouts() {
+  if (csr_built_) return;
+  csr_ = word_csr(*g_);
+  if (word_csr::packed_rows_worthwhile(*g_)) csr_.build_packed_rows(*g_);
+  csr_built_ = true;
+}
+
+void heard_gather::force_kernel(gather_kernel k) {
+  if (k == gather_kernel::stencil && !stencil_.has_value()) {
+    throw std::invalid_argument(
+        "heard_gather: stencil kernel requires a topology-tagged graph");
+  }
+  if (k == gather_kernel::word_csr_push || k == gather_kernel::packed_pull) {
+    ensure_adjacency_layouts();
+  }
+  if (k == gather_kernel::packed_pull && !csr_.packed_rows_built()) {
+    csr_.build_packed_rows(*g_);  // debug/test override of the heuristic
+  }
+  forced_ = k;
+}
+
+void heard_gather::operator()(std::span<const std::uint64_t> beep,
+                              std::span<std::uint64_t> heard) {
+  gather_kernel k = forced_;
+  if (k == gather_kernel::auto_select) {
+    if (stencil_.has_value()) {
+      k = gather_kernel::stencil;
+    } else {
+      ensure_adjacency_layouts();
+      // Push costs ~beeper word-pairs, pull ~one early-exit row scan
+      // per node; the crossover is around 2|B| = n as for the legacy
+      // kernels, held with hysteresis so rounds hovering at the
+      // threshold do not flap between kernels.
+      std::size_t beepers = 0;
+      for (const std::uint64_t word : beep) {
+        beepers += static_cast<std::size_t>(std::popcount(word));
+      }
+      const std::size_t n = g_->node_count();
+      if (2 * beepers > n) {
+        dense_mode_ = true;
+      } else if (4 * beepers <= n) {
+        dense_mode_ = false;
+      }
+      if (dense_mode_) {
+        k = csr_.packed_rows_built() ? gather_kernel::packed_pull
+                                     : gather_kernel::legacy_pull;
+      } else {
+        k = gather_kernel::word_csr_push;
+      }
+    }
+  }
+  switch (k) {
+    case gather_kernel::stencil:
+      gather_stencil(beep, heard);
+      break;
+    case gather_kernel::word_csr_push:
+      gather_word_csr_push(beep, heard);
+      break;
+    case gather_kernel::packed_pull:
+      gather_packed_pull(beep, heard);
+      break;
+    case gather_kernel::legacy_push:
+      gather_legacy_push(beep, heard);
+      break;
+    case gather_kernel::legacy_pull:
+      gather_legacy_pull(beep, heard);
+      break;
+    case gather_kernel::auto_select:
+      break;  // unreachable: resolved above
+  }
+  last_ = k;
+}
+
+// Structured topologies: the heard set is B shifted every which way the
+// geometry allows - no adjacency is touched. All shift helpers drop
+// bits past the array; the final tail mask kills in-range bits >= n
+// (e.g. a left row-stride shift pushing the second row past the end).
+void heard_gather::gather_stencil(std::span<const std::uint64_t> beep,
+                                  std::span<std::uint64_t> heard) const {
+  const std::size_t words = heard.size();
+  if (words == 0) return;
+  const topology& topo = *stencil_;
+  const std::uint64_t* const b = beep.data();
+  std::uint64_t* const h = heard.data();
+  switch (topo.shape) {
+    case topology::kind::path:
+    case topology::kind::ring: {
+      // Fused single pass: heard[w] = B | (B << 1) | (B >> 1) with the
+      // cross-word carries read off the rolling neighbors.
+      std::uint64_t prev = 0;
+      std::uint64_t cur = b[0];
+      for (std::size_t w = 0; w < words; ++w) {
+        const std::uint64_t next = (w + 1 < words) ? b[w + 1] : 0;
+        h[w] |= (cur << 1) | (prev >> 63) | (cur >> 1) | (next << 63);
+        prev = cur;
+        cur = next;
+      }
+      if (topo.shape == topology::kind::ring) {
+        const std::size_t n = g_->node_count();
+        const auto end = static_cast<node_id>(n - 1);
+        if (test_bit(beep, end)) h[0] |= 1ULL;
+        if ((b[0] & 1ULL) != 0) set_bit(heard, end);
+      }
+      break;
+    }
+    case topology::kind::grid: {
+      shl_or(b, nullptr, not_first_col_.data(), h, words, 1);
+      shr_or(b, nullptr, not_last_col_.data(), h, words, 1);
+      shl_or(b, nullptr, nullptr, h, words, topo.cols);
+      shr_or(b, nullptr, nullptr, h, words, topo.cols);
+      break;
+    }
+    case topology::kind::torus: {
+      shl_or(b, nullptr, not_first_col_.data(), h, words, 1);
+      shr_or(b, nullptr, not_last_col_.data(), h, words, 1);
+      shl_or(b, nullptr, nullptr, h, words, topo.cols);
+      shr_or(b, nullptr, nullptr, h, words, topo.cols);
+      // Horizontal wrap: column cols-1 sources land on column 0 of the
+      // same row and vice versa (source masks select the wrap column,
+      // so no landing mask is needed). Vertical wrap: a full-array
+      // row-stride shift by (rows-1)*cols maps the last row onto the
+      // first (and only those rows survive the shift).
+      if (topo.cols > 1) {
+        const std::size_t wrap = topo.cols - 1;
+        shr_or(b, last_col_.data(), nullptr, h, words, wrap);
+        shl_or(b, first_col_.data(), nullptr, h, words, wrap);
+      }
+      const std::size_t stride = (topo.rows - 1) * topo.cols;
+      shr_or(b, nullptr, nullptr, h, words, stride);
+      shl_or(b, nullptr, nullptr, h, words, stride);
+      break;
+    }
+  }
+  h[words - 1] &= tail_mask_;
+}
+
+void heard_gather::gather_word_csr_push(std::span<const std::uint64_t> beep,
+                                        std::span<std::uint64_t> heard) const {
+  std::uint64_t* const h = heard.data();
+  for (std::size_t w = 0; w < beep.size(); ++w) {
+    std::uint64_t bits = beep[w];
+    while (bits != 0) {
+      const auto u = static_cast<node_id>(
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      csr_.push_neighbors(u, h);
+    }
+  }
+}
+
+void heard_gather::gather_packed_pull(std::span<const std::uint64_t> beep,
+                                      std::span<std::uint64_t> heard) const {
+  const std::size_t n = g_->node_count();
+  const std::size_t words = heard.size();
+  const std::uint64_t* const b = beep.data();
+  for (node_id u = 0; u < n; ++u) {
+    if (test_bit(heard, u)) continue;  // beeps itself
+    const std::uint64_t* const row = csr_.packed_row(u);
+    for (std::size_t w = 0; w < words; ++w) {
+      if ((row[w] & b[w]) != 0) {
+        set_bit(heard, u);
+        break;
+      }
+    }
+  }
+}
+
+void heard_gather::gather_legacy_push(std::span<const std::uint64_t> beep,
+                                      std::span<std::uint64_t> heard) const {
+  for (std::size_t w = 0; w < beep.size(); ++w) {
+    std::uint64_t bits = beep[w];
+    while (bits != 0) {
+      const auto u = static_cast<node_id>(
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      for (node_id v : g_->neighbors(u)) {
+        set_bit(heard, v);
+      }
+    }
+  }
+}
+
+void heard_gather::gather_legacy_pull(std::span<const std::uint64_t> beep,
+                                      std::span<std::uint64_t> heard) const {
+  const std::size_t n = g_->node_count();
+  for (node_id u = 0; u < n; ++u) {
+    if (test_bit(heard, u)) continue;  // beeps itself
+    for (node_id v : g_->neighbors(u)) {
+      if (test_bit(beep, v)) {
+        set_bit(heard, u);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace beepkit::graph

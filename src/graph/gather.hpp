@@ -1,0 +1,120 @@
+// The heard-gather: given the packed beep set B_t, compute the packed
+// heard set {u : u in B_t or N(u) ∩ B_t != ∅}. This is the one
+// neighborhood operation every beeping-style engine performs per round,
+// and on sparse graphs it dominates the round cost once transitions are
+// word-parallel - so it gets a family of word-parallel kernels behind a
+// single dispatch point:
+//
+//  * stencil    - structured topologies only (graph::topology tag).
+//    path/ring: heard = B | (B << 1) | (B >> 1) with cross-word carry
+//    (+ the two wrap bits for rings); grid/torus: the same, with
+//    periodic column masks killing the carries that would wrap a row,
+//    plus row-stride shifts (<< cols, >> cols) for the vertical
+//    neighbors and corner shifts for torus wrap-around. Touches no
+//    adjacency at all: O(words) per round regardless of degree.
+//  * word_csr_push - enumerate beepers, OR their premasked neighbor
+//    words (word_csr). Cost ~ sum over beepers of word-pairs, the
+//    word-parallel refinement of the classic push.
+//  * packed_pull - for dense beep sets on small/dense graphs: one
+//    AND-with-early-exit word loop per silent row over the packed
+//    adjacency bitmap.
+//  * legacy_push / legacy_pull - the original single-bit kernels, kept
+//    as the differential-testing reference.
+//
+// Every kernel computes exactly the same heard set, so selection is
+// free to be heuristic: the topology tag wins outright, and otherwise
+// a sticky beep-density rule (with hysteresis, so alternating rounds
+// near the threshold do not flap) picks push vs pull. `force_kernel`
+// pins one kernel for debugging and differential tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/word_csr.hpp"
+
+namespace beepkit::graph {
+
+enum class gather_kernel : std::uint8_t {
+  auto_select,    ///< topology tag, else density hysteresis (default)
+  stencil,        ///< shifted word ops (tagged graphs only)
+  word_csr_push,  ///< premasked word OR per beeper
+  packed_pull,    ///< packed-row AND scan per silent node
+  legacy_push,    ///< single-bit OR per beeper arc (reference)
+  legacy_pull,    ///< per-bit probe with early exit (reference)
+};
+
+class heard_gather {
+ public:
+  /// Derives the stencil masks for topology-tagged graphs; the
+  /// adjacency layouts (word-CSR, plus packed rows when
+  /// word_csr::packed_rows_worthwhile says the bitmap earns its keep)
+  /// are built lazily on the first gather that needs them - a tagged
+  /// graph always takes the stencil kernel and never pays for them.
+  /// `g` must outlive the gather.
+  explicit heard_gather(const graph& g);
+
+  /// heard := beep ∪ N(beep), both packed over word_count() words.
+  /// `heard` must enter EQUAL to `beep` (a beeper always hears; the
+  /// pull kernels additionally use the seeded bits to skip beepers);
+  /// on return it holds the full heard set with no bits above
+  /// node_count().
+  void operator()(std::span<const std::uint64_t> beep,
+                  std::span<std::uint64_t> heard);
+
+  /// Pins one kernel (auto_select restores the default dispatch).
+  /// Throws std::invalid_argument when the kernel is unavailable for
+  /// this graph (stencil without a topology tag). Forcing packed_pull
+  /// builds the rows on demand regardless of the worthwhile heuristic.
+  void force_kernel(gather_kernel k);
+  [[nodiscard]] gather_kernel forced_kernel() const noexcept {
+    return forced_;
+  }
+  /// The kernel the most recent call actually ran.
+  [[nodiscard]] gather_kernel last_used() const noexcept { return last_; }
+
+  [[nodiscard]] bool stencil_available() const noexcept {
+    return stencil_.has_value();
+  }
+  [[nodiscard]] bool packed_rows_available() const noexcept {
+    return csr_.packed_rows_built();
+  }
+  [[nodiscard]] std::size_t word_count() const noexcept { return words_; }
+
+ private:
+  void ensure_adjacency_layouts();
+  void gather_stencil(std::span<const std::uint64_t> beep,
+                      std::span<std::uint64_t> heard) const;
+  void gather_word_csr_push(std::span<const std::uint64_t> beep,
+                            std::span<std::uint64_t> heard) const;
+  void gather_packed_pull(std::span<const std::uint64_t> beep,
+                          std::span<std::uint64_t> heard) const;
+  void gather_legacy_push(std::span<const std::uint64_t> beep,
+                          std::span<std::uint64_t> heard) const;
+  void gather_legacy_pull(std::span<const std::uint64_t> beep,
+                          std::span<std::uint64_t> heard) const;
+
+  const graph* g_;
+  word_csr csr_;  // empty until ensure_adjacency_layouts()
+  bool csr_built_ = false;
+  std::size_t words_ = 0;
+  std::optional<topology> stencil_;
+  // Periodic column masks for grid/torus stencils: bit i set iff node
+  // i's column is not 0 (resp. not cols-1). Empty for path/ring.
+  std::vector<std::uint64_t> not_first_col_;
+  std::vector<std::uint64_t> not_last_col_;
+  // Torus only: the complements, selecting the wrap columns.
+  std::vector<std::uint64_t> first_col_;
+  std::vector<std::uint64_t> last_col_;
+  std::uint64_t tail_mask_ = ~0ULL;
+  gather_kernel forced_ = gather_kernel::auto_select;
+  gather_kernel last_ = gather_kernel::auto_select;
+  // Density hysteresis: pull while beeps stay dense (2|B| > n enters,
+  // 4|B| <= n leaves), push otherwise.
+  bool dense_mode_ = false;
+};
+
+}  // namespace beepkit::graph

@@ -18,6 +18,11 @@ graph named(graph g, std::string name) {
   return g;
 }
 
+graph tagged(graph g, topology topo) {
+  g.set_topology_tag(topo);
+  return g;
+}
+
 std::string format_real(double v) {
   std::ostringstream out;
   out.setf(std::ios::fixed);
@@ -35,7 +40,9 @@ graph make_path(std::size_t n) {
   for (node_id i = 0; i + 1 < n; ++i) {
     edges.push_back({i, static_cast<node_id>(i + 1)});
   }
-  return named(graph(n, std::move(edges)), "path(" + std::to_string(n) + ")");
+  return tagged(
+      named(graph(n, std::move(edges)), "path(" + std::to_string(n) + ")"),
+      {topology::kind::path, 1, n});
 }
 
 graph make_cycle(std::size_t n) {
@@ -45,7 +52,9 @@ graph make_cycle(std::size_t n) {
   for (node_id i = 0; i < n; ++i) {
     edges.push_back({i, static_cast<node_id>((i + 1) % n)});
   }
-  return named(graph(n, std::move(edges)), "cycle(" + std::to_string(n) + ")");
+  return tagged(
+      named(graph(n, std::move(edges)), "cycle(" + std::to_string(n) + ")"),
+      {topology::kind::ring, 1, n});
 }
 
 graph make_complete(std::size_t n) {
@@ -99,8 +108,15 @@ graph make_grid(std::size_t rows, std::size_t cols) {
       if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
     }
   }
-  return named(graph(rows * cols, std::move(edges)),
-               "grid(" + std::to_string(rows) + "x" + std::to_string(cols) + ")");
+  // A one-row (or one-column) grid is a path in disguise; tag it as
+  // such so the simpler path stencil applies.
+  topology topo{topology::kind::grid, rows, cols};
+  if (rows == 1) topo = {topology::kind::path, 1, cols};
+  if (cols == 1) topo = {topology::kind::path, 1, rows};
+  return tagged(
+      named(graph(rows * cols, std::move(edges)),
+            "grid(" + std::to_string(rows) + "x" + std::to_string(cols) + ")"),
+      topo);
 }
 
 graph make_torus(std::size_t rows, std::size_t cols) {
@@ -118,9 +134,11 @@ graph make_torus(std::size_t rows, std::size_t cols) {
       edges.push_back({id(r, c), id((r + 1) % rows, c)});
     }
   }
-  return named(graph(rows * cols, std::move(edges)),
-               "torus(" + std::to_string(rows) + "x" + std::to_string(cols) +
-                   ")");
+  return tagged(
+      named(graph(rows * cols, std::move(edges)),
+            "torus(" + std::to_string(rows) + "x" + std::to_string(cols) +
+                ")"),
+      {topology::kind::torus, rows, cols});
 }
 
 graph make_hypercube(std::size_t dimensions) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <utility>
@@ -22,6 +23,29 @@ struct edge {
   node_id v = 0;
 
   friend bool operator==(const edge&, const edge&) = default;
+};
+
+/// Geometry tag for structured topologies. A tagged graph promises that
+/// its node numbering follows the canonical generator layout
+/// (id = row * cols + col; path/ring use a single row), which is what
+/// lets the engines compute the heard-gather with shifted word
+/// operations instead of touching any adjacency ("stencil kernels").
+/// The tag is trusted by the engines - generators attach it only to
+/// graphs they built themselves, and graph::io validates it against the
+/// edge list on load.
+struct topology {
+  enum class kind : std::uint8_t {
+    path,  ///< P_n: rows == 1, cols == n
+    ring,  ///< C_n: rows == 1, cols == n (wrap-around)
+    grid,  ///< rows x cols lattice, no wrap
+    torus  ///< rows x cols lattice with wrap-around (rows, cols >= 3)
+  };
+
+  kind shape = kind::path;
+  std::size_t rows = 1;
+  std::size_t cols = 0;
+
+  friend bool operator==(const topology&, const topology&) = default;
 };
 
 /// Immutable undirected simple graph.
@@ -70,12 +94,26 @@ class graph {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
+  /// The geometry tag, if this graph was built by a structured
+  /// generator (or loaded from a tagged file). Untagged graphs always
+  /// take the adjacency-based gather kernels.
+  [[nodiscard]] const std::optional<topology>& topology_tag() const noexcept {
+    return topo_;
+  }
+  /// Attaches (or strips, with nullopt) the geometry tag. The caller
+  /// vouches that the edge set and node numbering actually match the
+  /// claimed geometry - the stencil kernels trust the tag blindly.
+  void set_topology_tag(std::optional<topology> topo) {
+    topo_ = std::move(topo);
+  }
+
  private:
   std::vector<std::size_t> offsets_;   // size node_count+1
   std::vector<node_id> adjacency_;     // size 2*edge_count, sorted per node
   std::size_t max_degree_ = 0;
   std::size_t min_degree_ = 0;
   std::string name_ = "graph";
+  std::optional<topology> topo_;
 };
 
 }  // namespace beepkit::graph

@@ -1,10 +1,51 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "graph/generators.hpp"
+
 namespace beepkit::graph {
+
+namespace {
+
+const char* topology_keyword(topology::kind shape) {
+  switch (shape) {
+    case topology::kind::path:
+      return "path";
+    case topology::kind::ring:
+      return "ring";
+    case topology::kind::grid:
+      return "grid";
+    case topology::kind::torus:
+      return "torus";
+  }
+  return "?";  // unreachable: kind is exhaustive
+}
+
+/// Rebuilds the canonical instance of a claimed topology; throws
+/// std::invalid_argument when the parameters are not a valid instance
+/// (e.g. a 2-node ring).
+graph canonical_instance(const topology& topo) {
+  switch (topo.shape) {
+    case topology::kind::path:
+      if (topo.rows != 1) break;
+      return make_path(topo.cols);
+    case topology::kind::ring:
+      if (topo.rows != 1) break;
+      return make_cycle(topo.cols);
+    case topology::kind::grid:
+      return make_grid(topo.rows, topo.cols);
+    case topology::kind::torus:
+      return make_torus(topo.rows, topo.cols);
+  }
+  throw std::invalid_argument("topology tag: rows must be 1 for path/ring");
+}
+
+}  // namespace
 
 std::string to_edge_list(const graph& g) {
   std::ostringstream out;
@@ -15,6 +56,10 @@ std::string to_edge_list(const graph& g) {
 void write_edge_list(std::ostream& out, const graph& g) {
   out << "# " << g.name() << '\n';
   out << "n " << g.node_count() << '\n';
+  if (const auto& topo = g.topology_tag(); topo.has_value()) {
+    out << "topology " << topology_keyword(topo->shape) << ' ' << topo->rows
+        << ' ' << topo->cols << '\n';
+  }
   for (const auto& e : g.edges()) {
     out << e.u << ' ' << e.v << '\n';
   }
@@ -29,6 +74,7 @@ graph read_edge_list(std::istream& in) {
   std::string line;
   std::size_t node_count = 0;
   bool header_seen = false;
+  std::optional<topology> topo;
   std::vector<edge> edges;
 
   while (std::getline(in, line)) {
@@ -43,6 +89,30 @@ graph read_edge_list(std::istream& in) {
             "read_edge_list: expected 'n <count>' header, got: " + line);
       }
       header_seen = true;
+      continue;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(line[first]))) {
+      // The optional "topology <kind> <rows> <cols>" directive.
+      std::string keyword;
+      std::string shape;
+      topology parsed;
+      tokens >> keyword >> shape >> parsed.rows >> parsed.cols;
+      if (keyword != "topology" || tokens.fail()) {
+        throw std::invalid_argument("read_edge_list: malformed line: " + line);
+      }
+      if (shape == "path") {
+        parsed.shape = topology::kind::path;
+      } else if (shape == "ring") {
+        parsed.shape = topology::kind::ring;
+      } else if (shape == "grid") {
+        parsed.shape = topology::kind::grid;
+      } else if (shape == "torus") {
+        parsed.shape = topology::kind::torus;
+      } else {
+        throw std::invalid_argument(
+            "read_edge_list: unknown topology kind: " + shape);
+      }
+      topo = parsed;
       continue;
     }
     unsigned long long u = 0, v = 0;
@@ -60,7 +130,28 @@ graph read_edge_list(std::istream& in) {
   if (!header_seen) {
     throw std::invalid_argument("read_edge_list: missing 'n <count>' header");
   }
-  return graph(node_count, std::move(edges));
+  graph g(node_count, std::move(edges));
+  if (topo.has_value()) {
+    // A tag is a promise the stencil kernels act on; verify the edge
+    // list actually is the canonical instance before honoring it. The
+    // canonical generator also normalizes the tag (a 1-row grid claim
+    // becomes a path tag).
+    graph expected;
+    try {
+      expected = canonical_instance(*topo);
+    } catch (const std::invalid_argument& error) {
+      throw std::invalid_argument(
+          std::string("read_edge_list: invalid topology tag: ") +
+          error.what());
+    }
+    if (expected.node_count() != g.node_count() ||
+        expected.edges() != g.edges()) {
+      throw std::invalid_argument(
+          "read_edge_list: topology tag does not match the edge list");
+    }
+    g.set_topology_tag(expected.topology_tag());
+  }
+  return g;
 }
 
 std::string to_dot(const graph& g) {

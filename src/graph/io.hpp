@@ -1,6 +1,16 @@
 // Plain-text graph serialization: a simple edge-list format
 // ("n <count>" header followed by "u v" lines, '#' comments allowed)
 // plus Graphviz DOT export for documentation and the examples.
+//
+// Topology-tagged graphs (graph::topology - the geometry contract the
+// stencil gather kernels rely on) round-trip through an optional
+// "topology <path|ring|grid|torus> <rows> <cols>" line after the
+// header. On load the tag is VALIDATED against the edge list (the
+// canonical generator's edges must match exactly); a lying tag throws
+// instead of silently arming a stencil kernel with wrong geometry, and
+// a file without the line simply loads untagged - so a saved-and-
+// reloaded grid keeps its stencil eligibility, and a hand-edited one
+// cannot fake it.
 #pragma once
 
 #include <iosfwd>

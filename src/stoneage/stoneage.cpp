@@ -47,9 +47,22 @@ engine::engine(const graph::graph& g, const automaton& machine,
               "disagree with the automaton");
         }
       }
+      gather_.emplace(g);
+      beep_words_.assign((n + 63) / 64, 0);
+      heard_words_.assign((n + 63) / 64, 0);
     }
   }
   refresh_counters();
+}
+
+void engine::set_gather_kernel(graph::gather_kernel kernel) {
+  if (!gather_.has_value()) {
+    throw std::logic_error(
+        "stoneage::engine::set_gather_kernel: no packed gather - the "
+        "automaton exposes no beep_machine(), so rounds take the generic "
+        "census path");
+  }
+  gather_->force_kernel(kernel);
 }
 
 void engine::refresh_counters() {
@@ -84,29 +97,27 @@ void engine::step() {
   refresh_counters();
 }
 
-// Table-driven round: one byte sweep materializes the displayed-beep
-// flags, then every node resolves "did at least one neighbor beep?"
-// with an early-exit scan and applies the compiled rule. With any
-// threshold b >= 1 the clipped census entry for `beep` is positive iff
-// some neighbor displays it, so this is exactly the generic round -
-// same transitions, same generator draws - minus all virtual dispatch.
+// Table-driven round: pack the displayed-beep flags into words, run
+// the shared word-parallel heard-gather (stencil / word-CSR push /
+// packed pull, same dispatch as the beeping engine), then apply the
+// compiled rule per node off the packed heard set. With any threshold
+// b >= 1 the clipped census entry for `beep` is positive iff some
+// neighbor displays it, so this is exactly the generic round - same
+// transitions, same generator draws - minus all virtual dispatch and
+// all per-bit adjacency probing.
 void engine::step_fast() {
   const std::size_t n = g_->node_count();
   const beeping::machine_table& table = *table_;
-  shows_beep_.resize(n);
+  std::fill(beep_words_.begin(), beep_words_.end(), 0);
   for (std::size_t u = 0; u < n; ++u) {
-    shows_beep_[u] = table.beep_flag[states_[u]];
-  }
-  for (graph::node_id u = 0; u < n; ++u) {
-    bool heard = shows_beep_[u] != 0;
-    if (!heard) {
-      for (graph::node_id v : g_->neighbors(u)) {
-        if (shows_beep_[v] != 0) {
-          heard = true;
-          break;
-        }
-      }
+    if (table.beep_flag[states_[u]] != 0) {
+      beep_words_[u >> 6] |= 1ULL << (u & 63);
     }
+  }
+  std::copy(beep_words_.begin(), beep_words_.end(), heard_words_.begin());
+  (*gather_)(beep_words_, heard_words_);
+  for (graph::node_id u = 0; u < n; ++u) {
+    const bool heard = (heard_words_[u >> 6] >> (u & 63)) & 1ULL;
     next_states_[u] = beeping::apply_rule(table.rule(states_[u], heard),
                                           rngs_[u]);
   }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "beeping/protocol.hpp"
+#include "graph/gather.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
 
@@ -108,6 +109,13 @@ class engine {
     return fast_enabled_ && table_.has_value();
   }
 
+  /// Pins one heard-gather kernel for the fast path (debugging and
+  /// differential tests; kernels never change results). Throws
+  /// std::invalid_argument when the kernel cannot serve this graph,
+  /// and std::logic_error when the automaton exposes no beep_machine()
+  /// (no packed gather exists on the generic census path).
+  void set_gather_kernel(graph::gather_kernel kernel);
+
  private:
   void refresh_counters();
   void step_fast();
@@ -116,11 +124,16 @@ class engine {
   const automaton* machine_;
   std::uint32_t threshold_;
   // Set when the automaton exposes a compiled beeping machine
-  // (automaton::beep_machine): rounds then run table-driven, replacing
-  // the per-neighbor virtual display() and per-node transition() calls.
+  // (automaton::beep_machine): rounds then run table-driven through
+  // the same word-parallel heard-gather kernels as the beeping engine
+  // (graph::heard_gather - stencil / word-CSR push / packed pull),
+  // replacing the per-neighbor virtual display() and per-node
+  // transition() calls.
   std::optional<beeping::machine_table> table_;
   bool fast_enabled_ = true;
-  std::vector<std::uint8_t> shows_beep_;  // fast path: display == beep bytes
+  std::optional<graph::heard_gather> gather_;     // fast path only
+  std::vector<std::uint64_t> beep_words_;   // fast path: packed displays
+  std::vector<std::uint64_t> heard_words_;  // fast path: packed heard set
   std::vector<support::rng> rngs_;
   std::vector<state_id> states_;
   std::vector<state_id> next_states_;

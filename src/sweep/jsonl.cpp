@@ -1,6 +1,10 @@
 #include "sweep/jsonl.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 namespace beepkit::sweep {
 
@@ -266,72 +270,207 @@ std::map<std::uint64_t, trial_record> scan_trials(const std::string& path) {
   return trials;
 }
 
+namespace {
+
+/// One-record-at-a-time shard reader for the two-pass streaming merge:
+/// the strict reader's validation, but the trial list is never
+/// materialized. The constructor consumes the preamble (header + cell
+/// records); peek()/advance() then stream the trial records.
+class shard_cursor {
+ public:
+  explicit shard_cursor(const std::string& path) : path_(path), in_(path) {
+    if (!in_.is_open()) {
+      throw std::runtime_error(path + ": cannot open");
+    }
+    while (!has_buffered_ && parse_one_line()) {
+    }
+    if (!saw_header_) {
+      throw std::runtime_error(path_ +
+                               ": not a sweep shard file (no header)");
+    }
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const std::string& sweep_name() const noexcept {
+    return sweep_name_;
+  }
+  [[nodiscard]] const std::vector<cell_record>& cells() const noexcept {
+    return cells_;
+  }
+
+  /// The next trial record, or nullptr when the file is exhausted.
+  [[nodiscard]] const trial_record* peek() {
+    while (!has_buffered_ && parse_one_line()) {
+    }
+    return has_buffered_ ? &buffered_ : nullptr;
+  }
+  void advance() noexcept { has_buffered_ = false; }
+
+ private:
+  /// Consumes one line; returns false at EOF. Sets has_buffered_ when
+  /// the line was a trial record.
+  bool parse_one_line() {
+    std::string line;
+    if (!std::getline(in_, line)) return false;
+    ++line_number_;
+    if (line.empty()) return true;
+    const auto record = json::parse(line);
+    if (!record || !record->is_object()) {
+      return true;  // torn line from a crashed writer - skip
+    }
+    const std::string type = record->find("type")
+                                 ? record->find("type")->as_string()
+                                 : std::string();
+    if (type == "sweep") {
+      if (saw_header_) fail(path_, line_number_, "duplicate sweep header");
+      saw_header_ = true;
+      sweep_name_ = require_string(*record, "name", path_, line_number_);
+    } else if (type == "cell") {
+      if (trials_started_) {
+        fail(path_, line_number_, "out-of-order cell record");
+      }
+      cell_record cell;
+      cell.cell = require_u64(*record, "cell", path_, line_number_);
+      cell.algorithm =
+          require_string(*record, "algorithm", path_, line_number_);
+      cell.graph = require_string(*record, "graph", path_, line_number_);
+      cell.n = require_u64(*record, "n", path_, line_number_);
+      cell.diameter = static_cast<std::uint32_t>(
+          require_u64(*record, "diameter", path_, line_number_));
+      cell.trials = require_u64(*record, "trials", path_, line_number_);
+      cell.seed = require_u64(*record, "seed", path_, line_number_);
+      cell.max_rounds =
+          require_u64(*record, "max_rounds", path_, line_number_);
+      if (cell.cell != cells_.size()) {
+        fail(path_, line_number_, "out-of-order cell record");
+      }
+      cells_.push_back(std::move(cell));
+    } else if (type == "trial") {
+      if (!saw_header_) {
+        fail(path_, line_number_, "trial record before the sweep header");
+      }
+      trials_started_ = true;
+      buffered_ = parse_trial(*record, path_, line_number_);
+      has_buffered_ = true;
+    } else if (type == "done" || type == "checkpoint" ||
+               type == "cell_summary") {
+      // Progress/diagnostic records; the merge recomputes aggregates
+      // from the trial records themselves.
+    } else {
+      fail(path_, line_number_, "unknown record type '" + type + "'");
+    }
+    return true;
+  }
+
+  std::string path_;
+  std::ifstream in_;
+  std::size_t line_number_ = 0;
+  bool saw_header_ = false;
+  bool trials_started_ = false;
+  std::string sweep_name_;
+  std::vector<cell_record> cells_;
+  trial_record buffered_{};
+  bool has_buffered_ = false;
+};
+
+/// Pass-2 trial source: a re-opened streaming cursor for files whose
+/// records are already in (cell, trial) order (everything our writer
+/// produces), or an in-memory sorted copy as the fallback for files
+/// that are not - so pathological inputs stay correct while normal
+/// merges never hold more than one record per file.
+struct trial_source {
+  std::optional<shard_cursor> stream;
+  std::vector<trial_record> loaded;
+  std::size_t pos = 0;
+  std::string path;
+
+  [[nodiscard]] const trial_record* peek() {
+    if (stream.has_value()) return stream->peek();
+    return pos < loaded.size() ? &loaded[pos] : nullptr;
+  }
+  void advance() {
+    if (stream.has_value()) {
+      stream->advance();
+    } else {
+      ++pos;
+    }
+  }
+};
+
+}  // namespace
+
+// Two-pass streaming merge. Pass 1 streams every file once, checking
+// header/cell consistency and recording coverage in per-cell bitmaps
+// (one bit per unit - the only whole-sweep state, so a 10^8-unit merge
+// needs ~12 MiB instead of gigabytes of trial records). Pass 2 streams
+// the files again and folds each cell's records in trial order via a
+// k-way merge of the (already ordered) per-file streams, holding one
+// record per file plus one cell's trial points at a time. Duplicate
+// keys are adjacent in the merged order, which is where identical
+// overlaps are counted and conflicting ones rejected.
 merge_result merge_shards(std::span<const std::string> paths) {
   if (paths.empty()) {
     throw std::runtime_error("merge_shards: no input files");
   }
   merge_result merged;
   std::vector<cell_record> cells;
-  // trials[c][t] = the record for (cell c, trial t), once seen.
-  std::vector<std::vector<trial_record>> trials;
-  std::vector<std::vector<bool>> seen;
+  std::vector<std::vector<std::uint64_t>> seen;  // per-cell coverage bitmap
+  std::vector<std::uint8_t> file_sorted(paths.size(), 1);
 
-  bool first = true;
-  for (const std::string& path : paths) {
-    shard_file file = read_shard_file(path);
-    if (first) {
-      merged.sweep_name = file.sweep_name;
-      cells = std::move(file.cells);
-      trials.resize(cells.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    shard_cursor cursor(paths[i]);
+    if (i == 0) {
+      merged.sweep_name = cursor.sweep_name();
+      cells = cursor.cells();
       seen.resize(cells.size());
       for (std::size_t c = 0; c < cells.size(); ++c) {
-        trials[c].resize(cells[c].trials);
-        seen[c].assign(cells[c].trials, false);
+        seen[c].assign((cells[c].trials + 63) / 64, 0);
       }
-      first = false;
     } else {
-      if (file.sweep_name != merged.sweep_name ||
-          file.cells.size() != cells.size()) {
-        throw std::runtime_error(path + ": shard belongs to a different "
-                                        "sweep ('" + file.sweep_name + "')");
+      if (cursor.sweep_name() != merged.sweep_name ||
+          cursor.cells().size() != cells.size()) {
+        throw std::runtime_error(paths[i] + ": shard belongs to a different "
+                                            "sweep ('" +
+                                 cursor.sweep_name() + "')");
       }
       for (std::size_t c = 0; c < cells.size(); ++c) {
-        if (!(file.cells[c] == cells[c])) {
+        if (!(cursor.cells()[c] == cells[c])) {
           throw std::runtime_error(
-              path + ": cell " + std::to_string(c) +
+              paths[i] + ": cell " + std::to_string(c) +
               " metadata disagrees with earlier shards");
         }
       }
     }
-    for (const trial_record& trial : file.trials) {
-      if (trial.cell >= cells.size() ||
-          trial.trial >= cells[trial.cell].trials) {
-        throw std::runtime_error(path + ": trial record outside the "
-                                        "sweep's cell/trial bounds");
+    std::uint64_t prev_cell = 0;
+    std::uint64_t prev_trial = 0;
+    bool any = false;
+    while (const trial_record* trial = cursor.peek()) {
+      if (trial->cell >= cells.size() ||
+          trial->trial >= cells[trial->cell].trials) {
+        throw std::runtime_error(paths[i] + ": trial record outside the "
+                                            "sweep's cell/trial bounds");
       }
-      auto& slot = trials[trial.cell][trial.trial];
-      auto&& seen_flag = seen[trial.cell][trial.trial];
-      if (seen_flag) {
-        if (!(slot == trial)) {
-          throw std::runtime_error(
-              path + ": conflicting duplicate for cell " +
-              std::to_string(trial.cell) + " trial " +
-              std::to_string(trial.trial) +
-              " (same unit recorded with different outcomes)");
-        }
-        ++merged.duplicate_records;
-        continue;
+      if (any && (trial->cell < prev_cell ||
+                  (trial->cell == prev_cell && trial->trial < prev_trial))) {
+        file_sorted[i] = 0;
       }
-      slot = trial;
-      seen_flag = true;
-      ++merged.units;
+      prev_cell = trial->cell;
+      prev_trial = trial->trial;
+      any = true;
+      std::uint64_t& word = seen[trial->cell][trial->trial >> 6];
+      const std::uint64_t bit = 1ULL << (trial->trial & 63);
+      if ((word & bit) == 0) {
+        word |= bit;
+        ++merged.units;
+      }
+      cursor.advance();
     }
   }
 
   for (std::size_t c = 0; c < cells.size(); ++c) {
     std::uint64_t have = 0;
-    for (std::uint64_t t = 0; t < cells[c].trials; ++t) {
-      if (seen[c][t]) ++have;
+    for (const std::uint64_t word : seen[c]) {
+      have += static_cast<std::uint64_t>(std::popcount(word));
     }
     if (have != cells[c].trials) {
       throw std::runtime_error(
@@ -341,12 +480,59 @@ merge_result merge_shards(std::span<const std::string> paths) {
           " trials - are all shard files present?");
     }
   }
+  seen.clear();
+  seen.shrink_to_fit();
+
+  std::vector<trial_source> sources(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    sources[i].path = paths[i];
+    if (file_sorted[i] != 0) {
+      sources[i].stream.emplace(paths[i]);
+    } else {
+      shard_cursor cursor(paths[i]);
+      while (const trial_record* trial = cursor.peek()) {
+        sources[i].loaded.push_back(*trial);
+        cursor.advance();
+      }
+      std::stable_sort(sources[i].loaded.begin(), sources[i].loaded.end(),
+                       [](const trial_record& a, const trial_record& b) {
+                         return std::pair(a.cell, a.trial) <
+                                std::pair(b.cell, b.trial);
+                       });
+    }
+  }
 
   merged.cells.reserve(cells.size());
   for (std::size_t c = 0; c < cells.size(); ++c) {
     std::vector<analysis::trial_point> points;
-    points.reserve(trials[c].size());
-    for (const trial_record& trial : trials[c]) {
+    points.reserve(cells[c].trials);
+    trial_record last{};
+    bool has_last = false;
+    while (true) {
+      trial_source* best = nullptr;
+      for (trial_source& source : sources) {
+        const trial_record* trial = source.peek();
+        if (trial == nullptr || trial->cell != c) continue;
+        if (best == nullptr || trial->trial < best->peek()->trial) {
+          best = &source;
+        }
+      }
+      if (best == nullptr) break;
+      const trial_record trial = *best->peek();
+      best->advance();
+      if (has_last && trial.trial == last.trial) {
+        if (!(trial == last)) {
+          throw std::runtime_error(
+              best->path + ": conflicting duplicate for cell " +
+              std::to_string(trial.cell) + " trial " +
+              std::to_string(trial.trial) +
+              " (same unit recorded with different outcomes)");
+        }
+        ++merged.duplicate_records;
+        continue;
+      }
+      last = trial;
+      has_last = true;
       points.push_back({trial.rounds, trial.converged, trial.coins});
     }
     merged_cell cell;

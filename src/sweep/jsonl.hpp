@@ -142,6 +142,14 @@ struct merge_result {
 /// conflicting duplicate records, or missing units (an absent shard).
 /// Identical duplicates - the overlap a resumed run can legitimately
 /// produce - are tolerated and counted.
+///
+/// Memory: two streaming passes. Pass 1 checks coverage with one bit
+/// per unit; pass 2 folds each cell via a k-way merge of the per-file
+/// record streams, holding one record per file plus a single cell's
+/// trial points - so merging a 1e8-unit sweep needs megabytes, not the
+/// O(total units) record table the naive merge would build. Files with
+/// out-of-order trial records (nothing our writer produces) fall back
+/// to an in-memory sort of that file only.
 [[nodiscard]] merge_result merge_shards(std::span<const std::string> paths);
 
 /// Deterministic BENCH_*-style JSON summary of a merge: cell

@@ -481,6 +481,110 @@ TEST(SweepMergeTest, ConflictingDuplicateIsRejected) {
   std::remove(tampered.c_str());
 }
 
+// Rewrites a shard file with its trial records in reverse order,
+// returning how many were reversed. Exercises the streaming merge's
+// unsorted-file fallback (pass 1 detects the disorder, pass 2 loads
+// and sorts that file in memory instead of streaming it).
+std::size_t reverse_trial_records(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> head;
+  std::vector<std::string> trials;
+  std::vector<std::string> tail;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto record = support::json::parse(line);
+    const auto* type = record ? record->find("type") : nullptr;
+    if (type != nullptr && type->as_string() == "trial") {
+      trials.push_back(line);
+    } else if (trials.empty()) {
+      head.push_back(line);
+    } else {
+      tail.push_back(line);
+    }
+  }
+  in.close();
+  std::ofstream out(path, std::ios::trunc);
+  for (const auto& l : head) out << l << '\n';
+  for (auto it = trials.rbegin(); it != trials.rend(); ++it) {
+    out << *it << '\n';
+  }
+  for (const auto& l : tail) out << l << '\n';
+  return trials.size();
+}
+
+TEST(SweepMergeTest, UnsortedShardFileStillMergesBitIdentically) {
+  const sweep_fixture fixture;
+  const auto reference = fixture.reference();
+  const std::string sorted = temp_path("unsorted_a.jsonl");
+  const std::string unsorted = temp_path("unsorted_b.jsonl");
+  sweep::options opts;
+  opts.shard = {0, 2};
+  opts.jsonl_path = sorted;
+  (void)sweep::run(fixture.spec(), opts);
+  opts.shard = {1, 2};
+  opts.jsonl_path = unsorted;
+  (void)sweep::run(fixture.spec(), opts);
+  ASSERT_GT(reverse_trial_records(unsorted), 1U);
+  const std::vector<std::string> paths = {sorted, unsorted};
+  const auto merged = sweep::merge_shards(paths);
+  EXPECT_EQ(merged.units, fixture.spec().total_units());
+  EXPECT_EQ(merged.duplicate_records, 0U);
+  ASSERT_EQ(merged.cells.size(), reference.size());
+  for (std::size_t c = 0; c < reference.size(); ++c) {
+    expect_stats_bit_identical(merged.cells[c].stats, reference[c],
+                               "unsorted-merged cell " + std::to_string(c));
+  }
+  std::remove(sorted.c_str());
+  std::remove(unsorted.c_str());
+}
+
+TEST(SweepMergeTest, UnsortedOverlapKeepsDuplicateAndConflictSemantics) {
+  const sweep_fixture fixture;
+  const auto reference = fixture.reference();
+  const std::string full = temp_path("unsorted_full.jsonl");
+  const std::string extra = temp_path("unsorted_extra.jsonl");
+  sweep::options opts;
+  opts.jsonl_path = full;
+  (void)sweep::run(fixture.spec(), opts);
+  opts.shard = {1, 3};
+  opts.jsonl_path = extra;
+  (void)sweep::run(fixture.spec(), opts);
+  ASSERT_GT(reverse_trial_records(extra), 1U);
+  // Identical duplicates from the disordered overlap file are still
+  // tolerated and counted...
+  const std::vector<std::string> paths = {full, extra};
+  const auto merged = sweep::merge_shards(paths);
+  EXPECT_GT(merged.duplicate_records, 0U);
+  for (std::size_t c = 0; c < reference.size(); ++c) {
+    expect_stats_bit_identical(merged.cells[c].stats, reference[c],
+                               "unsorted-overlap cell " + std::to_string(c));
+  }
+  // ... while a conflicting one in the disordered file is rejected.
+  {
+    std::ifstream in(extra);
+    std::vector<std::string> lines;
+    std::string line;
+    bool flipped = false;
+    while (std::getline(in, line)) {
+      auto record = support::json::parse(line);
+      ASSERT_TRUE(record.has_value());
+      const auto* type = record->find("type");
+      if (!flipped && type && type->as_string() == "trial") {
+        record->set("coins", record->find("coins")->as_u64() + 1);
+        flipped = true;
+      }
+      lines.push_back(record->dump());
+    }
+    ASSERT_TRUE(flipped);
+    in.close();
+    std::ofstream out(extra, std::ios::trunc);
+    for (const auto& l : lines) out << l << '\n';
+  }
+  EXPECT_THROW((void)sweep::merge_shards(paths), std::runtime_error);
+  std::remove(full.c_str());
+  std::remove(extra.c_str());
+}
+
 TEST(SweepMergeTest, SummaryJsonIsDeterministic) {
   const sweep_fixture fixture;
   const std::string path = temp_path("summary.jsonl");

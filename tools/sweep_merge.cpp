@@ -10,6 +10,10 @@
 //
 // Exits non-zero (with a message) when shards are missing, belong to
 // different sweeps, or contain conflicting duplicate records.
+//
+// Memory: the merge streams each file twice (coverage bitmap, then a
+// per-cell k-way fold) and never materializes the trial records, so
+// 1e8+-unit sweeps merge in megabytes - see sweep::merge_shards.
 #include <cstdio>
 #include <exception>
 #include <string>

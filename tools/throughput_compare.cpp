@@ -4,15 +4,24 @@
 // report to every PR instead of just publishing an artifact.
 //
 //   throughput_compare baseline.json current.json
-//       [--threshold 0.30]  flag regressions worse than this fraction
-//       [--strict]          exit 1 when a flagged regression exists
-//       [--csv out.csv]     also write the table as CSV
+//       [--threshold 0.30]   flag regressions worse than this fraction
+//       [--strict]           exit 1 when a flagged regression exists
+//       [--block-catastrophic]
+//                            exit 1 only for catastrophic regressions
+//       [--catastrophic 0.50]
+//                            the catastrophic fraction
+//       [--csv out.csv]      also write the table as CSV
 //
 // Exit code is 0 unless --strict is given and a benchmark regressed
 // beyond the threshold: absolute rounds/sec depend on the machine (a
 // CI runner will not reproduce the blessed numbers exactly), so the
 // report is advisory by default and the per-file fast/virtual ratios
 // are the machine-independent signal.
+//
+// --block-catastrophic is the middle ground CI uses: the delta table
+// stays advisory at --threshold, but a benchmark losing more than the
+// catastrophic fraction (default 0.50, i.e. less than half the blessed
+// rate - beyond any plausible runner-hardware noise) fails the run.
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -91,15 +100,21 @@ std::string format_rate(double rate) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const beepkit::support::cli args(argc, argv, {"--strict"});
+  // Switch names are matched with the "--" prefix stripped (see
+  // support::cli), so list them bare.
+  const beepkit::support::cli args(argc, argv,
+                                   {"strict", "block-catastrophic"});
   if (args.positionals().size() != 2) {
     std::fprintf(stderr,
                  "usage: throughput_compare baseline.json current.json "
-                 "[--threshold 0.30] [--strict] [--csv out.csv]\n");
+                 "[--threshold 0.30] [--strict] [--block-catastrophic] "
+                 "[--catastrophic 0.50] [--csv out.csv]\n");
     return 2;
   }
   const double threshold = args.get_double("threshold", 0.30);
   const bool strict = args.get_bool("strict", false);
+  const bool block_catastrophic = args.get_bool("block-catastrophic", false);
+  const double catastrophic = args.get_double("catastrophic", 0.50);
 
   const auto baseline = load_report(args.positionals()[0]);
   const auto current = load_report(args.positionals()[1]);
@@ -110,6 +125,7 @@ int main(int argc, char** argv) {
   report.set_title("engine_throughput vs blessed baseline (threshold " +
                    beepkit::support::table::num(threshold * 100.0, 0) + "%)");
   std::size_t regressions = 0;
+  std::size_t catastrophic_regressions = 0;
   std::size_t matched = 0;
   for (const bench_rate& base : *baseline) {
     const bench_rate* cur = find_rate(*current, base.name);
@@ -126,7 +142,11 @@ int main(int argc, char** argv) {
     }
     const double ratio = cur->items_per_second / base.items_per_second;
     std::string verdict = "ok";
-    if (ratio < 1.0 - threshold) {
+    if (ratio < 1.0 - catastrophic) {
+      verdict = "CATASTROPHIC";
+      ++catastrophic_regressions;
+      ++regressions;
+    } else if (ratio < 1.0 - threshold) {
       verdict = "REGRESSION";
       ++regressions;
     } else if (ratio > 1.0 + threshold) {
@@ -145,8 +165,10 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s\n", report.to_string().c_str());
-  std::printf("%zu compared, %zu regression(s) beyond %.0f%%\n", matched,
-              regressions, threshold * 100.0);
+  std::printf("%zu compared, %zu regression(s) beyond %.0f%%, "
+              "%zu catastrophic (beyond %.0f%%)\n",
+              matched, regressions, threshold * 100.0,
+              catastrophic_regressions, catastrophic * 100.0);
   if (const auto csv = args.get("csv"); csv.has_value()) {
     if (!beepkit::support::write_text_file(*csv, report.to_csv())) {
       std::fprintf(stderr, "throughput_compare: cannot write %s\n",
@@ -154,5 +176,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  return (strict && regressions > 0) ? 1 : 0;
+  if (strict && regressions > 0) return 1;
+  if (block_catastrophic && catastrophic_regressions > 0) return 1;
+  return 0;
 }
