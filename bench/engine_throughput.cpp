@@ -30,16 +30,30 @@ namespace {
 
 using namespace beepkit;
 
-void run_bfw_rounds(benchmark::State& state, const graph::graph& g) {
+// Audit label: which gather kernel the run actually used and the
+// tile/thread configuration it ran with, so a perf report line is
+// self-describing (Satellite: auditable perf runs).
+void set_exec_label(benchmark::State& state, const beeping::engine& sim) {
+  state.SetLabel("kernel=" + graph::gather_kernel_name(sim.gather_kernel_used()) +
+                 " threads=" + std::to_string(sim.parallel_threads()) +
+                 " tile=" + std::to_string(sim.tile_words()));
+}
+
+void run_bfw_rounds(benchmark::State& state, const graph::graph& g,
+                    std::size_t threads = 1, std::size_t tile_words = 0) {
   const core::bfw_machine machine(0.5);
   beeping::fsm_protocol proto(machine);
   beeping::engine sim(g, proto, 42);
+  if (threads != 1 || tile_words != 0) {
+    sim.set_parallelism(threads, tile_words);
+  }
   for (auto _ : state) {
     sim.step();
     benchmark::DoNotOptimize(sim.leader_count());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(g.node_count()));
+  set_exec_label(state, sim);
 }
 
 // The packed engine with the table-driven fast path disabled: per-node
@@ -214,6 +228,36 @@ void BM_TimeoutBfwT9OnGridVirtual(benchmark::State& state) {
 }
 BENCHMARK(BM_TimeoutBfwT9OnGridVirtual)->Arg(16)->Arg(64);
 
+// XL single-trial rows: the intra-trial tiled round pipeline
+// (engine::set_parallelism) on instances big enough that one trial can
+// use multiple cores - path(2^20) and grid(1024x1024), serial vs
+// {2, 8} workers. Excluded from the CI baseline gate (scaling rows are
+// hardware-dependent); the delta of interest is Tiled/ serial within
+// one run.
+void BM_BfwOnPathXL(benchmark::State& state) {
+  const auto g = graph::make_path(std::size_t{1} << 20);
+  run_bfw_rounds(state, g);
+}
+BENCHMARK(BM_BfwOnPathXL);
+
+void BM_BfwOnPathXLTiled(benchmark::State& state) {
+  const auto g = graph::make_path(std::size_t{1} << 20);
+  run_bfw_rounds(state, g, static_cast<std::size_t>(state.range(0)), 0);
+}
+BENCHMARK(BM_BfwOnPathXLTiled)->Arg(2)->Arg(8)->UseRealTime();
+
+void BM_BfwOnGridXL(benchmark::State& state) {
+  const auto g = graph::make_grid(1024, 1024);
+  run_bfw_rounds(state, g);
+}
+BENCHMARK(BM_BfwOnGridXL);
+
+void BM_BfwOnGridXLTiled(benchmark::State& state) {
+  const auto g = graph::make_grid(1024, 1024);
+  run_bfw_rounds(state, g, static_cast<std::size_t>(state.range(0)), 0);
+}
+BENCHMARK(BM_BfwOnGridXLTiled)->Arg(2)->Arg(8)->UseRealTime();
+
 void BM_StoneAgeOnGrid(benchmark::State& state) {
   const auto side = static_cast<std::size_t>(state.range(0));
   const auto g = graph::make_grid(side, side);
@@ -225,6 +269,10 @@ void BM_StoneAgeOnGrid(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(g.node_count()));
+  state.SetLabel(
+      "kernel=" + graph::gather_kernel_name(sim.gather_kernel_used()) +
+      " threads=" + std::to_string(sim.parallel_threads()) +
+      " tile=" + std::to_string(sim.tile_words()));
 }
 BENCHMARK(BM_StoneAgeOnGrid)->Arg(16)->Arg(64);
 

@@ -95,9 +95,44 @@ engine::engine(const graph::graph& g, protocol& proto, std::uint64_t seed,
   tail_mask_ = (n % 64 == 0) ? ~0ULL : ((1ULL << (n % 64)) - 1);
   if (plane_capable_) {
     for (auto& lp : ledger_planes_) lp.assign(word_count(n), 0);
+    // Planes authoritative: outside reads of the protocol's state
+    // vector unpack from the planes on demand (lazy materialization).
+    fsm_->bind_lazy_source(this);
   }
   dirty_ledger_words_.assign(word_count(word_count(n)), 0);
+  slot_leaders_.assign(1, 0);
+  slot_active_.assign(1, 0);
+  slot_dirty_.assign(1, std::vector<std::uint64_t>(dirty_ledger_words_.size(), 0));
   refresh_round_state();
+}
+
+engine::~engine() {
+  // The protocol outlives the engine: flush any pending lazy unpack
+  // and detach the hook before the planes disappear.
+  if (fsm_ != nullptr && plane_capable_) fsm_->unbind_lazy_source(this);
+}
+
+void engine::set_parallelism(std::size_t threads, std::size_t tile_words) {
+  tile_words_ = tile_words;
+  const std::size_t resolved =
+      threads == 0 ? support::resolve_threads(0) : threads;
+  if (resolved <= 1) {
+    exec_.reset();
+    gather_.set_executor(nullptr, 0);
+    slot_leaders_.assign(1, 0);
+    slot_active_.assign(1, 0);
+    slot_dirty_.assign(
+        1, std::vector<std::uint64_t>(dirty_ledger_words_.size(), 0));
+    return;
+  }
+  if (!exec_ || exec_->thread_count() != resolved) {
+    exec_ = std::make_unique<support::tile_executor>(resolved);
+  }
+  gather_.set_executor(exec_.get(), tile_words_);
+  slot_leaders_.assign(resolved, 0);
+  slot_active_.assign(resolved, 0);
+  slot_dirty_.assign(
+      resolved, std::vector<std::uint64_t>(dirty_ledger_words_.size(), 0));
 }
 
 // Detects the bit-sliced-counter runs (see plane_chain in the header):
@@ -147,9 +182,10 @@ void engine::add_observer(observer* obs) {
 
 void engine::refresh_round_state() {
   const std::size_t n = g_->node_count();
-  // The protocol's state vector is the source of truth here (plane
-  // rounds keep it fresh), so drop out of plane mode; it re-engages on
-  // the next dense round.
+  // The protocol's state vector becomes the source of truth here:
+  // materialize any pending plane unpack, then drop out of plane mode;
+  // it re-engages on the next dense round.
+  if (fsm_ != nullptr) fsm_->ensure_states_fresh();
   plane_mode_ = false;
   leader_count_ = 0;
   std::fill(beep_words_.begin(), beep_words_.end(), 0);
@@ -199,7 +235,12 @@ void engine::set_fast_path_enabled(bool enabled) {
     rebuild_active_set();
     return;
   }
-  if (!enabled) plane_mode_ = false;  // the state vector stays truth
+  if (!enabled && plane_mode_) {
+    // The virtual path reads the protocol's vector directly; hand the
+    // authority back before leaving plane mode.
+    fsm_->ensure_states_fresh();
+    plane_mode_ = false;
+  }
   fast_enabled_ = enabled;
 }
 
@@ -261,6 +302,54 @@ void engine::enter_plane_mode() {
     }
   }
   plane_mode_ = true;
+}
+
+// The lazy unpack behind fsm_protocol::states(): transposes the
+// authoritative bit planes back into the uint16 vector (SWAR
+// bit-to-byte spread + widening store). This is exactly the write-back
+// every plane round used to perform eagerly; now it runs at most once
+// per batch of unobserved rounds, on first read.
+void engine::materialize_states(std::span<state_id> out) {
+  const std::size_t n = g_->node_count();
+  state_id* const states = out.data();
+  const std::size_t words = word_count(n);
+  const std::size_t p = plane_count_;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::size_t base = w << 6;
+    const std::size_t in_word = std::min<std::size_t>(64, n - base);
+    std::size_t i = 0;
+    for (; i + 8 <= in_word; i += 8) {
+      // Merge the planes before the byte reversal: the multiply parks
+      // bit k at the top of byte 7-k, so plane j's flags shift down to
+      // bit j of each byte and one bswap fixes the order for all
+      // planes at once.
+      std::uint64_t acc = 0;
+      for (std::size_t j = 0; j < p; ++j) {
+        acc |= ((((planes_[j][w] >> i) & 0xFF) * 0x8040201008040201ULL) &
+                0x8080808080808080ULL) >>
+               (7 - j);
+      }
+      const std::uint64_t bytes = __builtin_bswap64(acc);
+#if defined(__SSE2__)
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(states + base + i),
+          _mm_unpacklo_epi8(_mm_cvtsi64_si128(static_cast<long long>(bytes)),
+                            _mm_setzero_si128()));
+#else
+      const std::uint64_t lo = widen_bytes_to_u16(bytes);
+      const std::uint64_t hi = widen_bytes_to_u16(bytes >> 32);
+      std::memcpy(states + base + i, &lo, 8);
+      std::memcpy(states + base + i + 4, &hi, 8);
+#endif
+    }
+    for (; i < in_word; ++i) {
+      state_id s = 0;
+      for (std::size_t j = 0; j < p; ++j) {
+        s |= static_cast<state_id>(((planes_[j][w] >> i) & 1U) << j);
+      }
+      states[base + i] = s;
+    }
+  }
 }
 
 void engine::check_in_sync() const {
@@ -463,25 +552,33 @@ void engine::finish_step_plane() {
 
 template <std::size_t P>
 void engine::finish_step_plane_impl() {
-  constexpr std::size_t p = P;
   const machine_table& table = *table_;
   const std::size_t q = table.state_count();
   const std::size_t n = g_->node_count();
   const std::size_t words = heard_words_.size();
-  state_id* const states = fsm_->raw_states().data();
   support::rng* const rngs = rngs_.data();
   const std::uint64_t* const heard = heard_words_.data();
   std::uint64_t* const beep = beep_words_.data();
   std::uint64_t* const active = active_words_.data();
   std::uint64_t* const leader = leader_words_.data();
   std::uint64_t* plane[P];
-  for (std::size_t j = 0; j < p; ++j) plane[j] = planes_[j].data();
+  for (std::size_t j = 0; j < P; ++j) plane[j] = planes_[j].data();
   std::uint64_t* ledger[8];
   for (std::size_t j = 0; j < 8; ++j) ledger[j] = ledger_planes_[j].data();
   beep_flags_valid_ = false;
+  // Tiled sweep: every word's update is independent (per-word planes,
+  // per-node generator streams), so tiles of consecutive words run on
+  // any worker; leader/active counts and dirty-ledger bits accumulate
+  // per slot and are folded after the barrier (sums and ORs - order
+  // never matters). Serial execution is the one-tile special case.
+  std::fill(slot_leaders_.begin(), slot_leaders_.end(), 0);
+  std::fill(slot_active_.begin(), slot_active_.end(), 0);
+  const auto sweep_range = [&](std::size_t slot, std::size_t wb,
+                               std::size_t we) {
+  std::uint64_t* const dirty = slot_dirty_[slot].data();
   std::size_t leaders = 0;
   std::size_t active_next = 0;
-  for (std::size_t w = 0; w < words; ++w) {
+  for (std::size_t w = wb; w < we; ++w) {
     const std::uint64_t valid = (w + 1 == words) ? tail_mask_ : ~0ULL;
     const std::uint64_t h = heard[w];
     const std::uint64_t act = active[w];
@@ -495,7 +592,7 @@ void engine::finish_step_plane_impl() {
       continue;
     }
     std::uint64_t b[P];
-    for (std::size_t j = 0; j < p; ++j) b[j] = plane[j][w];
+    for (std::size_t j = 0; j < P; ++j) b[j] = plane[j][w];
     std::uint64_t moved[64];  // moved[t]: nodes whose successor is t
     for (std::size_t t = 0; t < q; ++t) moved[t] = 0;
     // Stochastic parts are deferred so their draws happen jointly in
@@ -513,7 +610,7 @@ void engine::finish_step_plane_impl() {
                                      std::uint64_t& eq) noexcept {
       gt = 0;
       eq = valid;
-      for (std::size_t j = p; j-- > 0;) {
+      for (std::size_t j = P; j-- > 0;) {
         if ((k >> j) & 1U) {
           eq &= b[j];
         } else {
@@ -561,7 +658,7 @@ void engine::finish_step_plane_impl() {
       const std::uint64_t inc = members & ~eq_last & ~h;
       if (inc != 0) {
         std::uint64_t carry = inc;
-        for (std::size_t j = 0; j < p; ++j) {
+        for (std::size_t j = 0; j < P; ++j) {
           chain_np[j] |= (b[j] ^ carry) & inc;
           carry &= b[j];
         }
@@ -585,7 +682,7 @@ void engine::finish_step_plane_impl() {
       if (rem == 0) break;
       if (plane_chain_member_[s] != 0) continue;  // handled above
       std::uint64_t dec = rem;
-      for (std::size_t j = 0; j < p; ++j) {
+      for (std::size_t j = 0; j < P; ++j) {
         dec &= ((s >> j) & 1U) ? b[j] : ~b[j];
       }
       if (dec == 0) continue;
@@ -624,14 +721,14 @@ void engine::finish_step_plane_impl() {
       }
     }
     std::uint64_t np[P];
-    for (std::size_t j = 0; j < p; ++j) np[j] = chain_np[j];
+    for (std::size_t j = 0; j < P; ++j) np[j] = chain_np[j];
     std::uint64_t beep_bits = chain_beep;
     std::uint64_t leader_bits = chain_leader;
     std::uint64_t active_bits = chain_active;
     for (std::size_t t = 0; t < q; ++t) {
       const std::uint64_t m = moved[t];
       if (m == 0) continue;
-      for (std::size_t j = 0; j < p; ++j) {
+      for (std::size_t j = 0; j < P; ++j) {
         if ((t >> j) & 1U) np[j] |= m;
       }
       const std::uint8_t t_meta = table.meta[t];
@@ -639,7 +736,7 @@ void engine::finish_step_plane_impl() {
       if ((t_meta & machine_table::meta_leader) != 0) leader_bits |= m;
       if ((t_meta & machine_table::meta_bot_identity) == 0) active_bits |= m;
     }
-    for (std::size_t j = 0; j < p; ++j) plane[j][w] = np[j];
+    for (std::size_t j = 0; j < P; ++j) plane[j][w] = np[j];
     beep[w] = beep_bits;
     leader[w] = leader_bits;
     active[w] = active_bits;
@@ -647,9 +744,10 @@ void engine::finish_step_plane_impl() {
     active_next += static_cast<std::size_t>(std::popcount(active_bits));
     // Ledger: bank this round's +1s with one ripple-carry add into the
     // vertical counters (counts stay < 255: flushed in time), and mark
-    // the word dirty so the flush visits only beeping regions.
+    // the word dirty (in the slot's scratch bitset - tiles may share a
+    // dirty word) so the flush visits only beeping regions.
     if (beep_bits != 0) {
-      dirty_ledger_words_[w >> 6] |= 1ULL << (w & 63);
+      dirty[w >> 6] |= 1ULL << (w & 63);
       std::uint64_t carry = beep_bits;
       for (std::size_t j = 0; carry != 0; ++j) {
         const std::uint64_t old = ledger[j][w];
@@ -657,55 +755,43 @@ void engine::finish_step_plane_impl() {
         carry &= old;
       }
     }
-    // Rewrite the protocol's state vector for this word (SWAR
-    // bit-to-byte transpose, then bytes widened to the uint16 ids).
-    const std::size_t base = w << 6;
-    const std::size_t in_word = std::min<std::size_t>(64, n - base);
-    std::size_t i = 0;
-    for (; i + 8 <= in_word; i += 8) {
-      // Merge the planes before the byte reversal: the multiply parks
-      // bit k at the top of byte 7-k, so plane j's flags shift down to
-      // bit j of each byte and one bswap fixes the order for all
-      // planes at once (one bswap+shift per plane saved).
-      std::uint64_t acc = 0;
-      for (std::size_t j = 0; j < p; ++j) {
-        acc |= ((((np[j] >> i) & 0xFF) * 0x8040201008040201ULL) &
-                0x8080808080808080ULL) >>
-               (7 - j);
-      }
-      const std::uint64_t bytes = __builtin_bswap64(acc);
-#if defined(__SSE2__)
-      // One interleave-with-zero store replaces the two scalar morton
-      // widens - the write-back is the largest single term of a
-      // wave-saturated plane round, so this is worth the guard.
-      _mm_storeu_si128(
-          reinterpret_cast<__m128i*>(states + base + i),
-          _mm_unpacklo_epi8(_mm_cvtsi64_si128(static_cast<long long>(bytes)),
-                            _mm_setzero_si128()));
-#else
-      const std::uint64_t lo = widen_bytes_to_u16(bytes);
-      const std::uint64_t hi = widen_bytes_to_u16(bytes >> 32);
-      std::memcpy(states + base + i, &lo, 8);
-      std::memcpy(states + base + i + 4, &hi, 8);
-#endif
-    }
-    for (; i < in_word; ++i) {
-      state_id s = 0;
-      for (std::size_t j = 0; j < p; ++j) {
-        s |= static_cast<state_id>(((np[j] >> i) & 1U) << j);
-      }
-      states[base + i] = s;
+    // No state write-back: the planes stay authoritative and the
+    // protocol's vector is unpacked lazily on first outside read
+    // (materialize_states).
+  }
+  slot_leaders_[slot] += leaders;
+  slot_active_[slot] += active_next;
+  };
+  if (exec_) {
+    exec_->run_tiles(words, tile_words_, sweep_range);
+  } else {
+    sweep_range(0, 0, words);
+  }
+  std::size_t leaders = 0;
+  std::size_t active_next = 0;
+  for (std::size_t s = 0; s < slot_leaders_.size(); ++s) {
+    leaders += slot_leaders_[s];
+    active_next += slot_active_[s];
+  }
+  for (auto& dirty : slot_dirty_) {
+    for (std::size_t d = 0; d < dirty.size(); ++d) {
+      dirty_ledger_words_[d] |= dirty[d];
+      dirty[d] = 0;
     }
   }
   leader_count_ = leaders;
+  fsm_->mark_states_stale();
   ++round_;
   ++plane_rounds_;
   if (++pending_rounds_ >= 254) flush_pending_ledger();
   // Hysteresis: when the wave traffic dies down, hand the next rounds
-  // back to the sparse sweep (the active set is maintained in plane
-  // rounds, so no rebuild is needed on the way out).
+  // back to the sparse sweep - which reads the protocol's vector, so
+  // the authority moves back with one unpack here (the active set is
+  // maintained in plane rounds, so no rebuild is needed on the way
+  // out).
   if (active_next * 8 < n) {
     plane_mode_ = false;
+    fsm_->ensure_states_fresh();
   }
   notify_round_observers();
 }

@@ -44,8 +44,13 @@
 // waves), states are held in ceil(log2(q)) bit-planes and the whole
 // transition function is evaluated with word-parallel set algebra -
 // per-state decode masks route 64 nodes at a time to their successors,
-// the beep and leader sets fall out as word ORs, and the state vector
-// is rewritten through a SWAR bit-to-byte transpose. Runs of states
+// and the beep and leader sets fall out as word ORs. While this gear
+// runs, the planes are the *authoritative* state representation: the
+// protocol's uint16 vector is only a cache, marked stale after each
+// plane round and unpacked (one SWAR bit-to-byte transpose) the first
+// time an outside reader calls fsm_protocol::states()/state_of/etc.
+// Rounds nobody observes therefore pay zero state write-back - the
+// write-back used to be ~1/3 of a wave-saturated round. Runs of states
 // whose silent transition is "increment the state id" (the Timeout-BFW
 // patience counter W◦(0..T-1)) are detected at bind time and handled
 // as bit-sliced counters: one ripple-carry add over the planes,
@@ -66,11 +71,25 @@
 // and mark the touched words in a dirty-word bitset, so materializing
 // exact beep counts (observers do it every round) folds only the words
 // that actually beeped instead of sweeping all n nodes.
+//
+// Intra-trial parallelism: set_parallelism(threads, tile_words) runs
+// the word-parallel kernels - the stencil/word-CSR/packed gather and
+// the whole plane sweep (decode, ripple-carry patience adds, ledger
+// banking) - over word-range tiles on a persistent
+// support::tile_executor. Tiles write only their own words; per-tile
+// partial results (leader/active counts, dirty-ledger bits, word-CSR
+// push scratch) are merged after the barrier with order-independent
+// folds, and per-node generators are disjoint streams, so execution is
+// draw-for-draw bit-identical for every (tile size, thread count) -
+// including the serial default. The sparse sweep and the scalar
+// reference stay single-threaded (they are only chosen when the round
+// is cheap).
 #pragma once
 
 #include <array>
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -79,6 +98,7 @@
 #include "beeping/protocol.hpp"
 #include "graph/gather.hpp"
 #include "graph/graph.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace beepkit::beeping {
@@ -113,7 +133,7 @@ struct noise_model {
   }
 };
 
-class engine {
+class engine : private fsm_protocol::lazy_source {
  public:
   /// Binds a protocol instance to a graph and resets it. Both `g` and
   /// `proto` must outlive the engine.
@@ -122,6 +142,13 @@ class engine {
   /// Same, with reception noise (robustness experiments).
   engine(const graph::graph& g, protocol& proto, std::uint64_t seed,
          const noise_model& noise);
+
+  /// Materializes any stale protocol state and detaches the lazy hook
+  /// (the protocol outlives the engine and must stay readable).
+  ~engine() override;
+
+  engine(const engine&) = delete;
+  engine& operator=(const engine&) = delete;
 
   /// Observers fire after every round (and once at attach time for
   /// round 0). Not owned; must outlive the engine.
@@ -236,6 +263,21 @@ class engine {
     return gather_.last_used();
   }
 
+  /// Tiled intra-trial parallelism: rounds split the packed word range
+  /// into tiles of `tile_words` words (0 = one even tile per thread)
+  /// executed by `threads` workers (1 = serial, the default; 0 = one
+  /// per hardware thread). Applies to the stencil/word-CSR/packed
+  /// gather kernels and the plane sweep; never changes any number -
+  /// every (threads, tile_words) point is draw-for-draw bit-identical
+  /// to the serial engine. Callable between rounds at any time.
+  void set_parallelism(std::size_t threads, std::size_t tile_words = 0);
+  [[nodiscard]] std::size_t parallel_threads() const noexcept {
+    return exec_ ? exec_->thread_count() : 1;
+  }
+  [[nodiscard]] std::size_t tile_words() const noexcept {
+    return tile_words_;
+  }
+
   /// True iff the machine is eligible for the word-parallel plane gear
   /// (compiled table, <= 64 states, little-endian host).
   [[nodiscard]] bool plane_capable() const noexcept { return plane_capable_; }
@@ -258,6 +300,10 @@ class engine {
   void finish_step_plane_impl();
   void enter_plane_mode();
   void analyze_plane_plan();
+  /// fsm_protocol::lazy_source: unpacks the authoritative planes into
+  /// the protocol's state vector (SWAR bit-to-byte transpose) - the
+  /// on-demand replacement for the deleted per-round write-back.
+  void materialize_states(std::span<state_id> out) override;
   void flush_pending_ledger() const;
   /// Pending (unflushed) ledger count of node u, read off the planes.
   [[nodiscard]] std::uint64_t pending_count(graph::node_id u) const {
@@ -311,6 +357,14 @@ class engine {
   // behind the per-round dispatch; owns no graph state beyond derived
   // layouts.
   graph::heard_gather gather_;
+  // Intra-trial tiling (set_parallelism): null = serial rounds. The
+  // executor is shared with gather_; slot_* are per-worker partials
+  // merged after each tiled sweep (order-independent folds only).
+  std::unique_ptr<support::tile_executor> exec_;
+  std::size_t tile_words_ = 0;
+  std::vector<std::size_t> slot_leaders_;
+  std::vector<std::size_t> slot_active_;
+  std::vector<std::vector<std::uint64_t>> slot_dirty_;
   // Fast path only: bit u set iff the bot row of u's current state is
   // not a draw-free self-loop - i.e. u can change state (or consume a
   // draw) even in a silent round. Quiet-phase sweeps visit only

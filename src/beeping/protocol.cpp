@@ -86,26 +86,39 @@ machine_table build_machine_table(const state_machine& machine,
   return table;
 }
 
+void fsm_protocol::materialize_cold() const {
+  states_stale_ = false;
+  ++materializations_;
+  source_->materialize_states(std::span<state_id>(states_));
+}
+
 void fsm_protocol::reset(std::size_t node_count, support::rng& /*init_rng*/) {
+  // Wholesale overwrite: the fresh vector is the new truth, so any
+  // pending lazy unpack is moot.
+  states_stale_ = false;
   states_.assign(node_count, machine_->initial_state());
   ++config_version_;
 }
 
 bool fsm_protocol::beeping(graph::node_id node) const {
+  materialize();
   return machine_->beeps(states_[node]);
 }
 
 bool fsm_protocol::is_leader(graph::node_id node) const {
+  materialize();
   return machine_->is_leader(states_[node]);
 }
 
 void fsm_protocol::step(graph::node_id node, bool heard,
                         support::rng& node_rng) {
+  materialize();  // the vector becomes truth before it is mutated
   states_[node] = heard ? machine_->delta_top(states_[node], node_rng)
                         : machine_->delta_bot(states_[node], node_rng);
 }
 
 std::string fsm_protocol::describe(graph::node_id node) const {
+  materialize();
   return machine_->state_name(states_[node]);
 }
 
@@ -121,6 +134,7 @@ void fsm_protocol::set_states(std::vector<state_id> states) {
       throw std::invalid_argument("fsm_protocol::set_states: invalid state id");
     }
   }
+  states_stale_ = false;  // wholesale overwrite: the new vector is truth
   states_ = std::move(states);
   ++config_version_;
 }

@@ -203,8 +203,31 @@ class protocol {
 /// Adapts a state_machine to the engine's protocol interface, holding
 /// the vector of per-node states. Exposes raw state ids so invariant
 /// checkers and trace recorders can inspect configurations.
+///
+/// Lazy materialization: when an engine runs this protocol in its
+/// word-parallel plane gear, the engine-owned bit planes are the
+/// authoritative state representation and the uint16 vector here is a
+/// cache. The engine registers a `lazy_source` and marks the vector
+/// stale after each plane round; the first outside read (states(),
+/// state_of, beeping, is_leader, describe - or a virtual step) unpacks
+/// the planes on demand. Rounds nobody observes therefore pay zero
+/// state write-back; a reader every round degrades gracefully to one
+/// O(n/64 word-transpose) unpack per round, the cost the eager
+/// write-back used to pay unconditionally. materialization_count()
+/// exposes how many unpacks actually happened (tests pin the
+/// "plane rounds write nothing eagerly" contract with it).
 class fsm_protocol final : public protocol {
  public:
+  /// Engine-side unpack hook for the plane-authoritative state model.
+  /// materialize_states must rewrite `out` (the full state vector) to
+  /// the current configuration; it is called at most once per
+  /// mark_states_stale().
+  class lazy_source {
+   public:
+    virtual ~lazy_source() = default;
+    virtual void materialize_states(std::span<state_id> out) = 0;
+  };
+
   /// The machine must outlive this adapter.
   explicit fsm_protocol(const state_machine& machine) : machine_(&machine) {}
 
@@ -216,9 +239,11 @@ class fsm_protocol final : public protocol {
   [[nodiscard]] std::string name() const override { return machine_->name(); }
 
   [[nodiscard]] state_id state_of(graph::node_id node) const {
+    materialize();
     return states_[node];
   }
   [[nodiscard]] const std::vector<state_id>& states() const noexcept {
+    materialize();
     return states_;
   }
   /// Overrides the configuration (used by the adversarial-initialization
@@ -247,12 +272,61 @@ class fsm_protocol final : public protocol {
   /// Raw mutable state vector for the engine's table-driven sweep.
   /// Engine-internal: writers must store valid machine states and keep
   /// their own bookkeeping consistent (per-node transitions do not bump
-  /// config_version()).
+  /// config_version()). Never triggers materialization - the engine is
+  /// the authority while the vector is stale and must ensure freshness
+  /// itself (ensure_states_fresh) before reading through this.
   [[nodiscard]] std::span<state_id> raw_states() noexcept { return states_; }
 
+  /// Registers `src` as the authority behind a stale state vector. If
+  /// a previous source left the vector stale, it is materialized first
+  /// (its planes are about to stop being maintained). Engine-internal.
+  void bind_lazy_source(lazy_source* src) {
+    materialize();
+    source_ = src;
+  }
+  /// Detaches `src` if it is the bound source, materializing any stale
+  /// state first so the vector never outlives its authority while
+  /// stale. No-op when another source took over. Engine-internal.
+  void unbind_lazy_source(lazy_source* src) {
+    if (source_ != src) return;
+    materialize();
+    source_ = nullptr;
+  }
+  /// Marks the vector stale (planes authoritative). No-op unless a
+  /// lazy source is bound. Engine-internal, called after plane rounds.
+  void mark_states_stale() noexcept {
+    if (source_ != nullptr) states_stale_ = true;
+  }
+  /// Forces materialization now (no-op when fresh). The engine calls
+  /// this when its own sweeps are about to read the raw vector.
+  void ensure_states_fresh() const { materialize(); }
+  [[nodiscard]] bool states_stale() const noexcept { return states_stale_; }
+  /// How many lazy unpacks have happened since construction. A
+  /// plane-gear run with no outside readers keeps this at zero - the
+  /// acceptance counter for "plane rounds perform no eager state
+  /// write-backs".
+  [[nodiscard]] std::uint64_t materialization_count() const noexcept {
+    return materializations_;
+  }
+
  private:
+  // Hot guard + cold unpack split: the per-node virtual accessors
+  // (step/beeping/is_leader) sit in tight reference loops, so the
+  // fresh case must cost exactly one predictable branch.
+  void materialize() const {
+    if (states_stale_) [[unlikely]] {
+      materialize_cold();
+    }
+  }
+  void materialize_cold() const;
+
   const state_machine* machine_;
-  std::vector<state_id> states_;
+  // mutable: the vector is a lazily-refreshed cache of the bound
+  // source's planes; const readers fill it on demand.
+  mutable std::vector<state_id> states_;
+  mutable bool states_stale_ = false;
+  mutable std::uint64_t materializations_ = 0;
+  lazy_source* source_ = nullptr;
   std::uint64_t config_version_ = 0;
 };
 

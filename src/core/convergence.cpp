@@ -15,8 +15,12 @@ std::uint64_t default_horizon(const graph::graph& g, std::uint32_t diameter) {
 namespace {
 
 election_outcome run_engine(const graph::graph& g, beeping::protocol& proto,
-                            std::uint64_t seed, std::uint64_t max_rounds) {
+                            std::uint64_t seed, std::uint64_t max_rounds,
+                            const engine_exec& exec) {
   beeping::engine sim(g, proto, seed);
+  if (exec.threads != 1 || exec.tile_words != 0) {
+    sim.set_parallelism(exec.threads, exec.tile_words);
+  }
   return finish_election(sim, sim.run_until_single_leader(max_rounds));
 }
 
@@ -34,31 +38,41 @@ election_outcome finish_election(beeping::engine& sim,
   if (result.converged) {
     outcome.leader = sim.sole_leader();
   }
+  // Execution audit trail for JSONL records and perf reports.
+  outcome.gather_kernel = sim.gather_kernel_used();
+  outcome.engine_threads = sim.parallel_threads();
+  outcome.engine_tile_words = sim.tile_words();
   return outcome;
 }
 
 election_outcome run_bfw_election(const graph::graph& g, double p,
                                   std::uint64_t seed,
-                                  std::uint64_t max_rounds) {
+                                  std::uint64_t max_rounds,
+                                  const engine_exec& exec) {
   const bfw_machine machine(p);
-  return run_fsm_election(g, machine, seed, max_rounds);
+  return run_fsm_election(g, machine, seed, max_rounds, exec);
 }
 
 election_outcome run_fsm_election(const graph::graph& g,
                                   const beeping::state_machine& machine,
                                   std::uint64_t seed,
-                                  std::uint64_t max_rounds) {
+                                  std::uint64_t max_rounds,
+                                  const engine_exec& exec) {
   beeping::fsm_protocol proto(machine);
-  return run_engine(g, proto, seed, max_rounds);
+  return run_engine(g, proto, seed, max_rounds, exec);
 }
 
 election_outcome run_bfw_election_from(const graph::graph& g, double p,
                                        std::vector<beeping::state_id> initial,
                                        std::uint64_t seed,
-                                       std::uint64_t max_rounds) {
+                                       std::uint64_t max_rounds,
+                                       const engine_exec& exec) {
   const bfw_machine machine(p);
   beeping::fsm_protocol proto(machine);
   beeping::engine sim(g, proto, seed);
+  if (exec.threads != 1 || exec.tile_words != 0) {
+    sim.set_parallelism(exec.threads, exec.tile_words);
+  }
   proto.set_states(std::move(initial));
   sim.restart_from_protocol();
   return finish_election(sim, sim.run_until_single_leader(max_rounds));

@@ -15,6 +15,17 @@
 
 namespace beepkit::core {
 
+/// Intra-trial execution knobs forwarded to the engine: worker count
+/// and word-tile size for the tiled round pipeline
+/// (beeping::engine::set_parallelism). Never changes any number - the
+/// tiled rounds are bit-identical to serial - so this is pure
+/// performance configuration, recorded alongside results for
+/// auditability.
+struct engine_exec {
+  std::size_t threads = 1;     ///< 1 = serial (default), 0 = hardware.
+  std::size_t tile_words = 0;  ///< 0 = one even tile per worker.
+};
+
 /// Result of one election trial.
 struct election_outcome {
   /// Exactly one leader within the horizon. A run ending with zero
@@ -26,6 +37,12 @@ struct election_outcome {
   graph::node_id leader = 0;    ///< The surviving leader (if converged).
   std::uint64_t total_coins = 0;  ///< Fair coins drawn by all nodes.
   std::size_t final_leader_count = 0;
+  // Execution audit trail (performance metadata, not part of the
+  // statistical contract): which heard-gather kernel the engine's last
+  // round actually ran, and the tile/thread configuration it ran with.
+  graph::gather_kernel gather_kernel = graph::gather_kernel::auto_select;
+  std::size_t engine_threads = 1;
+  std::size_t engine_tile_words = 0;
 };
 
 /// Folds an engine run into an election_outcome (shared by every
@@ -39,21 +56,23 @@ struct election_outcome {
                                             std::uint32_t diameter);
 
 /// Runs BFW with parameter `p` from the all-W• initial configuration.
-[[nodiscard]] election_outcome run_bfw_election(const graph::graph& g,
-                                                double p, std::uint64_t seed,
-                                                std::uint64_t max_rounds);
+[[nodiscard]] election_outcome run_bfw_election(
+    const graph::graph& g, double p, std::uint64_t seed,
+    std::uint64_t max_rounds, const engine_exec& exec = {});
 
 /// Runs any state machine through the beeping engine.
 [[nodiscard]] election_outcome run_fsm_election(
     const graph::graph& g, const beeping::state_machine& machine,
-    std::uint64_t seed, std::uint64_t max_rounds);
+    std::uint64_t seed, std::uint64_t max_rounds,
+    const engine_exec& exec = {});
 
 /// Runs BFW from an explicit initial configuration (used by the
 /// Section-5 experiments: two leaders at path ends, adversarial
 /// states, ...). `initial` must hold valid BFW state ids.
 [[nodiscard]] election_outcome run_bfw_election_from(
     const graph::graph& g, double p, std::vector<beeping::state_id> initial,
-    std::uint64_t seed, std::uint64_t max_rounds);
+    std::uint64_t seed, std::uint64_t max_rounds,
+    const engine_exec& exec = {});
 
 /// Convergence rounds over `trials` independent seeds (derived from
 /// `seed`); non-converged trials are recorded as `max_rounds`.

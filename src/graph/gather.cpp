@@ -1,7 +1,10 @@
 #include "graph/gather.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
+
+#include "support/parallel.hpp"
 
 namespace beepkit::graph {
 
@@ -16,18 +19,22 @@ constexpr void set_bit(std::span<std::uint64_t> words, node_id u) noexcept {
   words[u >> 6] |= 1ULL << (u & 63);
 }
 
-// dst |= ((src & smask) << k) & lmask, over `words` words; bits shifted
-// past the top of the array are dropped (the caller masks the valid
-// tail afterwards). Null masks mean all-ones.
+// dst |= ((src & smask) << k) & lmask, for destination words in
+// [wb, we) of a `words`-word array; bits shifted past the top of the
+// array are dropped (the caller masks the valid tail afterwards).
+// Null masks mean all-ones. Reads any source word, writes only
+// [wb, we) - the tile contract of the stencil kernels.
 void shl_or(const std::uint64_t* src, const std::uint64_t* smask,
             const std::uint64_t* lmask, std::uint64_t* dst,
-            std::size_t words, std::size_t k) noexcept {
+            std::size_t words, std::size_t k, std::size_t wb,
+            std::size_t we) noexcept {
   const std::size_t ws = k >> 6;
   const unsigned bs = static_cast<unsigned>(k & 63);
   const auto at = [&](std::size_t i) {
     return smask != nullptr ? (src[i] & smask[i]) : src[i];
   };
-  for (std::size_t w = words; w-- > ws;) {
+  (void)words;
+  for (std::size_t w = std::max(wb, ws); w < we; ++w) {
     const std::size_t s = w - ws;
     std::uint64_t v = at(s);
     if (bs != 0) {
@@ -39,16 +46,19 @@ void shl_or(const std::uint64_t* src, const std::uint64_t* smask,
   }
 }
 
-// dst |= ((src & smask) >> k) & lmask; bits shifted below zero drop.
+// dst |= ((src & smask) >> k) & lmask over [wb, we); bits shifted
+// below zero drop.
 void shr_or(const std::uint64_t* src, const std::uint64_t* smask,
             const std::uint64_t* lmask, std::uint64_t* dst,
-            std::size_t words, std::size_t k) noexcept {
+            std::size_t words, std::size_t k, std::size_t wb,
+            std::size_t we) noexcept {
   const std::size_t ws = k >> 6;
   const unsigned bs = static_cast<unsigned>(k & 63);
   const auto at = [&](std::size_t i) {
     return smask != nullptr ? (src[i] & smask[i]) : src[i];
   };
-  for (std::size_t w = 0; w + ws < words; ++w) {
+  const std::size_t hi = ws < words ? std::min(we, words - ws) : wb;
+  for (std::size_t w = wb; w < hi; ++w) {
     const std::size_t s = w + ws;
     std::uint64_t v = at(s);
     if (bs != 0) {
@@ -62,11 +72,53 @@ void shr_or(const std::uint64_t* src, const std::uint64_t* smask,
 
 }  // namespace
 
+std::string gather_kernel_name(gather_kernel k) {
+  switch (k) {
+    case gather_kernel::auto_select:
+      return "auto";
+    case gather_kernel::stencil:
+      return "stencil";
+    case gather_kernel::word_csr_push:
+      return "word_csr_push";
+    case gather_kernel::packed_pull:
+      return "packed_pull";
+    case gather_kernel::legacy_push:
+      return "legacy_push";
+    case gather_kernel::legacy_pull:
+      return "legacy_pull";
+  }
+  return "unknown";
+}
+
 heard_gather::heard_gather(const graph& g) : g_(&g) {
   const std::size_t n = g.node_count();
   words_ = packed_word_count(n);
   tail_mask_ = (n % 64 == 0) ? ~0ULL : ((1ULL << (n % 64)) - 1);
   stencil_ = g.topology_tag();
+  if (stencil_.has_value()) {
+    // Stencil preconditions. Generators only produce tags that pass
+    // them, but hand-tagged or degenerate instances (a torus below
+    // 3x3 has doubled/self wrap neighbors the shifts cannot express, a
+    // 2-node "ring" is a single edge, a geometry not covering n nodes
+    // is nonsense) must fall back to the adjacency-based kernels
+    // cleanly instead of computing a wrong heard set.
+    const topology& t = *stencil_;
+    bool ok = t.rows >= 1 && t.cols >= 1 && t.rows * t.cols == n;
+    switch (t.shape) {
+      case topology::kind::path:
+        ok = ok && t.rows == 1;
+        break;
+      case topology::kind::ring:
+        ok = ok && t.rows == 1 && n >= 3;
+        break;
+      case topology::kind::grid:
+        break;  // any rows x cols lattice shifts correctly
+      case topology::kind::torus:
+        ok = ok && t.rows >= 3 && t.cols >= 3;
+        break;
+    }
+    if (!ok) stencil_.reset();
+  }
   if (stencil_.has_value() && (stencil_->shape == topology::kind::grid ||
                                stencil_->shape == topology::kind::torus)) {
     // Periodic column masks, one bit per flat node index (indices past
@@ -150,13 +202,31 @@ void heard_gather::operator()(std::span<const std::uint64_t> beep,
   }
   switch (k) {
     case gather_kernel::stencil:
-      gather_stencil(beep, heard);
+      if (exec_ != nullptr) {
+        exec_->run_tiles(heard.size(), tile_words_,
+                         [&](std::size_t, std::size_t wb, std::size_t we) {
+                           gather_stencil_range(beep, heard, wb, we);
+                         });
+      } else {
+        gather_stencil(beep, heard);
+      }
       break;
     case gather_kernel::word_csr_push:
-      gather_word_csr_push(beep, heard);
+      if (exec_ != nullptr) {
+        gather_word_csr_push_tiled(beep, heard);
+      } else {
+        gather_word_csr_push(beep, heard);
+      }
       break;
     case gather_kernel::packed_pull:
-      gather_packed_pull(beep, heard);
+      if (exec_ != nullptr) {
+        exec_->run_tiles(heard.size(), tile_words_,
+                         [&](std::size_t, std::size_t wb, std::size_t we) {
+                           gather_packed_pull(beep, heard, wb, we);
+                         });
+      } else {
+        gather_packed_pull(beep, heard, 0, heard.size());
+      }
       break;
     case gather_kernel::legacy_push:
       gather_legacy_push(beep, heard);
@@ -176,44 +246,59 @@ void heard_gather::operator()(std::span<const std::uint64_t> beep,
 // (e.g. a left row-stride shift pushing the second row past the end).
 void heard_gather::gather_stencil(std::span<const std::uint64_t> beep,
                                   std::span<std::uint64_t> heard) const {
+  gather_stencil_range(beep, heard, 0, heard.size());
+}
+
+// The tile body: destination words [wb, we) only. Source reads are
+// unrestricted (beep is read-only input), so the seam exchange between
+// tiles is simply each tile reading across its boundary - no carry
+// needs to travel.
+void heard_gather::gather_stencil_range(std::span<const std::uint64_t> beep,
+                                        std::span<std::uint64_t> heard,
+                                        std::size_t wb, std::size_t we) const {
   const std::size_t words = heard.size();
-  if (words == 0) return;
+  if (words == 0 || wb >= we) return;
   const topology& topo = *stencil_;
   const std::uint64_t* const b = beep.data();
   std::uint64_t* const h = heard.data();
   switch (topo.shape) {
     case topology::kind::path:
     case topology::kind::ring: {
-      // Fused single pass: heard[w] = B | (B << 1) | (B >> 1) with the
-      // cross-word carries read off the rolling neighbors.
-      std::uint64_t prev = 0;
-      std::uint64_t cur = b[0];
-      for (std::size_t w = 0; w < words; ++w) {
+      // Fused pass: heard[w] = B | (B << 1) | (B >> 1) with the
+      // cross-word carries read off the rolling neighbors (the tile's
+      // entry carry comes from the word before the range).
+      std::uint64_t prev = wb > 0 ? b[wb - 1] : 0;
+      std::uint64_t cur = b[wb];
+      for (std::size_t w = wb; w < we; ++w) {
         const std::uint64_t next = (w + 1 < words) ? b[w + 1] : 0;
         h[w] |= (cur << 1) | (prev >> 63) | (cur >> 1) | (next << 63);
         prev = cur;
         cur = next;
       }
       if (topo.shape == topology::kind::ring) {
+        // Wrap bits belong to the tiles owning the first/last word.
         const std::size_t n = g_->node_count();
         const auto end = static_cast<node_id>(n - 1);
-        if (test_bit(beep, end)) h[0] |= 1ULL;
-        if ((b[0] & 1ULL) != 0) set_bit(heard, end);
+        if (wb == 0 && test_bit(beep, end)) h[0] |= 1ULL;
+        const std::size_t end_word = static_cast<std::size_t>(end) >> 6;
+        if (end_word >= wb && end_word < we && (b[0] & 1ULL) != 0) {
+          set_bit(heard, end);
+        }
       }
       break;
     }
     case topology::kind::grid: {
-      shl_or(b, nullptr, not_first_col_.data(), h, words, 1);
-      shr_or(b, nullptr, not_last_col_.data(), h, words, 1);
-      shl_or(b, nullptr, nullptr, h, words, topo.cols);
-      shr_or(b, nullptr, nullptr, h, words, topo.cols);
+      shl_or(b, nullptr, not_first_col_.data(), h, words, 1, wb, we);
+      shr_or(b, nullptr, not_last_col_.data(), h, words, 1, wb, we);
+      shl_or(b, nullptr, nullptr, h, words, topo.cols, wb, we);
+      shr_or(b, nullptr, nullptr, h, words, topo.cols, wb, we);
       break;
     }
     case topology::kind::torus: {
-      shl_or(b, nullptr, not_first_col_.data(), h, words, 1);
-      shr_or(b, nullptr, not_last_col_.data(), h, words, 1);
-      shl_or(b, nullptr, nullptr, h, words, topo.cols);
-      shr_or(b, nullptr, nullptr, h, words, topo.cols);
+      shl_or(b, nullptr, not_first_col_.data(), h, words, 1, wb, we);
+      shr_or(b, nullptr, not_last_col_.data(), h, words, 1, wb, we);
+      shl_or(b, nullptr, nullptr, h, words, topo.cols, wb, we);
+      shr_or(b, nullptr, nullptr, h, words, topo.cols, wb, we);
       // Horizontal wrap: column cols-1 sources land on column 0 of the
       // same row and vice versa (source masks select the wrap column,
       // so no landing mask is needed). Vertical wrap: a full-array
@@ -221,16 +306,16 @@ void heard_gather::gather_stencil(std::span<const std::uint64_t> beep,
       // first (and only those rows survive the shift).
       if (topo.cols > 1) {
         const std::size_t wrap = topo.cols - 1;
-        shr_or(b, last_col_.data(), nullptr, h, words, wrap);
-        shl_or(b, first_col_.data(), nullptr, h, words, wrap);
+        shr_or(b, last_col_.data(), nullptr, h, words, wrap, wb, we);
+        shl_or(b, first_col_.data(), nullptr, h, words, wrap, wb, we);
       }
       const std::size_t stride = (topo.rows - 1) * topo.cols;
-      shr_or(b, nullptr, nullptr, h, words, stride);
-      shl_or(b, nullptr, nullptr, h, words, stride);
+      shr_or(b, nullptr, nullptr, h, words, stride, wb, we);
+      shl_or(b, nullptr, nullptr, h, words, stride, wb, we);
       break;
     }
   }
-  h[words - 1] &= tail_mask_;
+  if (we == words) h[words - 1] &= tail_mask_;
 }
 
 void heard_gather::gather_word_csr_push(std::span<const std::uint64_t> beep,
@@ -247,12 +332,76 @@ void heard_gather::gather_word_csr_push(std::span<const std::uint64_t> beep,
   }
 }
 
+// Tiled push: a push scatters into arbitrary destination words, so
+// workers OR beeper neighborhoods into private scratch arrays (tiled
+// over the *source* words) and a second tiled pass (over the
+// *destination* words) folds the scratches into the heard set. Both
+// folds are pure ORs, so the tile-to-worker assignment can never
+// change the result. Scratch words are zeroed as they are folded,
+// keeping the all-zero invariant without an O(threads * words) clear.
+void heard_gather::gather_word_csr_push_tiled(
+    std::span<const std::uint64_t> beep, std::span<std::uint64_t> heard) {
+  const std::size_t slots = exec_->thread_count();
+  // Sparse gate: the fold pass streams slots * words scratch words no
+  // matter how few bits it finds, while the serial push costs only
+  // O(beeper word-pairs) - and push is the kernel the density rule
+  // selects precisely when beeps are sparse. Only tile when the push
+  // work plausibly dominates the fold (roughly one beeper per scratch
+  // word per slot); near-silent rounds keep the serial push.
+  std::size_t beepers = 0;
+  for (const std::uint64_t word : beep) {
+    beepers += static_cast<std::size_t>(std::popcount(word));
+  }
+  if (beepers < slots * heard.size()) {
+    gather_word_csr_push(beep, heard);
+    return;
+  }
+  if (push_scratch_.size() < slots) {
+    push_scratch_.resize(slots);
+  }
+  for (auto& scratch : push_scratch_) {
+    if (scratch.size() != words_) scratch.assign(words_, 0);
+  }
+  exec_->run_tiles(beep.size(), tile_words_,
+                   [&](std::size_t slot, std::size_t wb, std::size_t we) {
+                     std::uint64_t* const dst = push_scratch_[slot].data();
+                     for (std::size_t w = wb; w < we; ++w) {
+                       std::uint64_t bits = beep[w];
+                       while (bits != 0) {
+                         const auto u = static_cast<node_id>(
+                             (w << 6) +
+                             static_cast<std::size_t>(std::countr_zero(bits)));
+                         bits &= bits - 1;
+                         csr_.push_neighbors(u, dst);
+                       }
+                     }
+                   });
+  std::uint64_t* const h = heard.data();
+  exec_->run_tiles(heard.size(), tile_words_,
+                   [&](std::size_t, std::size_t wb, std::size_t we) {
+                     for (std::size_t w = wb; w < we; ++w) {
+                       std::uint64_t acc = h[w];
+                       for (std::size_t s = 0; s < slots; ++s) {
+                         const std::uint64_t v = push_scratch_[s][w];
+                         if (v != 0) {
+                           acc |= v;
+                           push_scratch_[s][w] = 0;
+                         }
+                       }
+                       h[w] = acc;
+                     }
+                   });
+}
+
 void heard_gather::gather_packed_pull(std::span<const std::uint64_t> beep,
-                                      std::span<std::uint64_t> heard) const {
+                                      std::span<std::uint64_t> heard,
+                                      std::size_t wb, std::size_t we) const {
   const std::size_t n = g_->node_count();
   const std::size_t words = heard.size();
   const std::uint64_t* const b = beep.data();
-  for (node_id u = 0; u < n; ++u) {
+  const node_id lo = static_cast<node_id>(wb << 6);
+  const node_id hi = static_cast<node_id>(std::min(n, we << 6));
+  for (node_id u = lo; u < hi; ++u) {
     if (test_bit(heard, u)) continue;  // beeps itself
     const std::uint64_t* const row = csr_.packed_row(u);
     for (std::size_t w = 0; w < words; ++w) {

@@ -31,10 +31,15 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "graph/word_csr.hpp"
+
+namespace beepkit::support {
+class tile_executor;
+}  // namespace beepkit::support
 
 namespace beepkit::graph {
 
@@ -47,6 +52,10 @@ enum class gather_kernel : std::uint8_t {
   legacy_pull,    ///< per-bit probe with early exit (reference)
 };
 
+/// Stable lowercase kernel name for logs, JSONL records and bench
+/// labels ("stencil", "word_csr_push", ...).
+[[nodiscard]] std::string gather_kernel_name(gather_kernel k);
+
 class heard_gather {
  public:
   /// Derives the stencil masks for topology-tagged graphs; the
@@ -54,7 +63,11 @@ class heard_gather {
   /// word_csr::packed_rows_worthwhile says the bitmap earns its keep)
   /// are built lazily on the first gather that needs them - a tagged
   /// graph always takes the stencil kernel and never pays for them.
-  /// `g` must outlive the gather.
+  /// A tag whose stencil preconditions fail (torus smaller than 3x3,
+  /// ring below 3 nodes, rows*cols not matching the node count) is
+  /// dropped here, so such graphs fall back to the CSR kernels cleanly
+  /// instead of computing a wrong heard set. `g` must outlive the
+  /// gather.
   explicit heard_gather(const graph& g);
 
   /// heard := beep ∪ N(beep), both packed over word_count() words.
@@ -64,6 +77,20 @@ class heard_gather {
   /// node_count().
   void operator()(std::span<const std::uint64_t> beep,
                   std::span<std::uint64_t> heard);
+
+  /// Enables tiled multi-threaded execution of the word-parallel
+  /// kernels (stencil, word-CSR push, packed pull) on `exec`
+  /// (nullptr = serial). Tiles are `tile_words` words (0 = one even
+  /// tile per worker). Every (executor, tile size) point computes the
+  /// same heard set: stencil and pull tiles write only their own
+  /// destination words, and the push merges per-worker scratch with
+  /// OR folds. The executor must outlive this gather (engines own
+  /// both).
+  void set_executor(support::tile_executor* exec,
+                    std::size_t tile_words) noexcept {
+    exec_ = exec;
+    tile_words_ = tile_words;
+  }
 
   /// Pins one kernel (auto_select restores the default dispatch).
   /// Throws std::invalid_argument when the kernel is unavailable for
@@ -88,10 +115,18 @@ class heard_gather {
   void ensure_adjacency_layouts();
   void gather_stencil(std::span<const std::uint64_t> beep,
                       std::span<std::uint64_t> heard) const;
+  /// Stencil restricted to destination words [wb, we): reads any beep
+  /// word, writes only its own range - the tile body.
+  void gather_stencil_range(std::span<const std::uint64_t> beep,
+                            std::span<std::uint64_t> heard, std::size_t wb,
+                            std::size_t we) const;
   void gather_word_csr_push(std::span<const std::uint64_t> beep,
                             std::span<std::uint64_t> heard) const;
+  void gather_word_csr_push_tiled(std::span<const std::uint64_t> beep,
+                                  std::span<std::uint64_t> heard);
   void gather_packed_pull(std::span<const std::uint64_t> beep,
-                          std::span<std::uint64_t> heard) const;
+                          std::span<std::uint64_t> heard, std::size_t wb,
+                          std::size_t we) const;
   void gather_legacy_push(std::span<const std::uint64_t> beep,
                           std::span<std::uint64_t> heard) const;
   void gather_legacy_pull(std::span<const std::uint64_t> beep,
@@ -115,6 +150,14 @@ class heard_gather {
   // Density hysteresis: pull while beeps stay dense (2|B| > n enters,
   // 4|B| <= n leaves), push otherwise.
   bool dense_mode_ = false;
+  // Tiled execution (set_executor): per-worker scratch heard arrays
+  // for the push kernel (a push scatters into arbitrary destination
+  // words, so workers OR into private arrays that a second tiled pass
+  // folds - OR is order-free, hence bit-identical). Invariant: all
+  // scratch words are zero between gathers.
+  support::tile_executor* exec_ = nullptr;
+  std::size_t tile_words_ = 0;
+  std::vector<std::vector<std::uint64_t>> push_scratch_;
 };
 
 }  // namespace beepkit::graph

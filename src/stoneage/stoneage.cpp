@@ -1,6 +1,8 @@
 #include "stoneage/stoneage.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <stdexcept>
 
 namespace beepkit::stoneage {
@@ -37,6 +39,13 @@ engine::engine(const graph::graph& g, const automaton& machine,
           "{silent, beep} and matching state count");
     }
     table_ = bm->compile_table();
+    if (table_.has_value() && table_->state_count() > 64) {
+      // The bit-sliced plane round covers 64 states (6 planes); a
+      // larger machine simply keeps the generic census path - the
+      // same graceful degradation the beeping engine applies via its
+      // plane_capable_ gate.
+      table_.reset();
+    }
     if (table_.has_value()) {
       for (std::size_t s = 0; s < machine.state_count(); ++s) {
         const auto state = static_cast<state_id>(s);
@@ -50,9 +59,86 @@ engine::engine(const graph::graph& g, const automaton& machine,
       gather_.emplace(g);
       beep_words_.assign((n + 63) / 64, 0);
       heard_words_.assign((n + 63) / 64, 0);
+      plane_count_ = 1;
+      while ((std::size_t{1} << plane_count_) < table_->state_count()) {
+        ++plane_count_;
+      }
+      for (std::size_t j = 0; j < plane_count_; ++j) {
+        planes_[j].assign((n + 63) / 64, 0);
+      }
+      pack_planes();
     }
   }
+  tail_mask_ = (n % 64 == 0) ? ~0ULL : ((1ULL << (n % 64)) - 1);
+  slot_leaders_.assign(1, 0);
   refresh_counters();
+}
+
+// Fast-path entry: transpose states_ into the planes and rebuild the
+// displayed-beep word (the sweep maintains both incrementally from
+// here on - the per-round O(n) scalar display packing is gone).
+void engine::pack_planes() {
+  const std::size_t n = g_->node_count();
+  const beeping::machine_table& table = *table_;
+  for (std::size_t j = 0; j < plane_count_; ++j) {
+    std::fill(planes_[j].begin(), planes_[j].end(), 0);
+  }
+  std::fill(beep_words_.begin(), beep_words_.end(), 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::uint64_t bit = 1ULL << (u & 63);
+    const state_id s = states_[u];
+    for (std::size_t j = 0; j < plane_count_; ++j) {
+      if ((s >> j) & 1U) planes_[j][u >> 6] |= bit;
+    }
+    if (table.beep_flag[s] != 0) beep_words_[u >> 6] |= bit;
+  }
+  planes_fresh_ = true;
+}
+
+void engine::materialize() const {
+  if (states_valid_) return;
+  states_valid_ = true;
+  ++materializations_;
+  const std::size_t n = g_->node_count();
+  for (std::size_t u = 0; u < n; ++u) {
+    state_id s = 0;
+    for (std::size_t j = 0; j < plane_count_; ++j) {
+      s |= static_cast<state_id>(((planes_[j][u >> 6] >> (u & 63)) & 1U)
+                                 << j);
+    }
+    states_[u] = s;
+  }
+}
+
+void engine::set_fast_path_enabled(bool enabled) {
+  if (enabled == fast_enabled_) return;
+  if (!enabled) {
+    // The generic census path reads and writes states_ directly; hand
+    // the authority back to the vector.
+    materialize();
+    planes_fresh_ = false;
+    fast_enabled_ = false;
+    return;
+  }
+  fast_enabled_ = true;
+  if (table_.has_value()) pack_planes();
+}
+
+void engine::set_parallelism(std::size_t threads, std::size_t tile_words) {
+  tile_words_ = tile_words;
+  const std::size_t resolved =
+      threads == 0 ? support::resolve_threads(0) : threads;
+  if (resolved <= 1) {
+    exec_.reset();
+    if (gather_.has_value()) gather_->set_executor(nullptr, 0);
+    slot_leaders_.assign(1, 0);
+    return;
+  }
+  if (!exec_ || exec_->thread_count() != resolved) {
+    exec_ = std::make_unique<support::tile_executor>(resolved);
+  }
+  if (gather_.has_value()) gather_->set_executor(exec_.get(), tile_words_);
+  slot_leaders_.assign(resolved, 0);
 }
 
 void engine::set_gather_kernel(graph::gather_kernel kernel) {
@@ -66,6 +152,7 @@ void engine::set_gather_kernel(graph::gather_kernel kernel) {
 }
 
 void engine::refresh_counters() {
+  materialize();
   leader_count_ = 0;
   if (fast_path_active()) {
     for (state_id s : states_) {
@@ -97,33 +184,153 @@ void engine::step() {
   refresh_counters();
 }
 
-// Table-driven round: pack the displayed-beep flags into words, run
-// the shared word-parallel heard-gather (stencil / word-CSR push /
-// packed pull, same dispatch as the beeping engine), then apply the
-// compiled rule per node off the packed heard set. With any threshold
-// b >= 1 the clipped census entry for `beep` is positive iff some
-// neighbor displays it, so this is exactly the generic round - same
-// transitions, same generator draws - minus all virtual dispatch and
-// all per-bit adjacency probing.
+// Table-driven bit-sliced round: the displayed-beep word is already
+// maintained by the previous sweep (no scalar packing), the shared
+// word-parallel heard-gather computes the heard set (stencil /
+// word-CSR push / packed pull, same dispatch as the beeping engine),
+// and the transition function is evaluated with word-parallel set
+// algebra over the state planes - per-state decode masks route 64
+// nodes at a time, the new beep word and the leader count fall out of
+// the per-successor masks. With any threshold b >= 1 the clipped
+// census entry for `beep` is positive iff some neighbor displays it,
+// so this is exactly the generic round - same transitions, same
+// generator draws (stochastic rules visit their nodes individually, in
+// ascending node order, off per-node streams). The protocol's state
+// vector is not written at all; states() unpacks the planes lazily.
 void engine::step_fast() {
-  const std::size_t n = g_->node_count();
-  const beeping::machine_table& table = *table_;
-  std::fill(beep_words_.begin(), beep_words_.end(), 0);
-  for (std::size_t u = 0; u < n; ++u) {
-    if (table.beep_flag[states_[u]] != 0) {
-      beep_words_[u >> 6] |= 1ULL << (u & 63);
-    }
-  }
   std::copy(beep_words_.begin(), beep_words_.end(), heard_words_.begin());
   (*gather_)(beep_words_, heard_words_);
-  for (graph::node_id u = 0; u < n; ++u) {
-    const bool heard = (heard_words_[u >> 6] >> (u & 63)) & 1ULL;
-    next_states_[u] = beeping::apply_rule(table.rule(states_[u], heard),
-                                          rngs_[u]);
+  switch (plane_count_) {
+    case 1:
+      step_plane_impl<1>();
+      break;
+    case 2:
+      step_plane_impl<2>();
+      break;
+    case 3:
+      step_plane_impl<3>();
+      break;
+    case 4:
+      step_plane_impl<4>();
+      break;
+    case 5:
+      step_plane_impl<5>();
+      break;
+    default:
+      step_plane_impl<6>();
+      break;
   }
-  states_.swap(next_states_);
   ++round_;
-  refresh_counters();
+}
+
+template <std::size_t P>
+void engine::step_plane_impl() {
+  const beeping::machine_table& table = *table_;
+  const std::size_t q = table.state_count();
+  const std::size_t words = heard_words_.size();
+  support::rng* const rngs = rngs_.data();
+  const std::uint64_t* const heard = heard_words_.data();
+  std::uint64_t* const beep = beep_words_.data();
+  std::uint64_t* plane[P];
+  for (std::size_t j = 0; j < P; ++j) plane[j] = planes_[j].data();
+  std::fill(slot_leaders_.begin(), slot_leaders_.end(), 0);
+  // Tiled sweep: per-word updates are independent (own planes, own
+  // node streams); leader counts fold per slot after the barrier.
+  const auto sweep_range = [&](std::size_t slot, std::size_t wb,
+                               std::size_t we) {
+    std::size_t leaders = 0;
+    for (std::size_t w = wb; w < we; ++w) {
+      const std::uint64_t valid = (w + 1 == words) ? tail_mask_ : ~0ULL;
+      const std::uint64_t h = heard[w];
+      std::uint64_t b[P];
+      for (std::size_t j = 0; j < P; ++j) b[j] = plane[j][w];
+      std::uint64_t moved[64];  // moved[t]: nodes whose successor is t
+      for (std::size_t t = 0; t < q; ++t) moved[t] = 0;
+      // Stochastic parts are deferred so their draws happen jointly in
+      // ascending node order, exactly as the scalar loop drew them.
+      struct pending_draw {
+        const beeping::transition_rule* rule;
+        std::uint64_t part;
+      };
+      std::array<pending_draw, 128> draws;  // <= 2 per state
+      std::size_t draw_rules = 0;
+      std::uint64_t draw_union = 0;
+      std::uint64_t rem = valid;
+      for (std::size_t s = q; s-- > 0;) {
+        if (rem == 0) break;
+        std::uint64_t dec = rem;
+        for (std::size_t j = 0; j < P; ++j) {
+          dec &= ((s >> j) & 1U) ? b[j] : ~b[j];
+        }
+        if (dec == 0) continue;
+        rem &= ~dec;
+        const beeping::transition_rule& top =
+            table.rule(static_cast<state_id>(s), true);
+        const beeping::transition_rule& bot =
+            table.rule(static_cast<state_id>(s), false);
+        const std::uint64_t top_part = dec & h;
+        const std::uint64_t bot_part = dec & ~h;
+        if (top_part != 0) {
+          if (top.draw == beeping::transition_rule::draw_kind::none) {
+            moved[top.next] |= top_part;
+          } else {
+            draws[draw_rules++] = {&top, top_part};
+            draw_union |= top_part;
+          }
+        }
+        if (bot_part != 0) {
+          if (bot.draw == beeping::transition_rule::draw_kind::none) {
+            moved[bot.next] |= bot_part;
+          } else {
+            draws[draw_rules++] = {&bot, bot_part};
+            draw_union |= bot_part;
+          }
+        }
+      }
+      while (draw_union != 0) {
+        const auto offset =
+            static_cast<std::size_t>(std::countr_zero(draw_union));
+        const std::uint64_t mask = draw_union & (~draw_union + 1);
+        draw_union &= draw_union - 1;
+        const auto u = static_cast<graph::node_id>((w << 6) + offset);
+        for (std::size_t i = 0; i < draw_rules; ++i) {
+          if ((draws[i].part & mask) != 0) {
+            moved[beeping::apply_rule(*draws[i].rule, rngs[u])] |= mask;
+            break;
+          }
+        }
+      }
+      std::uint64_t np[P] = {};
+      std::uint64_t beep_bits = 0;
+      std::uint64_t leader_bits = 0;
+      for (std::size_t t = 0; t < q; ++t) {
+        const std::uint64_t m = moved[t];
+        if (m == 0) continue;
+        for (std::size_t j = 0; j < P; ++j) {
+          if ((t >> j) & 1U) np[j] |= m;
+        }
+        const std::uint8_t t_meta = table.meta[t];
+        if ((t_meta & beeping::machine_table::meta_beep) != 0) beep_bits |= m;
+        if ((t_meta & beeping::machine_table::meta_leader) != 0) {
+          leader_bits |= m;
+        }
+      }
+      for (std::size_t j = 0; j < P; ++j) plane[j][w] = np[j];
+      beep[w] = beep_bits;
+      leaders += static_cast<std::size_t>(std::popcount(leader_bits));
+    }
+    slot_leaders_[slot] += leaders;
+  };
+  if (exec_) {
+    exec_->run_tiles(words, tile_words_, sweep_range);
+  } else {
+    sweep_range(0, 0, words);
+  }
+  std::size_t leaders = 0;
+  for (const std::size_t part : slot_leaders_) leaders += part;
+  leader_count_ = leaders;
+  states_valid_ = false;  // planes authoritative; unpack on read
+  planes_fresh_ = true;
 }
 
 void engine::run_rounds(std::uint64_t count) {
@@ -142,6 +349,7 @@ graph::node_id engine::sole_leader() const {
   if (leader_count_ != 1) {
     return static_cast<graph::node_id>(g_->node_count());
   }
+  materialize();
   for (graph::node_id u = 0; u < g_->node_count(); ++u) {
     if (machine_->is_leader(states_[u])) return u;
   }
@@ -159,6 +367,8 @@ void engine::set_states(std::vector<state_id> states) {
     }
   }
   states_ = std::move(states);
+  states_valid_ = true;  // wholesale overwrite: the vector is truth
+  if (fast_path_active()) pack_planes();
   refresh_counters();
 }
 

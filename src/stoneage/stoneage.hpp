@@ -11,7 +11,9 @@
 // makes the BFW embedding work (src/core/bfw_stoneage.hpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -20,6 +22,7 @@
 #include "beeping/protocol.hpp"
 #include "graph/gather.hpp"
 #include "graph/graph.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace beepkit::stoneage {
@@ -62,6 +65,15 @@ class automaton {
 /// Synchronous stone-age engine: every node is activated every round
 /// and transitions on the clipped census of the *current* round's
 /// displayed symbols (double-buffered, like the beeping engine).
+///
+/// Fast path (automaton::beep_machine): states are held bit-sliced in
+/// ceil(log2 q) planes, the displayed-beep word is maintained by the
+/// sweep itself (the old O(n) scalar display packing is gone), and the
+/// whole round - gather plus transition routing - is word-parallel and
+/// tileable via set_parallelism. The planes are authoritative while
+/// the fast path runs; states()/state_of()/displayed() unpack them
+/// lazily on first read, exactly like the beeping engine's
+/// plane-authoritative model.
 class engine {
  public:
   engine(const graph::graph& g, const automaton& machine,
@@ -86,27 +98,44 @@ class engine {
     return leader_count_;
   }
   [[nodiscard]] state_id state_of(graph::node_id u) const {
+    materialize();
     return states_[u];
   }
   [[nodiscard]] const std::vector<state_id>& states() const noexcept {
+    materialize();
     return states_;
   }
   [[nodiscard]] symbol displayed(graph::node_id u) const {
-    return machine_->display(states_[u]);
+    return machine_->display(state_of(u));
   }
   [[nodiscard]] graph::node_id sole_leader() const;
   [[nodiscard]] std::uint32_t threshold() const noexcept { return threshold_; }
+
+  /// How many lazy plane-to-vector unpacks have happened (fast-path
+  /// rounds write no state vector eagerly; reads materialize it).
+  [[nodiscard]] std::uint64_t state_materializations() const noexcept {
+    return materializations_;
+  }
 
   /// Overrides the configuration (adversarial-initialization tests).
   void set_states(std::vector<state_id> states);
 
   /// Forces the generic virtual-dispatch round (`enabled == false`) or
   /// re-enables the compiled-table fast path; bit-identical either way.
-  void set_fast_path_enabled(bool enabled) noexcept {
-    fast_enabled_ = enabled;
-  }
+  void set_fast_path_enabled(bool enabled);
   [[nodiscard]] bool fast_path_active() const noexcept {
     return fast_enabled_ && table_.has_value();
+  }
+
+  /// Tiled intra-trial parallelism for the fast path (same contract as
+  /// beeping::engine::set_parallelism: bit-identical for every
+  /// (threads, tile_words) point; threads == 1 is the serial default).
+  void set_parallelism(std::size_t threads, std::size_t tile_words = 0);
+  [[nodiscard]] std::size_t parallel_threads() const noexcept {
+    return exec_ ? exec_->thread_count() : 1;
+  }
+  [[nodiscard]] std::size_t tile_words() const noexcept {
+    return tile_words_;
   }
 
   /// Pins one heard-gather kernel for the fast path (debugging and
@@ -115,28 +144,55 @@ class engine {
   /// and std::logic_error when the automaton exposes no beep_machine()
   /// (no packed gather exists on the generic census path).
   void set_gather_kernel(graph::gather_kernel kernel);
+  /// The kernel the most recent fast-path gather actually ran
+  /// (auto_select when the generic census path is in use).
+  [[nodiscard]] graph::gather_kernel gather_kernel_used() const noexcept {
+    return gather_.has_value() ? gather_->last_used()
+                               : graph::gather_kernel::auto_select;
+  }
 
  private:
   void refresh_counters();
   void step_fast();
+  template <std::size_t P>
+  void step_plane_impl();
+  /// Packs states_ into the bit planes + the displayed-beep word (fast
+  /// path entry: construction, set_states, re-enable).
+  void pack_planes();
+  /// Unpacks the authoritative planes back into states_ (lazy).
+  void materialize() const;
 
   const graph::graph* g_;
   const automaton* machine_;
   std::uint32_t threshold_;
   // Set when the automaton exposes a compiled beeping machine
-  // (automaton::beep_machine): rounds then run table-driven through
-  // the same word-parallel heard-gather kernels as the beeping engine
-  // (graph::heard_gather - stencil / word-CSR push / packed pull),
-  // replacing the per-neighbor virtual display() and per-node
-  // transition() calls.
+  // (automaton::beep_machine): rounds then run table-driven and
+  // bit-sliced through the same word-parallel heard-gather kernels as
+  // the beeping engine (graph::heard_gather - stencil / word-CSR push
+  // / packed pull), replacing the per-neighbor virtual display() and
+  // per-node transition() calls.
   std::optional<beeping::machine_table> table_;
   bool fast_enabled_ = true;
   std::optional<graph::heard_gather> gather_;     // fast path only
   std::vector<std::uint64_t> beep_words_;   // fast path: packed displays
   std::vector<std::uint64_t> heard_words_;  // fast path: packed heard set
+  // Fast path: bit j of node u's state id lives in planes_[j]; the
+  // authoritative representation while plane_fresh_ (states_ is then a
+  // lazily-refreshed cache, valid iff states_valid_).
+  std::array<std::vector<std::uint64_t>, 6> planes_;
+  std::size_t plane_count_ = 0;
+  std::uint64_t tail_mask_ = ~0ULL;
+  bool planes_fresh_ = false;
+  mutable bool states_valid_ = true;
+  mutable std::uint64_t materializations_ = 0;
+  // Intra-trial tiling (set_parallelism); slot partials merged after
+  // each tiled sweep.
+  std::unique_ptr<support::tile_executor> exec_;
+  std::size_t tile_words_ = 0;
+  std::vector<std::size_t> slot_leaders_;
   std::vector<support::rng> rngs_;
-  std::vector<state_id> states_;
-  std::vector<state_id> next_states_;
+  mutable std::vector<state_id> states_;
+  std::vector<state_id> next_states_;  // generic path double buffer
   std::vector<std::uint32_t> census_;  // scratch: alphabet_size entries
   std::uint64_t round_ = 0;
   std::size_t leader_count_ = 0;

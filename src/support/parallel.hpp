@@ -15,12 +15,15 @@
 // the join barrier - never through shared mutable state.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace beepkit::support {
@@ -77,5 +80,90 @@ class thread_pool {
 /// any body raised.
 void parallel_for(std::size_t count, std::size_t threads,
                   const std::function<void(std::size_t)>& body);
+
+/// Persistent executor for intra-trial word-range tiling: the
+/// per-round engine kernels (stencil gather, word-CSR push merge,
+/// plane sweep, ripple-carry adds) are word-parallel, so a round is
+/// split into tiles of `tile_words` consecutive words and the tiles
+/// are claimed dynamically by a fixed set of workers.
+///
+/// Determinism contract: a tile body may write only to per-word state
+/// inside its [begin, end) range and to per-`slot` scratch owned by
+/// the caller; cross-tile results (sums, OR-folds, seam carries) are
+/// combined by the caller after run_tiles returns (which is a full
+/// barrier). Under that contract the tile size and worker count can
+/// never change a number - per-node generators are disjoint by
+/// construction (see the rng note above), so even drawing kernels stay
+/// draw-for-draw identical.
+///
+/// The workers persist across calls (a round is microseconds; spawning
+/// threads per round would dwarf the work). `threads == 1` never
+/// spawns anything and runs tiles inline, in order, on the caller.
+class tile_executor {
+ public:
+  /// `threads` is the total worker count including the calling thread
+  /// (0 = one per hardware thread). Slots 1..threads-1 are pool
+  /// workers; the calling thread participates as slot 0.
+  explicit tile_executor(std::size_t threads);
+  ~tile_executor();
+
+  tile_executor(const tile_executor&) = delete;
+  tile_executor& operator=(const tile_executor&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Invokes body(slot, begin, end) for consecutive word ranges
+  /// covering [0, words), each at most `tile_words` long
+  /// (tile_words == 0 splits the range evenly across the workers).
+  /// `slot` identifies the executing worker (stable within one call,
+  /// in [0, thread_count())), for per-slot scratch. Returns after all
+  /// tiles completed; rethrows the first exception a body raised.
+  template <typename F>
+  void run_tiles(std::size_t words, std::size_t tile_words, F&& body) {
+    run_impl(words, tile_words,
+             [](void* ctx, std::size_t slot, std::size_t begin,
+                std::size_t end) {
+               (*static_cast<std::remove_reference_t<F>*>(ctx))(slot, begin,
+                                                                end);
+             },
+             const_cast<void*>(static_cast<const void*>(&body)));
+  }
+
+ private:
+  using tile_fn = void (*)(void*, std::size_t, std::size_t, std::size_t);
+
+  void run_impl(std::size_t words, std::size_t tile_words, tile_fn fn,
+                void* ctx);
+  void worker_loop(std::size_t slot);
+  void drain(std::size_t slot, tile_fn fn, void* ctx, std::size_t words,
+             std::size_t tile_words);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  // Job descriptor for the current generation; written under mutex_
+  // before the wakeup, copied out under mutex_ by each worker.
+  tile_fn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::size_t job_words_ = 0;
+  std::size_t job_tile_words_ = 0;
+  std::uint64_t generation_ = 0;
+  std::size_t workers_pending_ = 0;
+  std::atomic<std::size_t> next_tile_{0};
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+/// One-shot convenience over tile_executor: body(slot, begin, end)
+/// over tiles of `tile_words` words covering [0, words), executed by
+/// `threads` workers (same contract as tile_executor::run_tiles).
+/// Spawns and joins its workers per call - engines hold a persistent
+/// tile_executor instead; this form serves tests and setup-time code.
+void parallel_for_words(
+    std::size_t words, std::size_t tile_words, std::size_t threads,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
 
 }  // namespace beepkit::support

@@ -76,13 +76,75 @@ json summary_to_json(const support::summary& s) {
 
 }  // namespace
 
+record_writer::~record_writer() { stop_writer(); }
+
 bool record_writer::open(const std::string& path) {
+  stop_writer();  // re-open: retire any previous writer thread first
+  if (out_.is_open()) out_.close();
+  out_.clear();  // a failed or closed stream must not poison the reopen
   out_.open(path, std::ios::out | std::ios::trunc);
-  return out_.is_open();
+  opened_ = out_.is_open();
+  if (!opened_) return false;
+  ok_.store(true, std::memory_order_release);
+  stopping_ = false;
+  writer_ = std::thread([this] { writer_loop(); });
+  return true;
+}
+
+// Producer-side backpressure bound: at very high trials/sec the queue
+// must not grow without limit if the disk cannot keep up.
+constexpr std::size_t max_queued_lines = 65536;
+
+void record_writer::enqueue(std::string line) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_drained_.wait(lock,
+                      [this] { return queue_.size() < max_queued_lines; });
+  queue_.push_back(std::move(line));
+  lock.unlock();
+  queue_ready_.notify_one();
+}
+
+void record_writer::writer_loop() {
+  std::vector<std::string> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      writer_busy_ = false;
+      if (queue_.empty()) queue_drained_.notify_all();
+      queue_ready_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      batch.swap(queue_);  // take the whole backlog in FIFO order
+      writer_busy_ = true;
+      queue_drained_.notify_all();  // producer may refill while we write
+    }
+    for (const std::string& line : batch) {
+      out_ << line << '\n';
+    }
+    if (!out_.good()) ok_.store(false, std::memory_order_release);
+    batch.clear();
+  }
+}
+
+void record_writer::drain() {
+  if (!writer_.joinable()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_drained_.wait(lock,
+                      [this] { return queue_.empty() && !writer_busy_; });
+}
+
+void record_writer::stop_writer() {
+  if (!writer_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_ready_.notify_all();
+  writer_.join();
 }
 
 void record_writer::write_line(const json& record) {
-  out_ << record.dump() << '\n';
+  enqueue(record.dump());
 }
 
 void record_writer::write_header(const std::string& sweep_name,
@@ -114,9 +176,11 @@ void record_writer::write_cell(const cell_record& cell) {
   }));
 }
 
-void record_writer::write_trial(const trial_record& trial,
-                                const cell_record& meta) {
-  write_line(json(json::object{
+namespace {
+
+json::object trial_object(const trial_record& trial,
+                          const cell_record& meta) {
+  return json::object{
       {"type", json("trial")},
       {"cell", json(trial.cell)},
       {"trial", json(trial.trial)},
@@ -130,7 +194,27 @@ void record_writer::write_trial(const trial_record& trial,
       {"converged", json(trial.converged)},
       {"coins", json(trial.coins)},
       {"leader", json(trial.leader)},
-  }));
+  };
+}
+
+}  // namespace
+
+void record_writer::write_trial(const trial_record& trial,
+                                const cell_record& meta) {
+  write_line(json(trial_object(trial, meta)));
+}
+
+void record_writer::write_trial(const trial_record& trial,
+                                const cell_record& meta,
+                                const trial_exec& exec) {
+  // The audit fields ride along as extra keys: parse_trial and the
+  // merge/resume readers extract fields by name and ignore the rest,
+  // so files with and without them mix freely.
+  json::object record = trial_object(trial, meta);
+  record.emplace_back("gather_kernel", json(exec.gather_kernel));
+  record.emplace_back("exec_threads", json(exec.threads));
+  record.emplace_back("exec_tile_words", json(exec.tile_words));
+  write_line(json(std::move(record)));
 }
 
 void record_writer::write_checkpoint(std::uint64_t units_done,
@@ -168,13 +252,24 @@ void record_writer::write_done(std::uint64_t units_run,
   flush();
 }
 
-void record_writer::flush() { out_.flush(); }
+void record_writer::flush() {
+  // Synchronous barrier: every record enqueued so far is written to
+  // the stream and the stream is flushed before this returns, so a
+  // caller checking healthy() right after sees the true disk state -
+  // exactly the error-surfacing contract of the unbuffered writer.
+  drain();
+  out_.flush();
+  if (!out_.good()) ok_.store(false, std::memory_order_release);
+}
 
 bool record_writer::close() {
+  drain();
+  stop_writer();
   out_.flush();
-  const bool ok = out_.good();
+  if (!out_.good()) ok_.store(false, std::memory_order_release);
   out_.close();
-  return ok;
+  opened_ = false;
+  return ok_.load(std::memory_order_acquire);
 }
 
 shard_file read_shard_file(const std::string& path) {

@@ -26,11 +26,15 @@
 // a crash actually lost).
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/experiment.hpp"
@@ -67,36 +71,81 @@ struct trial_record {
   friend bool operator==(const trial_record&, const trial_record&) = default;
 };
 
-/// Streams one shard's records to disk. Not thread-safe: the executor
-/// writes from the aggregation thread only, in global unit order.
-/// Always truncates: resumed runs rewrite the file (header + salvaged
-/// records) rather than appending, so output is always well-formed.
+/// Execution metadata for one trial record (Satellite audit trail):
+/// which heard-gather kernel the engine actually ran and the
+/// intra-trial tile/thread configuration. Serialized as extra JSON
+/// fields; readers ignore them, so old files and the merge/resume
+/// paths are unaffected.
+struct trial_exec {
+  std::string gather_kernel;
+  std::uint64_t threads = 1;
+  std::uint64_t tile_words = 0;
+};
+
+/// Streams one shard's records to disk through a buffered writer
+/// thread: the producer (the aggregation thread - this class is still
+/// single-producer) serializes records into an in-memory queue and a
+/// background thread performs the actual ofstream writes, so the
+/// serializer never stalls trial aggregation at high trials/sec. Error
+/// semantics are unchanged: flush() drains the queue synchronously and
+/// healthy() reflects every write that already hit the stream, so
+/// disk-full and quota failures still surface as errors at checkpoint
+/// boundaries, not silence. Always truncates: resumed runs rewrite the
+/// file (header + salvaged records) rather than appending, so output
+/// is always well-formed.
 class record_writer {
  public:
-  /// Opens (and truncates) `path`. Returns false when the file cannot
-  /// be opened.
+  record_writer() = default;
+  ~record_writer();
+
+  record_writer(const record_writer&) = delete;
+  record_writer& operator=(const record_writer&) = delete;
+
+  /// Opens (and truncates) `path` and starts the writer thread.
+  /// Returns false when the file cannot be opened.
   [[nodiscard]] bool open(const std::string& path);
-  [[nodiscard]] bool is_open() const noexcept { return out_.is_open(); }
+  [[nodiscard]] bool is_open() const noexcept { return opened_; }
 
   void write_header(const std::string& sweep_name, support::shard_spec shard,
                     std::uint64_t cell_count, std::uint64_t total_units);
   void write_cell(const cell_record& cell);
   void write_trial(const trial_record& trial, const cell_record& meta);
+  /// Same, with the execution audit fields appended.
+  void write_trial(const trial_record& trial, const cell_record& meta,
+                   const trial_exec& exec);
   void write_checkpoint(std::uint64_t units_done, std::uint64_t units_owned);
   void write_cell_summary(const analysis::trial_stats& stats,
                           std::uint64_t cell);
   void write_done(std::uint64_t units_run, std::uint64_t units_resumed);
+  /// Drains the queue (synchronous barrier) and flushes the stream.
   void flush();
 
   /// False once any write has failed (disk full, quota, ...); callers
-  /// check at flush points so losses surface as errors, not silence.
-  [[nodiscard]] bool healthy() const noexcept { return out_.good(); }
-  /// Flushes and closes; false when the final flush failed.
+  /// check after flush points so losses surface as errors, not
+  /// silence.
+  [[nodiscard]] bool healthy() const noexcept {
+    return ok_.load(std::memory_order_acquire);
+  }
+  /// Drains, flushes and closes; false when any write failed.
   [[nodiscard]] bool close();
 
  private:
   void write_line(const support::json& record);
-  std::ofstream out_;
+  void enqueue(std::string line);
+  void drain();        ///< Blocks until the queue is empty + written.
+  void stop_writer();  ///< Drains, then joins the writer thread.
+  void writer_loop();
+
+  std::ofstream out_;  // writer-thread-owned once the thread runs
+  bool opened_ = false;
+  std::thread writer_;
+  std::mutex mutex_;
+  std::condition_variable queue_ready_;
+  std::condition_variable queue_drained_;
+  std::vector<std::string> queue_;  // swapped out in batches, FIFO order
+  bool writer_busy_ = false;
+  bool stopping_ = false;
+  std::atomic<bool> ok_{true};
 };
 
 /// Fully parsed shard file (strict: the merge path). Throws

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "graph/gather.hpp"
 #include "support/parallel.hpp"
 #include "sweep/jsonl.hpp"
 
@@ -283,10 +284,16 @@ shard_result run(const spec& s, const options& opts) {
       } else {
         ++result.units_run;
         if (writer.is_open()) {
+          // Fresh trials carry the execution audit fields (gather
+          // kernel + tile/thread config); salvaged records predate the
+          // run and are re-emitted without them.
           writer.write_trial({p.u.cell, p.u.trial, p.u.global, p.u.seed,
                               p.outcome.rounds, p.outcome.converged,
                               p.outcome.total_coins, p.outcome.leader},
-                             meta[p.u.cell]);
+                             meta[p.u.cell],
+                             {graph::gather_kernel_name(p.outcome.gather_kernel),
+                              p.outcome.engine_threads,
+                              p.outcome.engine_tile_words});
         }
       }
       if (opts.on_trial) opts.on_trial(p.u, p.outcome);

@@ -196,6 +196,101 @@ TEST(GatherKernelTest, StencilRequiresTopologyTag) {
   sim.step();
 }
 
+// --- degenerate stencil shapes (word-boundary + geometry corners) ---
+
+TEST(DegenerateStencilTest, OneRowAndOneColumnGridsMatchReference) {
+  // 1xm and mx1 grids are paths in disguise (the generator retags
+  // them); the stencil must agree with the scalar reference at and
+  // across word boundaries.
+  const core::bfw_machine machine(0.5);
+  struct shape {
+    std::size_t rows, cols;
+  };
+  for (const shape s : {shape{1, 7}, shape{1, 64}, shape{1, 65},
+                        shape{9, 1}, shape{64, 1}, shape{127, 1}}) {
+    const auto g = graph::make_grid(s.rows, s.cols);
+    ASSERT_TRUE(g.topology_tag().has_value()) << g.name();
+    EXPECT_EQ(g.topology_tag()->shape, graph::topology::kind::path)
+        << g.name();
+    expect_kernel_matches_reference(g, machine, gather_kernel::stencil, 91,
+                                    100, {}, g.name());
+  }
+}
+
+TEST(DegenerateStencilTest, SmallRingsAndToriMatchReference) {
+  // n < 64: the whole topology lives in one word, so every wrap shift
+  // folds back into the word it came from.
+  const core::bfw_machine machine(0.5);
+  std::vector<graph_case> cases;
+  for (const std::size_t n : {3U, 4U, 5U, 63U}) {
+    cases.push_back({"ring" + std::to_string(n), graph::make_cycle(n)});
+  }
+  cases.push_back({"torus3x3", graph::make_torus(3, 3)});
+  cases.push_back({"torus3x4", graph::make_torus(3, 4)});
+  cases.push_back({"torus4x3", graph::make_torus(4, 3)});
+  cases.push_back({"torus3x7", graph::make_torus(3, 7)});
+  for (const auto& c : cases) {
+    for (const gather_kernel kernel : applicable_kernels(c.g)) {
+      expect_kernel_matches_reference(
+          c.g, machine, kernel, 17, 120, {},
+          c.label + "/kernel" + std::to_string(static_cast<int>(kernel)));
+    }
+  }
+}
+
+TEST(DegenerateStencilTest, SingleNodeAndTinyPaths) {
+  const core::bfw_machine machine(0.5);
+  for (const std::size_t n : {1U, 2U, 3U}) {
+    const auto g = graph::make_path(n);
+    for (const gather_kernel kernel : applicable_kernels(g)) {
+      expect_kernel_matches_reference(
+          g, machine, kernel, 5, 60, {},
+          g.name() + "/kernel" + std::to_string(static_cast<int>(kernel)));
+    }
+  }
+}
+
+TEST(DegenerateStencilTest, FailedPreconditionsFallBackToCsrCleanly) {
+  // Hand-tagged geometries the stencil cannot express must degrade to
+  // the adjacency kernels - not compute a wrong heard set, not throw
+  // on auto-selection.
+  struct bad_tag {
+    std::string label;
+    graph::graph g;
+    graph::topology tag;
+  };
+  std::vector<bad_tag> cases;
+  cases.push_back({"torus2x4", graph::make_grid(2, 4),
+                   {graph::topology::kind::torus, 2, 4}});
+  cases.push_back({"ring2", graph::make_path(2),
+                   {graph::topology::kind::ring, 1, 2}});
+  cases.push_back({"grid-wrong-size", graph::make_path(6),
+                   {graph::topology::kind::grid, 2, 4}});
+  cases.push_back({"path-multirow", graph::make_path(6),
+                   {graph::topology::kind::path, 2, 3}});
+  const core::bfw_machine machine(0.5);
+  for (auto& c : cases) {
+    c.g.set_topology_tag(c.tag);
+    graph::heard_gather gather(c.g);
+    EXPECT_FALSE(gather.stencil_available()) << c.label;
+    fsm_protocol proto(machine);
+    engine sim(c.g, proto, 9);
+    EXPECT_THROW(sim.set_gather_kernel(gather_kernel::stencil),
+                 std::invalid_argument)
+        << c.label;
+    // Auto-selection ignores the unusable tag and must stay exact
+    // (the CSR kernels read the true adjacency, not the tag).
+    fsm_protocol ref_proto(machine);
+    engine ref(c.g, ref_proto, 9);
+    for (int round = 0; round < 40; ++round) {
+      sim.step();
+      ref.step_reference();
+      ASSERT_EQ(proto.states(), ref_proto.states()) << c.label;
+    }
+    EXPECT_NE(sim.gather_kernel_used(), gather_kernel::stencil) << c.label;
+  }
+}
+
 TEST(GatherKernelTest, TaggedTopologiesAutoSelectStencil) {
   const core::bfw_machine machine(0.5);
   for (auto make :

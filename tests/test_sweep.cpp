@@ -417,6 +417,84 @@ TEST(SweepRunTest, WriteFailureIsReportedNotSwallowed) {
   EXPECT_THROW((void)sweep::run(fixture.spec(), opts), std::runtime_error);
 }
 
+TEST(BufferedWriterTest, ManyRecordsArriveCompleteAndInOrder) {
+  // The writer thread decouples serialization from disk writes; the
+  // file must still hold every record, in exactly the order the
+  // producer emitted them.
+  const std::string path = temp_path("buffered.jsonl");
+  constexpr std::uint64_t records = 20000;
+  {
+    sweep::record_writer writer;
+    ASSERT_TRUE(writer.open(path));
+    writer.write_header("buffered_test", {0, 1}, 1, records);
+    sweep::cell_record cell;
+    cell.cell = 0;
+    cell.algorithm = "bfw";
+    cell.graph = "path(4)";
+    cell.n = 4;
+    cell.trials = records;
+    writer.write_cell(cell);
+    for (std::uint64_t t = 0; t < records; ++t) {
+      writer.write_trial({0, t, t, t * 31, t % 97, true, t, 0}, cell,
+                         {"stencil", 8, 64});
+    }
+    writer.flush();
+    EXPECT_TRUE(writer.healthy());
+    ASSERT_TRUE(writer.close());
+  }
+  const auto file = sweep::read_shard_file(path);
+  ASSERT_EQ(file.trials.size(), records);
+  for (std::uint64_t t = 0; t < records; ++t) {
+    ASSERT_EQ(file.trials[t].trial, t) << "out of order at " << t;
+    ASSERT_EQ(file.trials[t].seed, t * 31);
+  }
+  // The audit fields ride along and readers ignore them, but they must
+  // actually be on disk.
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);  // cell
+  std::getline(in, line);  // first trial
+  EXPECT_NE(line.find("\"gather_kernel\":\"stencil\""), std::string::npos);
+  EXPECT_NE(line.find("\"exec_threads\":8"), std::string::npos);
+  EXPECT_NE(line.find("\"exec_tile_words\":64"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BufferedWriterTest, ReopenWithoutCloseTargetsTheNewFile) {
+  const std::string first = temp_path("reopen_a.jsonl");
+  const std::string second = temp_path("reopen_b.jsonl");
+  sweep::record_writer writer;
+  ASSERT_TRUE(writer.open(first));
+  writer.write_header("reopen_test", {0, 1}, 0, 0);
+  // Re-open without close(): the writer must retire the old stream and
+  // actually create the new file (a stale open stream would make
+  // ofstream::open fail and silently drop every subsequent record).
+  ASSERT_TRUE(writer.open(second));
+  writer.write_header("reopen_test_2", {0, 1}, 0, 0);
+  ASSERT_TRUE(writer.close());
+  std::ifstream in(second);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("reopen_test_2"), std::string::npos);
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
+TEST(BufferedWriterTest, FlushIsSynchronousErrorBarrier) {
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  sweep::record_writer writer;
+  ASSERT_TRUE(writer.open("/dev/full"));
+  writer.write_header("disk_full", {0, 1}, 0, 0);
+  // The failure must be visible right after the flush barrier - not
+  // swallowed by the buffer, not deferred to close().
+  writer.flush();
+  EXPECT_FALSE(writer.healthy());
+  EXPECT_FALSE(writer.close());
+}
+
 TEST(SweepMergeTest, OverlappingIdenticalRecordsAreTolerated) {
   const sweep_fixture fixture;
   const auto reference = fixture.reference();
