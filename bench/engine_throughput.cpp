@@ -4,15 +4,21 @@
 // is the "laptop-scale pure-algorithm build" sanity check: all paper
 // experiments run in seconds.
 //
-// Three columns per topology measure the dispatch tiers:
-//   * plain suites (BM_BfwOnPath, ...) - the devirtualized table-driven
-//     FSM fast path (default engine behaviour);
+// Four columns per topology measure the dispatch tiers:
+//   * plain suites (BM_BfwOnPath, ...) - the default engine behaviour,
+//     which now dispatches plane rounds to the beepc-compiled kernel
+//     (the label's kernel= component names it, with batch width and
+//     SIMD ISA);
+//   * *Interpreted suites - the interpreted plane gear
+//     (engine::set_compiled_kernel_enabled(false)), so the
+//     compiled/interpreted ratio is read straight off the report;
 //   * *Virtual suites - the packed sweeps with per-node virtual
 //     dispatch (engine::set_fast_path_enabled(false)), i.e. the
-//     pre-fast-path engine, so the fast/virtual ratio is read straight
-//     off the report;
+//     pre-fast-path engine;
 //   * *Reference suites - the original scalar byte-array step (kept as
 //     engine::step_reference).
+// BM_BfwOnGridCompiledWidth sweeps the kernel batch width (1/2/4/8
+// words per vector op) on one fixed instance.
 // The RunTrials suite measures the parallel Monte-Carlo runner's
 // trials-per-second scaling across worker counts.
 #include <benchmark/benchmark.h>
@@ -25,28 +31,45 @@
 #include "core/timeout_bfw.hpp"
 #include "graph/generators.hpp"
 #include "stoneage/stoneage.hpp"
+#include "support/simd.hpp"
 
 namespace {
 
 using namespace beepkit;
 
-// Audit label: which gather kernel the run actually used and the
-// tile/thread configuration it ran with, so a perf report line is
+// Audit label: which round kernel (beepc-compiled name, batch width and
+// SIMD ISA, or "interpreted") and gather kernel the run actually used,
+// plus the tile/thread configuration, so a perf report line is
 // self-describing (Satellite: auditable perf runs).
+std::string round_kernel_label(bool compiled_active,
+                               const std::string& compiled_name,
+                               std::size_t width) {
+  if (!compiled_active) return "interpreted";
+  return compiled_name + ":w" + std::to_string(width) + ":" +
+         support::simd::isa_name();
+}
+
 void set_exec_label(benchmark::State& state, const beeping::engine& sim) {
-  state.SetLabel("kernel=" + graph::gather_kernel_name(sim.gather_kernel_used()) +
-                 " threads=" + std::to_string(sim.parallel_threads()) +
-                 " tile=" + std::to_string(sim.tile_words()));
+  state.SetLabel(
+      "kernel=" + round_kernel_label(sim.compiled_kernel_active(),
+                                     sim.compiled_kernel_name(),
+                                     sim.compiled_width()) +
+      " gather=" + graph::gather_kernel_name(sim.gather_kernel_used()) +
+      " threads=" + std::to_string(sim.parallel_threads()) +
+      " tile=" + std::to_string(sim.tile_words()));
 }
 
 void run_bfw_rounds(benchmark::State& state, const graph::graph& g,
-                    std::size_t threads = 1, std::size_t tile_words = 0) {
+                    std::size_t threads = 1, std::size_t tile_words = 0,
+                    bool compiled = true, std::size_t width = 0) {
   const core::bfw_machine machine(0.5);
   beeping::fsm_protocol proto(machine);
   beeping::engine sim(g, proto, 42);
   if (threads != 1 || tile_words != 0) {
     sim.set_parallelism(threads, tile_words);
   }
+  if (!compiled) sim.set_compiled_kernel_enabled(false);
+  if (width != 0) sim.set_compiled_width(width);
   for (auto _ : state) {
     sim.step();
     benchmark::DoNotOptimize(sim.leader_count());
@@ -159,6 +182,45 @@ void BM_BfwOnCompleteReference(benchmark::State& state) {
 }
 BENCHMARK(BM_BfwOnCompleteReference)->Arg(64)->Arg(256)->Arg(1024);
 
+// The interpreted plane gear (compiled kernel off): the differential
+// reference the compiled rows are measured against.
+void BM_BfwOnPathInterpreted(benchmark::State& state) {
+  const auto g = graph::make_path(static_cast<std::size_t>(state.range(0)));
+  run_bfw_rounds(state, g, 1, 0, /*compiled=*/false);
+}
+BENCHMARK(BM_BfwOnPathInterpreted)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BfwOnGridInterpreted(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_grid(side, side);
+  run_bfw_rounds(state, g, 1, 0, /*compiled=*/false);
+}
+BENCHMARK(BM_BfwOnGridInterpreted)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BfwOnCompleteInterpreted(benchmark::State& state) {
+  const auto g =
+      graph::make_complete(static_cast<std::size_t>(state.range(0)));
+  run_bfw_rounds(state, g, 1, 0, /*compiled=*/false);
+}
+BENCHMARK(BM_BfwOnCompleteInterpreted)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BfwOnTreeInterpreted(benchmark::State& state) {
+  const auto g = graph::make_complete_binary_tree(
+      static_cast<std::size_t>(state.range(0)));
+  run_bfw_rounds(state, g, 1, 0, /*compiled=*/false);
+}
+BENCHMARK(BM_BfwOnTreeInterpreted)->Arg(256)->Arg(4096);
+
+// Kernel batch-width sweep on one fixed instance: w words per vector
+// op, so the width/ILP sweet spot of this machine is read off the
+// report (preferred_width() is what the plain rows use).
+void BM_BfwOnGridCompiledWidth(benchmark::State& state) {
+  const auto g = graph::make_grid(64, 64);
+  run_bfw_rounds(state, g, 1, 0, /*compiled=*/true,
+                 static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_BfwOnGridCompiledWidth)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_BfwOnRandomRegular(benchmark::State& state) {
   support::rng rng(7);
   const auto g = graph::make_random_regular(
@@ -201,17 +263,19 @@ BENCHMARK(BM_BfwOnTorusVirtual)->Arg(16)->Arg(64);
 // (ripple-carry over the planes). The *Virtual row is the per-node
 // dispatch reference.
 void run_timeout_bfw_rounds(benchmark::State& state, const graph::graph& g,
-                            bool fast) {
+                            bool fast, bool compiled = true) {
   const core::timeout_bfw_machine machine(0.5, 9);
   beeping::fsm_protocol proto(machine);
   beeping::engine sim(g, proto, 42);
   sim.set_fast_path_enabled(fast);
+  if (!compiled) sim.set_compiled_kernel_enabled(false);
   for (auto _ : state) {
     sim.step();
     benchmark::DoNotOptimize(sim.leader_count());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(g.node_count()));
+  if (fast) set_exec_label(state, sim);
 }
 
 void BM_TimeoutBfwT9OnGrid(benchmark::State& state) {
@@ -220,6 +284,13 @@ void BM_TimeoutBfwT9OnGrid(benchmark::State& state) {
   run_timeout_bfw_rounds(state, g, true);
 }
 BENCHMARK(BM_TimeoutBfwT9OnGrid)->Arg(16)->Arg(64);
+
+void BM_TimeoutBfwT9OnGridInterpreted(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_grid(side, side);
+  run_timeout_bfw_rounds(state, g, true, /*compiled=*/false);
+}
+BENCHMARK(BM_TimeoutBfwT9OnGridInterpreted)->Arg(16)->Arg(64);
 
 void BM_TimeoutBfwT9OnGridVirtual(benchmark::State& state) {
   const auto side = static_cast<std::size_t>(state.range(0));
@@ -258,11 +329,11 @@ void BM_BfwOnGridXLTiled(benchmark::State& state) {
 }
 BENCHMARK(BM_BfwOnGridXLTiled)->Arg(2)->Arg(8)->UseRealTime();
 
-void BM_StoneAgeOnGrid(benchmark::State& state) {
-  const auto side = static_cast<std::size_t>(state.range(0));
-  const auto g = graph::make_grid(side, side);
+void run_stoneage_rounds(benchmark::State& state, const graph::graph& g,
+                         bool compiled) {
   const core::bfw_stone_automaton automaton(0.5);
   stoneage::engine sim(g, automaton, 1, 42);
+  if (!compiled) sim.set_compiled_kernel_enabled(false);
   for (auto _ : state) {
     sim.step();
     benchmark::DoNotOptimize(sim.leader_count());
@@ -270,11 +341,27 @@ void BM_StoneAgeOnGrid(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(g.node_count()));
   state.SetLabel(
-      "kernel=" + graph::gather_kernel_name(sim.gather_kernel_used()) +
+      "kernel=" + round_kernel_label(sim.compiled_kernel_active(),
+                                     sim.compiled_kernel_name(),
+                                     sim.compiled_width()) +
+      " gather=" + graph::gather_kernel_name(sim.gather_kernel_used()) +
       " threads=" + std::to_string(sim.parallel_threads()) +
       " tile=" + std::to_string(sim.tile_words()));
 }
+
+void BM_StoneAgeOnGrid(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_grid(side, side);
+  run_stoneage_rounds(state, g, /*compiled=*/true);
+}
 BENCHMARK(BM_StoneAgeOnGrid)->Arg(16)->Arg(64);
+
+void BM_StoneAgeOnGridInterpreted(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_grid(side, side);
+  run_stoneage_rounds(state, g, /*compiled=*/false);
+}
+BENCHMARK(BM_StoneAgeOnGridInterpreted)->Arg(16)->Arg(64);
 
 void BM_StoneAgeOnGridVirtual(benchmark::State& state) {
   const auto side = static_cast<std::size_t>(state.range(0));

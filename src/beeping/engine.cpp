@@ -91,6 +91,11 @@ engine::engine(const graph::graph& g, protocol& proto, std::uint64_t seed,
     }
     leader_words_.assign(word_count(n), 0);
     analyze_plane_plan();
+    // beepc kernel dispatch: a registered kernel whose baked-in
+    // structure matches this table takes over the plane rounds
+    // (stochastic rows stay runtime data, so e.g. the one bfw kernel
+    // serves every p).
+    compiled_kernel_ = find_compiled_kernel(*table_);
   }
   tail_mask_ = (n % 64 == 0) ? ~0ULL : ((1ULL << (n % 64)) - 1);
   if (plane_capable_) {
@@ -204,6 +209,20 @@ void engine::refresh_round_state() {
       }
       leader_count_ += table.leader_flag[s];
       if (table.bot_identity[s] == 0) set_bit(active_words_, u);
+    }
+  } else if (fsm_ != nullptr) {
+    // Virtual gear on an FSM protocol (fast path disabled or the
+    // machine did not compile): states are fresh (see above), so read
+    // the flags through the machine directly instead of paying the
+    // per-call guard in fsm_protocol::beeping/is_leader.
+    const state_machine& machine = fsm_->machine();
+    const state_id* const states = fsm_->raw_states().data();
+    for (graph::node_id u = 0; u < n; ++u) {
+      if (machine.beeps(states[u])) {
+        ++beep_counts_[u];
+        set_bit(beep_words_, u);
+      }
+      if (machine.is_leader(states[u])) ++leader_count_;
     }
   } else {
     for (graph::node_id u = 0; u < n; ++u) {
@@ -446,8 +465,23 @@ void engine::notify_round_observers() {
 // heard_words_ to hold the delta_top set for the current round.
 void engine::finish_step() {
   const std::size_t n = g_->node_count();
-  for (graph::node_id u = 0; u < n; ++u) {
-    proto_->step(u, test_bit(heard_words_, u), rngs_[u]);
+  if (fsm_ != nullptr) {
+    // Guard-free virtual gear: fsm_protocol::step re-checks the
+    // lazy-state guard on every call (~10-15% of a reference round);
+    // one freshness check up front buys the whole sweep, which then
+    // runs the same per-node virtual delta calls on the raw vector.
+    fsm_->ensure_states_fresh();
+    const state_machine& machine = fsm_->machine();
+    state_id* const states = fsm_->raw_states().data();
+    for (graph::node_id u = 0; u < n; ++u) {
+      states[u] = test_bit(heard_words_, u)
+                      ? machine.delta_top(states[u], rngs_[u])
+                      : machine.delta_bot(states[u], rngs_[u]);
+    }
+  } else {
+    for (graph::node_id u = 0; u < n; ++u) {
+      proto_->step(u, test_bit(heard_words_, u), rngs_[u]);
+    }
   }
   ++round_;
   refresh_round_state();
@@ -534,6 +568,9 @@ void engine::finish_step_fast() {
 // registers (a runtime plane count costs ~40% on wave-saturated
 // rounds).
 void engine::finish_step_plane() {
+  if (compiled_kernel_ != nullptr && compiled_enabled_) {
+    return finish_step_plane_compiled();
+  }
   switch (plane_count_) {
     case 1:
       return finish_step_plane_impl<1>();
@@ -789,6 +826,80 @@ void engine::finish_step_plane_impl() {
   // the authority moves back with one unpack here (the active set is
   // maintained in plane rounds, so no rebuild is needed on the way
   // out).
+  if (active_next * 8 < n) {
+    plane_mode_ = false;
+    fsm_->ensure_states_fresh();
+  }
+  notify_round_observers();
+}
+
+void engine::set_compiled_width(std::size_t width) {
+  if (width != 1 && width != 2 && width != 4 && width != 8) {
+    throw std::invalid_argument(
+        "beeping::engine::set_compiled_width: width must be 1, 2, 4 or 8");
+  }
+  compiled_width_ = width;
+}
+
+// The beepc-compiled plane round: same tiling, bookkeeping and epilogue
+// as finish_step_plane_impl, with the per-word sweep delegated to the
+// matched kernel's width-selected entry point. Required bit-identical
+// to the interpreted sweep (the differential tests enforce it per
+// width).
+void engine::finish_step_plane_compiled() {
+  const std::size_t n = g_->node_count();
+  const std::size_t words = heard_words_.size();
+  std::uint64_t* plane_ptrs[6] = {};
+  for (std::size_t j = 0; j < plane_count_; ++j) {
+    plane_ptrs[j] = planes_[j].data();
+  }
+  std::uint64_t* ledger_ptrs[8];
+  for (std::size_t j = 0; j < 8; ++j) ledger_ptrs[j] = ledger_planes_[j].data();
+  plane_ctx ctx;
+  ctx.heard = heard_words_.data();
+  ctx.beep = beep_words_.data();
+  ctx.active = active_words_.data();
+  ctx.leader = leader_words_.data();
+  ctx.planes = plane_ptrs;
+  ctx.ledger = ledger_ptrs;
+  ctx.rngs = rngs_.data();
+  ctx.rules = table_->rules.data();
+  ctx.tail_mask = tail_mask_;
+  ctx.words = words;
+  const sweep_fn sweep =
+      compiled_kernel_->sweep[kernel_width_slot(compiled_width_)];
+  beep_flags_valid_ = false;
+  std::fill(slot_leaders_.begin(), slot_leaders_.end(), 0);
+  std::fill(slot_active_.begin(), slot_active_.end(), 0);
+  const auto sweep_range = [&](std::size_t slot, std::size_t wb,
+                               std::size_t we) {
+    const sweep_result part = sweep(ctx, slot_dirty_[slot].data(), wb, we);
+    slot_leaders_[slot] += part.leaders;
+    slot_active_[slot] += part.active;
+  };
+  if (exec_) {
+    exec_->run_tiles(words, tile_words_, sweep_range);
+  } else {
+    sweep_range(0, 0, words);
+  }
+  std::size_t leaders = 0;
+  std::size_t active_next = 0;
+  for (std::size_t s = 0; s < slot_leaders_.size(); ++s) {
+    leaders += slot_leaders_[s];
+    active_next += slot_active_[s];
+  }
+  for (auto& dirty : slot_dirty_) {
+    for (std::size_t d = 0; d < dirty.size(); ++d) {
+      dirty_ledger_words_[d] |= dirty[d];
+      dirty[d] = 0;
+    }
+  }
+  leader_count_ = leaders;
+  fsm_->mark_states_stale();
+  ++round_;
+  ++plane_rounds_;
+  ++compiled_rounds_;
+  if (++pending_rounds_ >= 254) flush_pending_ledger();
   if (active_next * 8 < n) {
     plane_mode_ = false;
     fsm_->ensure_states_fresh();

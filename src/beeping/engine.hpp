@@ -95,11 +95,13 @@
 #include <vector>
 
 #include "beeping/observer.hpp"
+#include "beeping/plane_kernel.hpp"
 #include "beeping/protocol.hpp"
 #include "graph/gather.hpp"
 #include "graph/graph.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 
 namespace beepkit::beeping {
 
@@ -289,6 +291,36 @@ class engine : private fsm_protocol::lazy_source {
     return plane_rounds_;
   }
 
+  /// Disables (or re-enables) the beepc-compiled round kernel; plane
+  /// rounds then run the interpreted sweep. Toggling never changes a
+  /// number - compiled kernels are draw-for-draw bit-identical to the
+  /// interpreted gear - only the speed.
+  void set_compiled_kernel_enabled(bool enabled) noexcept {
+    compiled_enabled_ = enabled;
+  }
+  /// True iff plane rounds currently dispatch to a compiled kernel: the
+  /// bound table's structure matched a registered kernel and the kernel
+  /// has not been disabled.
+  [[nodiscard]] bool compiled_kernel_active() const noexcept {
+    return compiled_kernel_ != nullptr && compiled_enabled_;
+  }
+  /// Name of the matched compiled kernel ("" when none matched).
+  [[nodiscard]] std::string compiled_kernel_name() const {
+    return compiled_kernel_ != nullptr ? compiled_kernel_->name
+                                       : std::string{};
+  }
+  /// Pins the kernel batch width (words per vector op; 1, 2, 4 or 8 -
+  /// std::invalid_argument otherwise). Default:
+  /// support::simd::preferred_width(). Purely a throughput knob.
+  void set_compiled_width(std::size_t width);
+  [[nodiscard]] std::size_t compiled_width() const noexcept {
+    return compiled_width_;
+  }
+  /// Plane rounds executed through a compiled kernel so far.
+  [[nodiscard]] std::uint64_t compiled_rounds() const noexcept {
+    return compiled_rounds_;
+  }
+
  private:
   void refresh_round_state();
   void ensure_beep_flags() const;
@@ -298,6 +330,7 @@ class engine : private fsm_protocol::lazy_source {
   void finish_step_plane();
   template <std::size_t P>
   void finish_step_plane_impl();
+  void finish_step_plane_compiled();
   void enter_plane_mode();
   void analyze_plane_plan();
   /// fsm_protocol::lazy_source: unpacks the authoritative planes into
@@ -388,6 +421,13 @@ class engine : private fsm_protocol::lazy_source {
   bool plane_capable_ = false;
   bool plane_mode_ = false;
   std::uint64_t plane_rounds_ = 0;
+  // Bind-time structure match against the beepc kernel registry;
+  // nullptr = no compiled kernel for this machine (interpreted gear
+  // only). The registry owns the descriptor; addresses are stable.
+  const compiled_kernel* compiled_kernel_ = nullptr;
+  bool compiled_enabled_ = true;
+  std::size_t compiled_width_ = support::simd::preferred_width();
+  std::uint64_t compiled_rounds_ = 0;
   std::uint64_t tail_mask_ = ~0ULL;  // valid bits of the last word
   // Beep-ledger sidecar: plane rounds bank the per-node +1s as
   // bit-sliced vertical counters - ledger_planes_[j] holds bit j of

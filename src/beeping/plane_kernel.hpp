@@ -1,0 +1,133 @@
+// Compiled round-kernel registry: the dispatch point between the
+// engine's interpreted plane gear and the ahead-of-time kernels
+// emitted by tools/beepc.
+//
+// A compiled kernel is the plane sweep of ONE protocol structure with
+// everything the interpreted gear reads from machine_table at runtime -
+// state count, plane count, per-state decode targets, beep/leader/
+// identity meta, patience-chain layout - baked in as constexpr
+// (src/beeping/compiled_sweep.hpp instantiates the template per
+// structure and SIMD width). Kernels are matched at engine bind time by
+// *structure*, not by protocol instance: serialize_table_structure()
+// captures exactly what the kernel bakes in and classifies every
+// stochastic row uniformly (the kernel applies draws through the
+// runtime rule table, so one BFW kernel serves every p, coin or
+// bernoulli). The interpreted gear stays as the differential reference;
+// a kernel is required to be draw-for-draw bit-identical to it.
+//
+// Registration is explicit: beepc emits one factory function per
+// kernel plus a manifest TU whose ensure_builtin_kernels_registered()
+// calls them all - static initializers would be dead-stripped out of
+// the static library, an explicit call chain cannot be.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "beeping/protocol.hpp"
+#include "support/rng.hpp"
+
+namespace beepkit::beeping {
+
+/// Everything a compiled sweep reads or writes, borrowed from the
+/// engine for the duration of one round. Pointers are word arrays
+/// (word w covers nodes [64w, 64w+63]); `planes`/`ledger` are arrays
+/// of plane pointers. Display-mode sweeps (the stone-age engine) leave
+/// `active`, `leader` and `ledger` null.
+struct plane_ctx {
+  const std::uint64_t* heard = nullptr;
+  std::uint64_t* beep = nullptr;
+  std::uint64_t* active = nullptr;
+  std::uint64_t* leader = nullptr;
+  std::uint64_t* const* planes = nullptr;
+  std::uint64_t* const* ledger = nullptr;
+  support::rng* rngs = nullptr;
+  /// machine_table::rules.data() of the bound table: stochastic rows
+  /// are applied per node through this, so the kernel structure stays
+  /// independent of p / coin-vs-bernoulli.
+  const transition_rule* rules = nullptr;
+  std::uint64_t tail_mask = ~0ULL;
+  std::size_t words = 0;
+};
+
+/// Per-tile partial results, folded by the caller (order-independent).
+struct sweep_result {
+  std::size_t leaders = 0;
+  std::size_t active = 0;
+};
+
+/// Full-mode sweep over words [wb, we): the beeping engine's plane
+/// round (chains, active set, leader words, beep ledger + `dirty`
+/// slot-scratch marking). Tiles may run concurrently on disjoint
+/// ranges.
+using sweep_fn = sweep_result (*)(const plane_ctx&, std::uint64_t* dirty,
+                                  std::size_t wb, std::size_t we);
+/// Display-mode sweep (the stone-age engine): planes + heard ->
+/// planes + beep + leader count, no active/leader/ledger upkeep.
+using display_sweep_fn = sweep_result (*)(const plane_ctx&, std::size_t wb,
+                                          std::size_t we);
+
+/// Width variants a kernel carries: W words per vector op.
+inline constexpr std::size_t kernel_widths[] = {1, 2, 4, 8};
+inline constexpr std::size_t kernel_width_slots = 4;
+[[nodiscard]] constexpr std::size_t kernel_width_slot(
+    std::size_t width) noexcept {
+  return width == 8 ? 3 : width == 4 ? 2 : width == 2 ? 1 : 0;
+}
+
+// Constexpr record types the generated Traits blocks are built from
+// (see compiled_sweep.hpp for how the sweep consumes them).
+/// One compiled transition row: a deterministic successor, or a
+/// reference (`draw`) into the kernel's stochastic-slot list.
+struct kernel_rule {
+  bool stochastic = false;
+  state_id next = 0;     ///< successor when !stochastic
+  std::uint8_t draw = 0; ///< index into Traits::draw_slots otherwise
+};
+/// One bit-sliced-counter run (mirrors engine::plane_chain).
+struct kernel_chain {
+  state_id first = 0;
+  state_id last = 0;
+  state_id top_next = 0;
+  std::uint8_t meta = 0;
+};
+
+/// One registered kernel: the structure it serves plus its sweep
+/// entry points, indexed by kernel_width_slot().
+struct compiled_kernel {
+  std::string name;       ///< beepc kernel name (bench/test labels)
+  std::string structure;  ///< serialize_table_structure() of the source
+  std::size_t state_count = 0;
+  std::size_t plane_count = 0;
+  sweep_fn sweep[kernel_width_slots] = {};
+  display_sweep_fn display[kernel_width_slots] = {};
+};
+
+/// Canonical structural form of a compiled table: state count, per-state
+/// meta byte, and both transition rows - deterministic rows with their
+/// successor, stochastic rows classified uniformly as "r" (their
+/// successors and parameter are runtime data the kernel reads through
+/// plane_ctx::rules). Two tables with equal strings are served by the
+/// same kernel, bit for bit.
+[[nodiscard]] std::string serialize_table_structure(const machine_table& table);
+
+/// Registers a kernel (later registrations of an equal structure win;
+/// beepc never emits duplicates).
+void register_compiled_kernel(const compiled_kernel& kernel);
+
+/// Bind-time lookup: the kernel whose structure matches `table`, or
+/// nullptr (interpreted gear only). Triggers builtin registration.
+[[nodiscard]] const compiled_kernel* find_compiled_kernel(
+    const machine_table& table);
+
+/// All registered kernels, registration order (tools/tests).
+[[nodiscard]] std::vector<const compiled_kernel*> list_compiled_kernels();
+
+/// Defined by the beepc-generated manifest
+/// (src/beeping/kernels/manifest.gen.cpp): registers every checked-in
+/// generated kernel exactly once. Safe to call repeatedly.
+void ensure_builtin_kernels_registered();
+
+}  // namespace beepkit::beeping

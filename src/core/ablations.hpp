@@ -9,46 +9,32 @@
 // leaders self-destruct and the population can reach zero leaders,
 // violating the paper's Lemma 9. Tests and the ablation bench
 // demonstrate exactly this failure.
+//
+// The transition structure lives in `bw_spec` (core/protocol_spec.hpp);
+// this class interprets it through `spec_machine` - the ablation must
+// fail at full speed too, so the spec compiles to the same fast-path
+// table shape as BFW's.
 #pragma once
 
 #include <string>
 
 #include "beeping/protocol.hpp"
+#include "core/protocol_spec.hpp"
 
 namespace beepkit::core {
 
 /// Four-state broken variant: {W•, B•, W◦, B◦}, no frozen phase.
-class bw_machine final : public beeping::state_machine {
+class bw_machine final : public spec_machine {
  public:
-  explicit bw_machine(double p);
+  /// Throws std::invalid_argument unless 0 < p < 1.
+  explicit bw_machine(double p) : spec_machine(bw_spec(p)), p_(p) {}
 
   static constexpr beeping::state_id leader_wait = 0;
   static constexpr beeping::state_id leader_beep = 1;
   static constexpr beeping::state_id follower_wait = 2;
   static constexpr beeping::state_id follower_beep = 3;
 
-  [[nodiscard]] std::size_t state_count() const override { return 4; }
-  [[nodiscard]] beeping::state_id initial_state() const override {
-    return leader_wait;
-  }
-  [[nodiscard]] bool beeps(beeping::state_id state) const override {
-    return state == leader_beep || state == follower_beep;
-  }
-  [[nodiscard]] bool is_leader(beeping::state_id state) const override {
-    return state == leader_wait || state == leader_beep;
-  }
-  [[nodiscard]] beeping::state_id delta_top(beeping::state_id state,
-                                            support::rng& rng) const override;
-  [[nodiscard]] beeping::state_id delta_bot(beeping::state_id state,
-                                            support::rng& rng) const override;
-  [[nodiscard]] std::string state_name(beeping::state_id state) const override;
-  [[nodiscard]] std::string name() const override;
-
-  /// Compiled form for the engine fast path (the ablation must fail at
-  /// full speed too): delta_bot(W•) draws rng::bernoulli(p), everything
-  /// else is deterministic.
-  [[nodiscard]] std::optional<beeping::machine_table> compile_table()
-      const override;
+  [[nodiscard]] double p() const noexcept { return p_; }
 
  private:
   double p_;

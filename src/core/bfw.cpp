@@ -1,120 +1,6 @@
 #include "core/bfw.hpp"
 
-#include <array>
-#include <sstream>
-#include <stdexcept>
-
 namespace beepkit::core {
-
-namespace {
-
-constexpr beeping::state_id id(bfw_state s) noexcept {
-  return static_cast<beeping::state_id>(s);
-}
-
-}  // namespace
-
-bfw_machine::bfw_machine(double p) : p_(p), fair_coin_(p == 0.5) {
-  if (!(p > 0.0 && p < 1.0)) {
-    throw std::invalid_argument("bfw_machine: p must lie in (0, 1)");
-  }
-}
-
-beeping::state_id bfw_machine::delta_top(beeping::state_id state,
-                                         support::rng& /*rng*/) const {
-  switch (static_cast<bfw_state>(state)) {
-    case bfw_state::leader_wait:
-      // Elimination: a non-frozen leader that hears a beep becomes a
-      // non-leader and beeps in the next round.
-      return id(bfw_state::follower_beep);
-    case bfw_state::leader_beep:
-      return id(bfw_state::leader_frozen);
-    case bfw_state::leader_frozen:
-      // Frozen nodes do not react to their environment.
-      return id(bfw_state::leader_wait);
-    case bfw_state::follower_wait:
-      return id(bfw_state::follower_beep);
-    case bfw_state::follower_beep:
-      return id(bfw_state::follower_frozen);
-    case bfw_state::follower_frozen:
-      return id(bfw_state::follower_wait);
-  }
-  throw std::invalid_argument("bfw_machine::delta_top: invalid state");
-}
-
-beeping::state_id bfw_machine::delta_bot(beeping::state_id state,
-                                         support::rng& rng) const {
-  switch (static_cast<bfw_state>(state)) {
-    case bfw_state::leader_wait: {
-      const bool fire = fair_coin_ ? rng.coin() : rng.bernoulli(p_);
-      return fire ? id(bfw_state::leader_beep) : id(bfw_state::leader_wait);
-    }
-    case bfw_state::leader_beep:
-      // Unreachable by the model (a beeping node always takes
-      // delta_top), but defined for totality.
-      return id(bfw_state::leader_frozen);
-    case bfw_state::leader_frozen:
-      return id(bfw_state::leader_wait);
-    case bfw_state::follower_wait:
-      return id(bfw_state::follower_wait);
-    case bfw_state::follower_beep:
-      return id(bfw_state::follower_frozen);
-    case bfw_state::follower_frozen:
-      return id(bfw_state::follower_wait);
-  }
-  throw std::invalid_argument("bfw_machine::delta_bot: invalid state");
-}
-
-std::optional<beeping::machine_table> bfw_machine::compile_table() const {
-  using rule = beeping::transition_rule;
-  const auto WL = id(bfw_state::leader_wait);
-  const auto BL = id(bfw_state::leader_beep);
-  const auto FL = id(bfw_state::leader_frozen);
-  const auto WF = id(bfw_state::follower_wait);
-  const auto BF = id(bfw_state::follower_beep);
-  const auto FF = id(bfw_state::follower_frozen);
-  const std::array<rule, bfw_state_count> top = {
-      rule::det(BF),  // W•: eliminated, beeps once as a follower
-      rule::det(FL),  // B• -> F•
-      rule::det(WL),  // F• -> W• (frozen nodes ignore the environment)
-      rule::det(BF),  // W◦: relays the wave
-      rule::det(FF),  // B◦ -> F◦
-      rule::det(WF),  // F◦ -> W◦
-  };
-  const std::array<rule, bfw_state_count> bot = {
-      fair_coin_ ? rule::fair_coin(BL, WL) : rule::bernoulli_draw(p_, BL, WL),
-      rule::det(FL),  // unreachable (beeping nodes take delta_top)
-      rule::det(WL),
-      rule::det(WF),  // W◦ under silence: the draw-free self-loop
-      rule::det(FF),  // unreachable
-      rule::det(WF),
-  };
-  return beeping::build_machine_table(*this, bot, top);
-}
-
-std::string bfw_machine::state_name(beeping::state_id state) const {
-  switch (static_cast<bfw_state>(state)) {
-    case bfw_state::leader_wait:
-      return "W*";
-    case bfw_state::leader_beep:
-      return "B*";
-    case bfw_state::leader_frozen:
-      return "F*";
-    case bfw_state::follower_wait:
-      return "Wo";
-    case bfw_state::follower_beep:
-      return "Bo";
-    case bfw_state::follower_frozen:
-      return "Fo";
-  }
-  return "?";
-}
-
-std::string bfw_machine::name() const {
-  std::ostringstream out;
-  out << "BFW(p=" << p_ << ")";
-  return out.str();
-}
 
 bfw_machine make_known_diameter_bfw(std::uint32_t diameter) {
   return bfw_machine(1.0 / (static_cast<double>(diameter) + 1.0));

@@ -16,11 +16,16 @@
 // is Q_beep = {B•, B◦}. With p = 1/2 the coin in delta_bot(W•) is drawn
 // through rng::coin(), so the "one fair random bit per round" accounting
 // of Section 1.3 is measurable.
+//
+// The transition structure lives in `bfw_spec` (core/protocol_spec.hpp);
+// this class is the spec interpreted through `spec_machine`, kept as a
+// named type for its enum, accessors and call sites.
 #pragma once
 
 #include <string>
 
 #include "beeping/protocol.hpp"
+#include "core/protocol_spec.hpp"
 
 namespace beepkit::core {
 
@@ -57,43 +62,19 @@ inline constexpr std::size_t bfw_state_count = 6;
 /// BFW as the paper's probabilistic state machine. Uniform: `p` is a
 /// constant in (0, 1) independent of the network (Theorem 2 uses any
 /// such constant; Theorem 3 instantiates p = 1/(D+1), which is
-/// non-uniform but uses the identical machine).
-class bfw_machine final : public beeping::state_machine {
+/// non-uniform but uses the identical machine). The machine is
+/// spec-driven: construction builds `bfw_spec(p)` and interprets it,
+/// so delta_bot(W•) draws the Figure-1 coin exactly as documented
+/// there (rng::coin() when p = 1/2, rng::bernoulli(p) otherwise).
+class bfw_machine final : public spec_machine {
  public:
   /// Throws std::invalid_argument unless 0 < p < 1.
-  explicit bfw_machine(double p);
-
-  [[nodiscard]] std::size_t state_count() const override {
-    return bfw_state_count;
-  }
-  [[nodiscard]] beeping::state_id initial_state() const override {
-    return static_cast<beeping::state_id>(bfw_state::leader_wait);
-  }
-  [[nodiscard]] bool beeps(beeping::state_id state) const override {
-    return bfw_is_beeping(state);
-  }
-  [[nodiscard]] bool is_leader(beeping::state_id state) const override {
-    return bfw_is_leader_state(state);
-  }
-  [[nodiscard]] beeping::state_id delta_top(beeping::state_id state,
-                                            support::rng& rng) const override;
-  [[nodiscard]] beeping::state_id delta_bot(beeping::state_id state,
-                                            support::rng& rng) const override;
-  [[nodiscard]] std::string state_name(beeping::state_id state) const override;
-  [[nodiscard]] std::string name() const override;
-
-  /// Flat compiled form for the engine's devirtualized round sweep:
-  /// every row is deterministic except delta_bot(W•), which draws the
-  /// Figure-1 coin exactly as the virtual path does (rng::coin() when
-  /// p = 1/2, rng::bernoulli(p) otherwise).
-  [[nodiscard]] std::optional<beeping::machine_table> compile_table()
-      const override;
+  explicit bfw_machine(double p) : spec_machine(bfw_spec(p)), p_(p) {}
 
   [[nodiscard]] double p() const noexcept { return p_; }
 
  private:
   double p_;
-  bool fair_coin_;  // p == 1/2: draw via rng::coin() for bit accounting
 };
 
 /// Theorem 3 instantiation: BFW with p = 1/(D+1) for known diameter D

@@ -14,14 +14,15 @@ std::uint64_t default_horizon(const graph::graph& g, std::uint32_t diameter) {
 
 namespace {
 
-election_outcome run_engine(const graph::graph& g, beeping::protocol& proto,
-                            std::uint64_t seed, std::uint64_t max_rounds,
-                            const engine_exec& exec) {
-  beeping::engine sim(g, proto, seed);
-  if (exec.threads != 1 || exec.tile_words != 0) {
-    sim.set_parallelism(exec.threads, exec.tile_words);
-  }
-  return finish_election(sim, sim.run_until_single_leader(max_rounds));
+std::uint64_t resolve_horizon(const graph::graph& g,
+                              const election_options& options) {
+  if (options.max_rounds.has_value()) return *options.max_rounds;
+  const std::uint32_t diameter =
+      options.diameter != 0
+          ? options.diameter
+          : static_cast<std::uint32_t>(
+                std::max<std::size_t>(1, g.node_count()));
+  return default_horizon(g, diameter);
 }
 
 }  // namespace
@@ -45,6 +46,33 @@ election_outcome finish_election(beeping::engine& sim,
   return outcome;
 }
 
+election_outcome run_election(const graph::graph& g,
+                              const beeping::state_machine& machine,
+                              std::uint64_t seed,
+                              const election_options& options) {
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, seed, options.noise);
+  if (options.exec.threads != 1 || options.exec.tile_words != 0) {
+    sim.set_parallelism(options.exec.threads, options.exec.tile_words);
+  }
+  if (!options.fast_path) sim.set_fast_path_enabled(false);
+  if (!options.compiled_kernel) sim.set_compiled_kernel_enabled(false);
+  if (options.compiled_width != 0) sim.set_compiled_width(options.compiled_width);
+  if (!options.initial.empty()) {
+    proto.set_states(options.initial);
+    sim.restart_from_protocol();
+  }
+  return finish_election(
+      sim, sim.run_until_single_leader(resolve_horizon(g, options)));
+}
+
+election_outcome run_election(const graph::graph& g, const protocol_spec& spec,
+                              std::uint64_t seed,
+                              const election_options& options) {
+  const std::unique_ptr<spec_machine> machine = make_protocol(spec);
+  return run_election(g, *machine, seed, options);
+}
+
 election_outcome run_bfw_election(const graph::graph& g, double p,
                                   std::uint64_t seed,
                                   std::uint64_t max_rounds,
@@ -58,8 +86,10 @@ election_outcome run_fsm_election(const graph::graph& g,
                                   std::uint64_t seed,
                                   std::uint64_t max_rounds,
                                   const engine_exec& exec) {
-  beeping::fsm_protocol proto(machine);
-  return run_engine(g, proto, seed, max_rounds, exec);
+  election_options options;
+  options.max_rounds = max_rounds;
+  options.exec = exec;
+  return run_election(g, machine, seed, options);
 }
 
 election_outcome run_bfw_election_from(const graph::graph& g, double p,
@@ -68,14 +98,11 @@ election_outcome run_bfw_election_from(const graph::graph& g, double p,
                                        std::uint64_t max_rounds,
                                        const engine_exec& exec) {
   const bfw_machine machine(p);
-  beeping::fsm_protocol proto(machine);
-  beeping::engine sim(g, proto, seed);
-  if (exec.threads != 1 || exec.tile_words != 0) {
-    sim.set_parallelism(exec.threads, exec.tile_words);
-  }
-  proto.set_states(std::move(initial));
-  sim.restart_from_protocol();
-  return finish_election(sim, sim.run_until_single_leader(max_rounds));
+  election_options options;
+  options.max_rounds = max_rounds;
+  options.exec = exec;
+  options.initial = std::move(initial);
+  return run_election(g, machine, seed, options);
 }
 
 std::vector<double> convergence_rounds(const graph::graph& g,

@@ -11,6 +11,7 @@
 
 #include "beeping/engine.hpp"
 #include "core/bfw.hpp"
+#include "core/protocol_spec.hpp"
 #include "graph/graph.hpp"
 
 namespace beepkit::core {
@@ -54,6 +55,48 @@ struct election_outcome {
 /// multiple of the Theorem-2 bound D^2 log n (never tight in practice).
 [[nodiscard]] std::uint64_t default_horizon(const graph::graph& g,
                                             std::uint32_t diameter);
+
+/// Everything one election trial can be configured with, replacing the
+/// defaulted-parameter sprawl the individual runners had grown
+/// (max_rounds / exec / noise / initial states as positional tails).
+/// Aggregate-initialize only what differs from a plain run:
+///
+///   run_election(g, machine, seed, {.max_rounds = 10'000});
+///   run_election(g, spec, seed, {.noise = {.miss = 0.01}});
+struct election_options {
+  /// Stop horizon; unset derives default_horizon(g, diameter). An
+  /// explicit value is literal - 0 means "stop before the first round".
+  std::optional<std::uint64_t> max_rounds;
+  /// Diameter (or an upper bound) used only to derive the horizon when
+  /// max_rounds == 0; 0 falls back to node count (always an upper
+  /// bound for connected graphs).
+  std::uint32_t diameter = 0;
+  engine_exec exec;              ///< tiled-parallelism knobs
+  beeping::noise_model noise;    ///< reception noise (off by default)
+  bool fast_path = true;         ///< false = force the virtual gear
+  bool compiled_kernel = true;   ///< false = force the interpreted sweep
+  /// Kernel batch width override (1/2/4/8); 0 keeps the engine default
+  /// (support::simd::preferred_width()).
+  std::size_t compiled_width = 0;
+  /// Explicit initial configuration (Section-5 experiments); empty =
+  /// the machine's initial state everywhere. Must hold valid state ids.
+  std::vector<beeping::state_id> initial;
+};
+
+/// The one election runner: any state machine, all knobs in `options`.
+[[nodiscard]] election_outcome run_election(
+    const graph::graph& g, const beeping::state_machine& machine,
+    std::uint64_t seed, const election_options& options = {});
+
+/// Spec form of the same: builds the machine via make_protocol, so a
+/// protocol defined only as JSON runs end-to-end with no recompilation.
+[[nodiscard]] election_outcome run_election(
+    const graph::graph& g, const protocol_spec& spec, std::uint64_t seed,
+    const election_options& options = {});
+
+// ---- legacy entry points ---------------------------------------------
+// Thin shims over run_election, kept so no caller breaks; new code
+// should pass election_options directly.
 
 /// Runs BFW with parameter `p` from the all-W• initial configuration.
 [[nodiscard]] election_outcome run_bfw_election(

@@ -1,127 +1,6 @@
 #include "core/timeout_bfw.hpp"
 
-#include <sstream>
-#include <stdexcept>
-
 namespace beepkit::core {
-
-timeout_bfw_machine::timeout_bfw_machine(double p, std::uint32_t timeout)
-    : p_(p), timeout_(timeout) {
-  if (!(p > 0.0 && p < 1.0)) {
-    throw std::invalid_argument("timeout_bfw_machine: p must lie in (0, 1)");
-  }
-  if (timeout == 0) {
-    throw std::invalid_argument("timeout_bfw_machine: timeout must be >= 1");
-  }
-}
-
-beeping::state_id timeout_bfw_machine::delta_top(beeping::state_id state,
-                                                 support::rng& /*rng*/) const {
-  switch (state) {
-    case leader_wait:
-      return follower_beep;  // eliminated, relays once
-    case leader_beep:
-      return leader_frozen;
-    case leader_frozen:
-      return leader_wait;
-    case follower_beep:
-      return follower_frozen;
-    case follower_frozen:
-      return follower_wait_base;  // patience restarts at 0
-    default:
-      break;
-  }
-  if (state >= follower_wait_base && state < state_count()) {
-    return follower_beep;  // relay; patience resets through Fo -> Wo(0)
-  }
-  throw std::invalid_argument("timeout_bfw_machine::delta_top: bad state");
-}
-
-beeping::state_id timeout_bfw_machine::delta_bot(beeping::state_id state,
-                                                 support::rng& rng) const {
-  switch (state) {
-    case leader_wait:
-      return rng.bernoulli(p_) ? leader_beep : leader_wait;
-    case leader_beep:
-      return leader_frozen;  // unreachable (beeping nodes take delta_top)
-    case leader_frozen:
-      return leader_wait;
-    case follower_beep:
-      return follower_frozen;  // unreachable
-    case follower_frozen:
-      return follower_wait_base;
-    default:
-      break;
-  }
-  if (state >= follower_wait_base && state < state_count()) {
-    const std::uint32_t patience =
-        static_cast<std::uint32_t>(state - follower_wait_base);
-    if (patience + 1 >= timeout_) {
-      return leader_wait;  // timed out: self-promotion
-    }
-    return static_cast<beeping::state_id>(state + 1);
-  }
-  throw std::invalid_argument("timeout_bfw_machine::delta_bot: bad state");
-}
-
-std::optional<beeping::machine_table> timeout_bfw_machine::compile_table()
-    const {
-  using rule = beeping::transition_rule;
-  const std::size_t n = state_count();
-  std::vector<rule> top(n);
-  std::vector<rule> bot(n);
-  top[leader_wait] = rule::det(follower_beep);
-  top[leader_beep] = rule::det(leader_frozen);
-  top[leader_frozen] = rule::det(leader_wait);
-  top[follower_beep] = rule::det(follower_frozen);
-  top[follower_frozen] = rule::det(follower_wait_base);
-  bot[leader_wait] = rule::bernoulli_draw(p_, leader_beep, leader_wait);
-  bot[leader_beep] = rule::det(leader_frozen);  // unreachable
-  bot[leader_frozen] = rule::det(leader_wait);
-  bot[follower_beep] = rule::det(follower_frozen);  // unreachable
-  bot[follower_frozen] = rule::det(follower_wait_base);
-  for (std::size_t s = follower_wait_base; s < n; ++s) {
-    const std::uint32_t patience =
-        static_cast<std::uint32_t>(s - follower_wait_base);
-    top[s] = rule::det(follower_beep);
-    bot[s] = rule::det(patience + 1 >= timeout_
-                           ? leader_wait
-                           : static_cast<beeping::state_id>(s + 1));
-  }
-  return beeping::build_machine_table(*this, bot, top);
-}
-
-std::string timeout_bfw_machine::state_name(beeping::state_id state) const {
-  switch (state) {
-    case leader_wait:
-      return "W*";
-    case leader_beep:
-      return "B*";
-    case leader_frozen:
-      return "F*";
-    case follower_beep:
-      return "Bo";
-    case follower_frozen:
-      return "Fo";
-    default:
-      break;
-  }
-  if (state >= follower_wait_base && state < state_count()) {
-    return "Wo(" + std::to_string(state - follower_wait_base) + ")";
-  }
-  return "?";
-}
-
-std::string timeout_bfw_machine::name() const {
-  std::ostringstream out;
-  out << "TimeoutBFW(p=" << p_ << ",T=" << timeout_ << ")";
-  return out.str();
-}
-
-std::vector<beeping::state_id> timeout_bfw_machine::dead_configuration(
-    std::size_t node_count) const {
-  return std::vector<beeping::state_id>(node_count, follower_wait_base);
-}
 
 void stabilization_probe::observe(std::uint64_t round,
                                   std::size_t leader_count) noexcept {

@@ -27,19 +27,31 @@
 //   - leader count is no longer monotone: spurious timeouts re-create
 //     leaders, so "eventual" election becomes "single leader in all
 //     but a vanishing fraction of rounds" (quantified in the bench).
+//
+// The transition structure lives in `timeout_bfw_spec`
+// (core/protocol_spec.hpp), whose patience chain compiles to an
+// increment run (delta_bot is "state + 1" with a uniform delta_top)
+// that the engine's plane gear ticks as a bit-sliced ripple-carry
+// counter, 64 followers per word op, for any T up to the 64-state
+// plane cap (T <= 59).
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "beeping/protocol.hpp"
+#include "core/protocol_spec.hpp"
 
 namespace beepkit::core {
 
-class timeout_bfw_machine final : public beeping::state_machine {
+class timeout_bfw_machine final : public spec_machine {
  public:
   /// `p` as in BFW; `timeout` = T >= 1 silent rounds before a waiting
-  /// follower promotes itself.
-  timeout_bfw_machine(double p, std::uint32_t timeout);
+  /// follower promotes itself. Throws std::invalid_argument otherwise.
+  timeout_bfw_machine(double p, std::uint32_t timeout)
+      : spec_machine(timeout_bfw_spec(p, timeout)),
+        p_(p),
+        timeout_(timeout) {}
 
   // State ids: 0 = W•, 1 = B•, 2 = F•, 3 = B◦, 4 = F◦,
   //            5 + k = W◦ with patience k (k = 0..T-1).
@@ -50,45 +62,15 @@ class timeout_bfw_machine final : public beeping::state_machine {
   static constexpr beeping::state_id follower_frozen = 4;
   static constexpr beeping::state_id follower_wait_base = 5;
 
-  [[nodiscard]] std::size_t state_count() const override {
-    return follower_wait_base + timeout_;
-  }
-  [[nodiscard]] beeping::state_id initial_state() const override {
-    return leader_wait;
-  }
-  [[nodiscard]] bool beeps(beeping::state_id state) const override {
-    return state == leader_beep || state == follower_beep;
-  }
-  [[nodiscard]] bool is_leader(beeping::state_id state) const override {
-    return state <= leader_frozen;
-  }
-  [[nodiscard]] beeping::state_id delta_top(beeping::state_id state,
-                                            support::rng& rng) const override;
-  [[nodiscard]] beeping::state_id delta_bot(beeping::state_id state,
-                                            support::rng& rng) const override;
-  [[nodiscard]] std::string state_name(beeping::state_id state) const override;
-  [[nodiscard]] std::string name() const override;
-
-  /// Compiled form for the engine fast path: only delta_bot(W•) draws
-  /// (rng::bernoulli(p), matching the virtual path); the patience
-  /// counter states are deterministic rows. Note W◦(k) is NOT a bot
-  /// self-loop - patience ticks every silent round - so the sparse
-  /// sweep would visit every waiting follower, unlike plain BFW. The
-  /// W◦(0..T-1) rows compile to an increment chain (delta_bot is
-  /// "state + 1" with a uniform delta_top), which the engine's plane
-  /// gear detects and runs as a bit-sliced counter: one ripple-carry
-  /// add over the state planes ticks 64 followers per word op, for any
-  /// T up to the 64-state plane cap (T <= 59).
-  [[nodiscard]] std::optional<beeping::machine_table> compile_table()
-      const override;
-
   [[nodiscard]] double p() const noexcept { return p_; }
   [[nodiscard]] std::uint32_t timeout() const noexcept { return timeout_; }
 
   /// The all-followers "dead network" configuration (zero leaders,
   /// full patience ahead) used by the recovery experiments.
   [[nodiscard]] std::vector<beeping::state_id> dead_configuration(
-      std::size_t node_count) const;
+      std::size_t node_count) const {
+    return std::vector<beeping::state_id>(node_count, follower_wait_base);
+  }
 
  private:
   double p_;

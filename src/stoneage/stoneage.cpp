@@ -67,6 +67,10 @@ engine::engine(const graph::graph& g, const automaton& machine,
         planes_[j].assign((n + 63) / 64, 0);
       }
       pack_planes();
+      // beepc dispatch: a registered kernel matching this table's
+      // structure runs the fast-path rounds through its display-mode
+      // sweep entry points.
+      compiled_kernel_ = beeping::find_compiled_kernel(*table_);
     }
   }
   tail_mask_ = (n % 64 == 0) ? ~0ULL : ((1ULL << (n % 64)) - 1);
@@ -99,15 +103,14 @@ void engine::materialize() const {
   if (states_valid_) return;
   states_valid_ = true;
   ++materializations_;
-  const std::size_t n = g_->node_count();
-  for (std::size_t u = 0; u < n; ++u) {
-    state_id s = 0;
-    for (std::size_t j = 0; j < plane_count_; ++j) {
-      s |= static_cast<state_id>(((planes_[j][u >> 6] >> (u & 63)) & 1U)
-                                 << j);
-    }
-    states_[u] = s;
+  // SWAR bit-to-u16 transpose (support::simd), replacing the old
+  // per-node bit-gather loop - same unpack the beeping engine uses.
+  const std::uint64_t* plane_ptrs[6] = {};
+  for (std::size_t j = 0; j < plane_count_; ++j) {
+    plane_ptrs[j] = planes_[j].data();
   }
+  support::simd::transpose_planes_to_u16(plane_ptrs, plane_count_,
+                                         g_->node_count(), states_.data());
 }
 
 void engine::set_fast_path_enabled(bool enabled) {
@@ -200,6 +203,11 @@ void engine::step() {
 void engine::step_fast() {
   std::copy(beep_words_.begin(), beep_words_.end(), heard_words_.begin());
   (*gather_)(beep_words_, heard_words_);
+  if (compiled_kernel_ != nullptr && compiled_enabled_) {
+    step_compiled();
+    ++round_;
+    return;
+  }
   switch (plane_count_) {
     case 1:
       step_plane_impl<1>();
@@ -329,6 +337,52 @@ void engine::step_plane_impl() {
   std::size_t leaders = 0;
   for (const std::size_t part : slot_leaders_) leaders += part;
   leader_count_ = leaders;
+  states_valid_ = false;  // planes authoritative; unpack on read
+  planes_fresh_ = true;
+}
+
+void engine::set_compiled_width(std::size_t width) {
+  if (width != 1 && width != 2 && width != 4 && width != 8) {
+    throw std::invalid_argument(
+        "stoneage::engine::set_compiled_width: width must be 1, 2, 4 or 8");
+  }
+  compiled_width_ = width;
+}
+
+// The beepc-compiled fast-path round: the kernel's display-mode sweep
+// (planes + beep word + leader count; no active set or ledger exists in
+// this engine) over the same tiling as step_plane_impl, required
+// bit-identical to it.
+void engine::step_compiled() {
+  const std::size_t words = heard_words_.size();
+  std::uint64_t* plane_ptrs[6] = {};
+  for (std::size_t j = 0; j < plane_count_; ++j) {
+    plane_ptrs[j] = planes_[j].data();
+  }
+  beeping::plane_ctx ctx;
+  ctx.heard = heard_words_.data();
+  ctx.beep = beep_words_.data();
+  ctx.planes = plane_ptrs;
+  ctx.rngs = rngs_.data();
+  ctx.rules = table_->rules.data();
+  ctx.tail_mask = tail_mask_;
+  ctx.words = words;
+  const beeping::display_sweep_fn sweep =
+      compiled_kernel_->display[beeping::kernel_width_slot(compiled_width_)];
+  std::fill(slot_leaders_.begin(), slot_leaders_.end(), 0);
+  const auto sweep_range = [&](std::size_t slot, std::size_t wb,
+                               std::size_t we) {
+    slot_leaders_[slot] += sweep(ctx, wb, we).leaders;
+  };
+  if (exec_) {
+    exec_->run_tiles(words, tile_words_, sweep_range);
+  } else {
+    sweep_range(0, 0, words);
+  }
+  std::size_t leaders = 0;
+  for (const std::size_t part : slot_leaders_) leaders += part;
+  leader_count_ = leaders;
+  ++compiled_rounds_;
   states_valid_ = false;  // planes authoritative; unpack on read
   planes_fresh_ = true;
 }

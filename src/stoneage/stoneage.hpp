@@ -19,11 +19,13 @@
 #include <string>
 #include <vector>
 
+#include "beeping/plane_kernel.hpp"
 #include "beeping/protocol.hpp"
 #include "graph/gather.hpp"
 #include "graph/graph.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 
 namespace beepkit::stoneage {
 
@@ -138,6 +140,32 @@ class engine {
     return tile_words_;
   }
 
+  /// Disables (or re-enables) the beepc-compiled round kernel; the
+  /// fast path then runs the interpreted plane sweep. Bit-identical
+  /// either way (the compiled kernels' standing contract).
+  void set_compiled_kernel_enabled(bool enabled) noexcept {
+    compiled_enabled_ = enabled;
+  }
+  /// True iff fast-path rounds dispatch to a compiled display kernel.
+  [[nodiscard]] bool compiled_kernel_active() const noexcept {
+    return compiled_kernel_ != nullptr && compiled_enabled_;
+  }
+  /// Name of the matched compiled kernel ("" when none matched).
+  [[nodiscard]] std::string compiled_kernel_name() const {
+    return compiled_kernel_ != nullptr ? compiled_kernel_->name
+                                       : std::string{};
+  }
+  /// Pins the kernel batch width (1, 2, 4 or 8 words per vector op;
+  /// std::invalid_argument otherwise). Purely a throughput knob.
+  void set_compiled_width(std::size_t width);
+  [[nodiscard]] std::size_t compiled_width() const noexcept {
+    return compiled_width_;
+  }
+  /// Fast-path rounds executed through a compiled kernel so far.
+  [[nodiscard]] std::uint64_t compiled_rounds() const noexcept {
+    return compiled_rounds_;
+  }
+
   /// Pins one heard-gather kernel for the fast path (debugging and
   /// differential tests; kernels never change results). Throws
   /// std::invalid_argument when the kernel cannot serve this graph,
@@ -156,6 +184,7 @@ class engine {
   void step_fast();
   template <std::size_t P>
   void step_plane_impl();
+  void step_compiled();
   /// Packs states_ into the bit planes + the displayed-beep word (fast
   /// path entry: construction, set_states, re-enable).
   void pack_planes();
@@ -173,6 +202,12 @@ class engine {
   // per-node transition() calls.
   std::optional<beeping::machine_table> table_;
   bool fast_enabled_ = true;
+  // beepc display kernel matched at bind time (display mode: planes +
+  // beep word + leader count, no active/ledger upkeep).
+  const beeping::compiled_kernel* compiled_kernel_ = nullptr;
+  bool compiled_enabled_ = true;
+  std::size_t compiled_width_ = support::simd::preferred_width();
+  std::uint64_t compiled_rounds_ = 0;
   std::optional<graph::heard_gather> gather_;     // fast path only
   std::vector<std::uint64_t> beep_words_;   // fast path: packed displays
   std::vector<std::uint64_t> heard_words_;  // fast path: packed heard set

@@ -1,0 +1,361 @@
+// Differential tests for the beepc-compiled round kernels: a compiled
+// sweep is required to be draw-for-draw bit-identical to the
+// interpreted plane gear (and hence to the virtual reference) on every
+// (kernel, SIMD width, graph, seed, noise) combination - same state
+// trajectories, same leader counts, same beep ledgers, same generator
+// draws. Word-boundary sizes {63, 64, 65, 128} exercise the batch
+// tails; widths {1, 2, 4, 8} cover every wordvec instantiation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "beeping/engine.hpp"
+#include "beeping/plane_kernel.hpp"
+#include "core/ablations.hpp"
+#include "core/adversarial.hpp"
+#include "core/bfw.hpp"
+#include "core/bfw_stoneage.hpp"
+#include "core/timeout_bfw.hpp"
+#include "graph/generators.hpp"
+#include "stoneage/stoneage.hpp"
+
+namespace beepkit {
+namespace {
+
+using beeping::engine;
+using beeping::fsm_protocol;
+using beeping::noise_model;
+using beeping::state_id;
+
+constexpr std::size_t kernel_widths[] = {1, 2, 4, 8};
+
+struct graph_case {
+  std::string label;
+  graph::graph g;
+};
+
+std::vector<graph_case> word_boundary_graphs() {
+  std::vector<graph_case> cases;
+  for (const std::size_t n : {63U, 64U, 65U, 128U}) {
+    cases.push_back({"path" + std::to_string(n), graph::make_path(n)});
+    cases.push_back({"tree" + std::to_string(n),
+                     graph::make_complete_binary_tree(n)});
+    cases.push_back({"complete" + std::to_string(n), graph::make_complete(n)});
+  }
+  return cases;
+}
+
+/// Runs `rounds` rounds on two engines over the same machine and seed -
+/// one dispatching to the compiled kernel at `width`, one pinned to the
+/// interpreted plane gear - and compares the full trace plus the next
+/// raw draw of every per-node generator.
+void expect_compiled_matches_interpreted(const graph::graph& g,
+                                         const beeping::state_machine& machine,
+                                         std::uint64_t seed, int rounds,
+                                         const noise_model& noise,
+                                         std::size_t width,
+                                         const std::string& label) {
+  fsm_protocol compiled_proto(machine);
+  fsm_protocol ref_proto(machine);
+  engine compiled(g, compiled_proto, seed, noise);
+  engine ref(g, ref_proto, seed, noise);
+  ASSERT_TRUE(compiled.compiled_kernel_active()) << label;
+  compiled.set_compiled_width(width);
+  ref.set_compiled_kernel_enabled(false);
+  ASSERT_FALSE(ref.compiled_kernel_active()) << label;
+  for (int round = 0; round < rounds; ++round) {
+    compiled.step();
+    ref.step();
+    ASSERT_EQ(compiled_proto.states(), ref_proto.states())
+        << label << " w=" << width << " diverged at round " << round;
+    ASSERT_EQ(compiled.leader_count(), ref.leader_count())
+        << label << " w=" << width;
+  }
+  ASSERT_GT(compiled.compiled_rounds(), 0U) << label;
+  EXPECT_EQ(ref.compiled_rounds(), 0U) << label;
+  for (graph::node_id u = 0; u < g.node_count(); ++u) {
+    ASSERT_EQ(compiled.beep_count(u), ref.beep_count(u))
+        << label << " ledger mismatch at node " << u;
+  }
+  EXPECT_EQ(compiled.total_coins_consumed(), ref.total_coins_consumed())
+      << label;
+  for (graph::node_id u = 0; u < g.node_count(); ++u) {
+    ASSERT_EQ(compiled.node_rng(u).next_u64(), ref.node_rng(u).next_u64())
+        << label << " generator diverged at node " << u;
+  }
+}
+
+TEST(CompiledKernelDifferentialTest, BfwAllWidthsAllGraphs) {
+  const core::bfw_machine machine(0.5);
+  for (const std::size_t width : kernel_widths) {
+    for (const auto& c : word_boundary_graphs()) {
+      expect_compiled_matches_interpreted(c.g, machine, 1234, 250, {}, width,
+                                          c.label);
+    }
+  }
+}
+
+TEST(CompiledKernelDifferentialTest, BfwBernoulliMatchesThroughRuleTable) {
+  // p != 1/2 swaps the coin rule for bernoulli; the kernel structure is
+  // unchanged (stochastic rows are runtime data), so the same compiled
+  // kernel must serve it bit for bit.
+  const core::bfw_machine machine(0.3);
+  for (const std::size_t width : kernel_widths) {
+    expect_compiled_matches_interpreted(graph::make_path(65), machine, 99, 250,
+                                        {}, width, "path65");
+    expect_compiled_matches_interpreted(graph::make_grid(8, 16), machine, 99,
+                                        250, {}, width, "grid8x16");
+  }
+}
+
+TEST(CompiledKernelDifferentialTest, BfwWithReceptionNoise) {
+  const core::bfw_machine machine(0.5);
+  const noise_model noise{0.1, 0.05};
+  for (const std::size_t width : kernel_widths) {
+    for (const auto& c : word_boundary_graphs()) {
+      expect_compiled_matches_interpreted(c.g, machine, 7, 200, noise, width,
+                                          c.label);
+    }
+  }
+}
+
+TEST(CompiledKernelDifferentialTest, TimeoutBfwPatienceChain) {
+  // T = 9 is the checked-in chain kernel (14 states, 4 planes); the
+  // bit-sliced ripple-carry tick must match the interpreted chain.
+  const core::timeout_bfw_machine machine(0.5, 9);
+  for (const std::size_t width : kernel_widths) {
+    for (const auto& c : word_boundary_graphs()) {
+      expect_compiled_matches_interpreted(c.g, machine, 5, 250, {}, width,
+                                          c.label);
+    }
+  }
+}
+
+TEST(CompiledKernelDifferentialTest, BwAblationExtinction) {
+  const core::bw_machine machine(0.5);
+  for (const std::size_t width : kernel_widths) {
+    for (const auto& c : word_boundary_graphs()) {
+      expect_compiled_matches_interpreted(c.g, machine, 31, 250, {}, width,
+                                          c.label);
+    }
+  }
+}
+
+TEST(CompiledKernelDifferentialTest, MatchesVirtualReferenceDirectly) {
+  // Close the triangle: compiled against the virtual-dispatch gear, not
+  // just against the interpreted plane sweep.
+  const core::bfw_machine machine(0.5);
+  const auto g = graph::make_grid(8, 16);
+  fsm_protocol compiled_proto(machine);
+  fsm_protocol virtual_proto(machine);
+  engine compiled(g, compiled_proto, 17);
+  engine ref(g, virtual_proto, 17);
+  ref.set_fast_path_enabled(false);
+  ASSERT_TRUE(compiled.compiled_kernel_active());
+  for (int round = 0; round < 300; ++round) {
+    compiled.step();
+    ref.step();
+    ASSERT_EQ(compiled_proto.states(), virtual_proto.states())
+        << "diverged at round " << round;
+  }
+  EXPECT_EQ(compiled.total_coins_consumed(), ref.total_coins_consumed());
+}
+
+TEST(CompiledKernelDifferentialTest, AdversarialInjectionsMatch) {
+  // Section-5 configurations injected mid-run on both gears.
+  const core::bfw_machine machine(0.5);
+  struct injection {
+    std::string label;
+    graph::graph g;
+    std::vector<state_id> states;
+  };
+  std::vector<injection> cases;
+  cases.push_back({"two-leaders-path128", graph::make_path(128),
+                   core::two_leaders_at_path_ends(128)});
+  cases.push_back({"leaderless-wave-cycle64", graph::make_cycle(64),
+                   core::leaderless_wave_on_cycle(64)});
+  support::rng seeder(3);
+  cases.push_back({"random-leaders-grid8x8", graph::make_grid(8, 8),
+                   core::random_leader_configuration(64, 5, seeder)});
+  for (const std::size_t width : kernel_widths) {
+    for (auto& c : cases) {
+      fsm_protocol compiled_proto(machine);
+      fsm_protocol ref_proto(machine);
+      engine compiled(c.g, compiled_proto, 11);
+      engine ref(c.g, ref_proto, 11);
+      compiled.set_compiled_width(width);
+      ref.set_compiled_kernel_enabled(false);
+      compiled.run_rounds(50);
+      ref.run_rounds(50);
+      compiled_proto.set_states(c.states);
+      ref_proto.set_states(c.states);
+      compiled.restart_from_protocol();
+      ref.restart_from_protocol();
+      for (int round = 0; round < 250; ++round) {
+        compiled.step();
+        ref.step();
+        ASSERT_EQ(compiled_proto.states(), ref_proto.states())
+            << c.label << " w=" << width << " diverged at round " << round;
+        ASSERT_EQ(compiled.leader_count(), ref.leader_count()) << c.label;
+      }
+      for (graph::node_id u = 0; u < c.g.node_count(); ++u) {
+        ASSERT_EQ(compiled.beep_count(u), ref.beep_count(u)) << c.label;
+      }
+    }
+  }
+}
+
+TEST(CompiledKernelDifferentialTest, ToggleMidRunNeverChangesNumbers) {
+  const core::bfw_machine machine(0.5);
+  const auto g = graph::make_grid(8, 16);
+  fsm_protocol toggling_proto(machine);
+  fsm_protocol steady_proto(machine);
+  engine toggling(g, toggling_proto, 77);
+  engine steady(g, steady_proto, 77);
+  for (int round = 0; round < 300; ++round) {
+    toggling.set_compiled_kernel_enabled(round % 3 != 0);
+    toggling.step();
+    steady.step();
+    ASSERT_EQ(toggling_proto.states(), steady_proto.states())
+        << "diverged at round " << round;
+  }
+  EXPECT_EQ(toggling.total_coins_consumed(), steady.total_coins_consumed());
+}
+
+TEST(CompiledKernelDifferentialTest, TiledParallelismStaysBitIdentical) {
+  // Compiled sweeps tile exactly like the interpreted gear: every
+  // (threads, tile_words) point is bit-identical to serial.
+  const core::bfw_machine machine(0.5);
+  const auto g = graph::make_grid(16, 16);
+  fsm_protocol serial_proto(machine);
+  engine serial(g, serial_proto, 5);
+  serial.run_rounds(300);
+  for (const std::size_t threads : {2U, 3U}) {
+    for (const std::size_t tile_words : {0U, 1U}) {
+      fsm_protocol tiled_proto(machine);
+      engine tiled(g, tiled_proto, 5);
+      tiled.set_parallelism(threads, tile_words);
+      tiled.run_rounds(300);
+      ASSERT_EQ(tiled_proto.states(), serial_proto.states())
+          << "threads=" << threads << " tile_words=" << tile_words;
+      ASSERT_EQ(tiled.leader_count(), serial.leader_count());
+    }
+  }
+}
+
+// --- Stone-age engine: compiled display kernels ---
+
+TEST(StoneAgeCompiledKernelTest, MatchesInterpretedAllWidths) {
+  const core::bfw_stone_automaton automaton(0.5);
+  for (const std::size_t width : kernel_widths) {
+    for (const std::size_t n : {63U, 64U, 65U, 128U}) {
+      const auto g = graph::make_path(n);
+      stoneage::engine compiled(g, automaton, 1, 21);
+      stoneage::engine ref(g, automaton, 1, 21);
+      ASSERT_TRUE(compiled.compiled_kernel_active());
+      compiled.set_compiled_width(width);
+      ref.set_compiled_kernel_enabled(false);
+      ASSERT_FALSE(ref.compiled_kernel_active());
+      for (int round = 0; round < 250; ++round) {
+        compiled.step();
+        ref.step();
+        ASSERT_EQ(compiled.states(), ref.states())
+            << "n=" << n << " w=" << width << " diverged at round " << round;
+        ASSERT_EQ(compiled.leader_count(), ref.leader_count()) << "n=" << n;
+      }
+      ASSERT_GT(compiled.compiled_rounds(), 0U);
+      EXPECT_EQ(ref.compiled_rounds(), 0U);
+    }
+  }
+}
+
+TEST(StoneAgeCompiledKernelTest, MatchesGenericVirtualPath) {
+  const core::bfw_stone_automaton automaton(0.5);
+  const auto g = graph::make_grid(8, 8);
+  stoneage::engine compiled(g, automaton, 1, 5);
+  stoneage::engine ref(g, automaton, 1, 5);
+  ref.set_fast_path_enabled(false);
+  ASSERT_TRUE(compiled.compiled_kernel_active());
+  for (int round = 0; round < 200; ++round) {
+    compiled.step();
+    ref.step();
+    ASSERT_EQ(compiled.states(), ref.states()) << "diverged at round " << round;
+  }
+}
+
+// --- Registry and engine introspection ---
+
+TEST(KernelRegistryTest, BuiltinKernelsRegistered) {
+  const auto kernels = beeping::list_compiled_kernels();
+  ASSERT_GE(kernels.size(), 3U);
+  std::vector<std::string> names;
+  names.reserve(kernels.size());
+  for (const auto* k : kernels) names.push_back(k->name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "bfw"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "timeout_bfw_t9"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "bw"), names.end());
+  for (const auto* k : kernels) {
+    for (std::size_t slot = 0; slot < beeping::kernel_width_slots; ++slot) {
+      EXPECT_NE(k->sweep[slot], nullptr) << k->name;
+      EXPECT_NE(k->display[slot], nullptr) << k->name;
+    }
+  }
+}
+
+TEST(KernelRegistryTest, StructureMatchIsParameterIndependent) {
+  // One BFW kernel serves every p: the structure string classifies
+  // stochastic rows uniformly, so p = 0.25 (bernoulli) binds the same
+  // kernel as p = 0.5 (fair coin).
+  const auto table_half = core::bfw_machine(0.5).compile_table();
+  const auto table_quarter = core::bfw_machine(0.25).compile_table();
+  ASSERT_TRUE(table_half.has_value());
+  ASSERT_TRUE(table_quarter.has_value());
+  EXPECT_EQ(beeping::serialize_table_structure(*table_half),
+            beeping::serialize_table_structure(*table_quarter));
+  const auto* k_half = beeping::find_compiled_kernel(*table_half);
+  const auto* k_quarter = beeping::find_compiled_kernel(*table_quarter);
+  ASSERT_NE(k_half, nullptr);
+  EXPECT_EQ(k_half, k_quarter);
+  EXPECT_EQ(k_half->name, "bfw");
+}
+
+TEST(KernelRegistryTest, UnservedStructureBindsNoKernel) {
+  // Timeout-BFW with T = 7 has 12 states - no checked-in kernel; the
+  // engine must fall back to the interpreted gear silently.
+  const core::timeout_bfw_machine machine(0.5, 7);
+  const auto table = machine.compile_table();
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(beeping::find_compiled_kernel(*table), nullptr);
+  const auto g = graph::make_path(64);
+  fsm_protocol proto(machine);
+  engine sim(g, proto, 1);
+  EXPECT_FALSE(sim.compiled_kernel_active());
+  EXPECT_EQ(sim.compiled_kernel_name(), "");
+  sim.run_rounds(50);
+  EXPECT_EQ(sim.compiled_rounds(), 0U);
+}
+
+TEST(KernelRegistryTest, EngineIntrospection) {
+  const core::bfw_machine machine(0.5);
+  const auto g = graph::make_path(64);
+  fsm_protocol proto(machine);
+  engine sim(g, proto, 1);
+  EXPECT_TRUE(sim.compiled_kernel_active());
+  EXPECT_EQ(sim.compiled_kernel_name(), "bfw");
+  sim.run_rounds(50);
+  EXPECT_GT(sim.compiled_rounds(), 0U);
+  sim.set_compiled_kernel_enabled(false);
+  EXPECT_FALSE(sim.compiled_kernel_active());
+  EXPECT_EQ(sim.compiled_kernel_name(), "bfw");  // still bound, just off
+  EXPECT_THROW(sim.set_compiled_width(3), std::invalid_argument);
+  EXPECT_THROW(sim.set_compiled_width(0), std::invalid_argument);
+  sim.set_compiled_width(2);
+  EXPECT_EQ(sim.compiled_width(), 2U);
+}
+
+}  // namespace
+}  // namespace beepkit
