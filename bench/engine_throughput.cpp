@@ -23,6 +23,8 @@
 // trials-per-second scaling across worker counts.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "analysis/experiment.hpp"
 #include "beeping/engine.hpp"
 #include "core/bfw.hpp"
@@ -31,7 +33,9 @@
 #include "core/timeout_bfw.hpp"
 #include "graph/generators.hpp"
 #include "stoneage/stoneage.hpp"
+#include "support/build_info.hpp"
 #include "support/simd.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
@@ -421,21 +425,73 @@ void BM_RunTrials(benchmark::State& state) {
   const analysis::run_options opts{
       static_cast<std::size_t>(state.range(0))};
   constexpr std::size_t trials = 32;
-  std::uint64_t total_rounds = 0;
+  // Round accounting goes through the shared meter rather than a
+  // bench-local accumulator, so this row and the CLI benches report
+  // rounds/s from the exact same fold.
+  analysis::throughput_meter meter;
   for (auto _ : state) {
     const auto stats = analysis::run_trials(inst.g, inst.diameter, algo,
                                             trials, 42, horizon, opts);
-    total_rounds += stats.total_rounds;
+    meter.add(stats);
     benchmark::DoNotOptimize(stats.rounds.mean);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(trials));
   state.counters["rounds/s"] = benchmark::Counter(
-      static_cast<double>(total_rounds), benchmark::Counter::kIsRate);
+      static_cast<double>(meter.rounds()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_RunTrials)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Telemetry overhead rows: the identical dense-grid stepping loop with
+// probes in their default production configuration (runtime-enabled,
+// sampled every 64th round) vs runtime-disabled. The contract is that
+// On stays within noise of Off (<2%); tools/throughput_compare renders
+// the advisory ratio when both rows are present in a report.
+void run_bfw_rounds_telemetry(benchmark::State& state, bool probes_on) {
+  namespace tel = support::telemetry;
+  const bool saved_enabled = tel::enabled();
+  const std::uint64_t saved_stride = tel::round_sample_stride();
+  tel::set_enabled(probes_on);
+  tel::set_round_sample_stride(64);
+  const auto g = graph::make_grid(64, 64);
+  const core::bfw_machine machine(0.5);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 42);
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(sim.leader_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.node_count()));
+  set_exec_label(state, sim);
+  tel::set_enabled(saved_enabled);
+  tel::set_round_sample_stride(saved_stride);
+}
+
+void BM_TelemetryProbesOn(benchmark::State& state) {
+  run_bfw_rounds_telemetry(state, true);
+}
+BENCHMARK(BM_TelemetryProbesOn);
+
+void BM_TelemetryProbesOff(benchmark::State& state) {
+  run_bfw_rounds_telemetry(state, false);
+}
+BENCHMARK(BM_TelemetryProbesOff);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN): stamps the build provenance
+// into the report context ("context" section of --benchmark_out JSON)
+// and onto stdout, so every perf number is traceable to a commit,
+// compiler, ISA and telemetry configuration.
+int main(int argc, char** argv) {
+  const support::build_info& build = support::build_info::current();
+  benchmark::AddCustomContext("beepkit_build", build.one_line());
+  std::printf("build: %s\n", build.one_line().c_str());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include "support/cli.hpp"
 #include "support/parallel.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace beepkit;
@@ -75,6 +76,11 @@ int main(int argc, char** argv) {
         beep_sim.leader_count() == stone_sim.leader_count() &&
         (beep_sim.leader_count() != 1 ||
          beep_sim.sole_leader() == stone_sim.sole_leader());
+    // Trial boundary: one mutex-protected registry touch per engine.
+    support::telemetry::fold_engine_metrics(beep_sim.telemetry_metrics(),
+                                            "engine");
+    support::telemetry::fold_engine_metrics(stone_sim.telemetry_metrics(),
+                                            "stoneage");
   });
   bool all_identical = true;
   for (std::size_t i = 0; i < graphs.size(); ++i) {

@@ -18,6 +18,7 @@
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
+#include "support/telemetry.hpp"
 
 namespace beepkit::analysis {
 
@@ -178,14 +179,24 @@ class throughput_meter {
   void add(const trial_stats& stats);
 
   /// For bespoke trial loops that bypass run_trials: one simulation of
-  /// `rounds` rounds.
+  /// `rounds` rounds. Per-run rounds also feed the shared
+  /// support::telemetry::log2_histogram, so summary() can report the
+  /// run-length distribution (p50/p90/p99) alongside the rates.
   void add_run(std::uint64_t rounds) noexcept {
     ++trials_;
     rounds_ += rounds;
+    run_rounds_.record(rounds);
   }
 
   [[nodiscard]] std::size_t trials() const noexcept { return trials_; }
   [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  /// Distribution of per-run rounds (populated by add_run only;
+  /// add() folds pre-aggregated batches and cannot recover per-trial
+  /// values).
+  [[nodiscard]] const support::telemetry::log2_histogram& run_rounds()
+      const noexcept {
+    return run_rounds_;
+  }
 
   [[nodiscard]] std::string summary(std::size_t threads) const;
 
@@ -193,6 +204,7 @@ class throughput_meter {
   std::size_t trials_ = 0;
   std::uint64_t rounds_ = 0;
   double busy_seconds_ = 0.0;
+  support::telemetry::log2_histogram run_rounds_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -405,6 +405,13 @@ round_view engine::make_view() const {
 
 void engine::restart_from_protocol() {
   round_ = 0;
+  // Per-run introspection restarts with the configuration: plane/kernel
+  // round counts, the last-used gather kernel, and the telemetry
+  // scratch all describe the run that ended here, not the next one.
+  plane_rounds_ = 0;
+  compiled_rounds_ = 0;
+  gather_.reset_last_used();
+  metrics_.reset();
   std::fill(beep_counts_.begin(), beep_counts_.end(), 0);
   for (auto& lp : ledger_planes_) std::fill(lp.begin(), lp.end(), 0);
   std::fill(dirty_ledger_words_.begin(), dirty_ledger_words_.end(), 0);
@@ -909,6 +916,17 @@ void engine::finish_step_plane_compiled() {
 
 void engine::step() {
   check_in_sync();
+  // Telemetry probes: counter bumps every round when enabled, clock
+  // reads / quiet-word scans / trace spans only on sampled rounds.
+  // Probes never touch the RNG streams or the sweep's iteration order
+  // (the differential tests pin probes-on == probes-off draw for draw),
+  // and tel_on is constant-false when BEEPKIT_TELEMETRY is OFF, so the
+  // whole block folds away.
+  namespace tel = support::telemetry;
+  const bool tel_on = tel::compiled_in && telemetry_enabled_ && tel::enabled();
+  const bool sampled = tel_on && tel::round_sampled(round_);
+  const std::uint64_t probe_start = sampled ? tel::now_ns() : 0;
+  const bool was_plane = plane_mode_;
   // Phase 1: a node applies delta_top iff it beeped or a neighbor did.
   // Seed the heard set with the beep set (a beeper always "hears"),
   // then let the gather dispatch pick its kernel: stencil on tagged
@@ -930,15 +948,49 @@ void engine::step() {
         processed += static_cast<std::size_t>(
             std::popcount(heard_words_[w] | active_words_[w]));
       }
-      if (processed * 4 >= g_->node_count()) enter_plane_mode();
+      if (processed * 4 >= g_->node_count()) {
+        enter_plane_mode();
+        if (tel_on) ++metrics_.plane_entries;
+      }
+    }
+    if (sampled) {
+      // Quiet-word rate: the words the plane sweep would skip wholesale
+      // (no heard or active lane). A read-only scan of already-computed
+      // sets - same answer on every gear.
+      const std::size_t words = heard_words_.size();
+      std::uint64_t quiet = 0;
+      for (std::size_t w = 0; w < words; ++w) {
+        const std::uint64_t valid = (w + 1 == words) ? tail_mask_ : ~0ULL;
+        if (((heard_words_[w] | active_words_[w]) & valid) == 0) ++quiet;
+      }
+      metrics_.quiet_words += quiet;
+      metrics_.scanned_words += words;
     }
     if (plane_mode_) {
+      if (tel_on) {
+        if (compiled_kernel_active()) {
+          ++metrics_.rounds_plane_compiled;
+        } else {
+          ++metrics_.rounds_plane_interpreted;
+        }
+      }
       finish_step_plane();
     } else {
+      if (tel_on) ++metrics_.rounds_sparse;
       finish_step_fast();
     }
   } else {
+    if (tel_on) ++metrics_.rounds_virtual;
     finish_step();
+  }
+  if (tel_on && was_plane && !plane_mode_) ++metrics_.plane_exits;
+  if (sampled) {
+    const std::uint64_t dur = tel::now_ns() - probe_start;
+    metrics_.round_ns.record(dur);
+    ++metrics_.sampled_rounds;
+    if (tel::trace_enabled()) {
+      tel::trace_complete("round", "engine", probe_start, dur);
+    }
   }
 }
 
@@ -1000,6 +1052,26 @@ graph::node_id engine::sole_leader() const {
     if (proto_->is_leader(u)) return u;
   }
   return static_cast<graph::node_id>(g_->node_count());
+}
+
+support::telemetry::engine_metrics engine::telemetry_metrics() const {
+  support::telemetry::engine_metrics m = metrics_;
+  if (fsm_ != nullptr) m.materializations = fsm_->materialization_count();
+  if (exec_) {
+    const auto claims = exec_->claim_counts();
+    std::uint64_t max_words = 0;
+    for (const auto& c : claims) {
+      m.tile_claims += c.tiles;
+      m.tile_claimed_words += c.words;
+      max_words = std::max(max_words, c.words);
+    }
+    if (m.tile_claimed_words != 0) {
+      const double mean = static_cast<double>(m.tile_claimed_words) /
+                          static_cast<double>(claims.size());
+      m.tile_imbalance = static_cast<double>(max_words) / mean;
+    }
+  }
+  return m;
 }
 
 std::uint64_t engine::total_coins_consumed() const noexcept {

@@ -102,6 +102,7 @@
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/simd.hpp"
+#include "support/telemetry.hpp"
 
 namespace beepkit::beeping {
 
@@ -321,6 +322,20 @@ class engine : private fsm_protocol::lazy_source {
     return compiled_rounds_;
   }
 
+  /// Telemetry: engine-local probe toggle, ANDed with the global
+  /// support::telemetry switches. Probes never read RNG streams or
+  /// alter iteration order, so toggling never changes a number.
+  void set_telemetry_enabled(bool enabled) noexcept {
+    telemetry_enabled_ = enabled;
+  }
+  [[nodiscard]] bool telemetry_enabled() const noexcept {
+    return telemetry_enabled_;
+  }
+  /// Snapshot of the per-engine probe scratch with tile-claim totals
+  /// and materialization counts folded in. Callers hand this to
+  /// support::telemetry::fold_engine_metrics at trial boundaries.
+  [[nodiscard]] support::telemetry::engine_metrics telemetry_metrics() const;
+
  private:
   void refresh_round_state();
   void ensure_beep_flags() const;
@@ -446,6 +461,11 @@ class engine : private fsm_protocol::lazy_source {
   std::vector<observer*> observers_;
   std::uint64_t round_ = 0;
   std::size_t leader_count_ = 0;
+  // Telemetry scratch: plain members, bumped only from step() (never
+  // inside the tiled word loops), folded into the global registry at
+  // trial boundaries. Dead weight when BEEPKIT_TELEMETRY is OFF.
+  support::telemetry::engine_metrics metrics_;
+  bool telemetry_enabled_ = true;
 };
 
 }  // namespace beepkit::beeping

@@ -43,6 +43,20 @@ election_outcome finish_election(beeping::engine& sim,
   outcome.gather_kernel = sim.gather_kernel_used();
   outcome.engine_threads = sim.parallel_threads();
   outcome.engine_tile_words = sim.tile_words();
+  // Trial boundary: fold the engine's telemetry scratch into the global
+  // registry (the one mutex-protected touch per trial).
+  namespace tel = support::telemetry;
+  if (tel::compiled_in && tel::enabled() && sim.telemetry_enabled()) {
+    tel::fold_engine_metrics(sim.telemetry_metrics(), "engine");
+    tel::registry& reg = tel::registry::global();
+    reg.add("engine_trials_total");
+    reg.record("engine_trial_rounds", result.rounds);
+    reg.set_gauge("engine_compiled_width",
+                  static_cast<double>(sim.compiled_width()));
+    reg.set_info("engine_compiled_kernel", sim.compiled_kernel_name());
+    reg.set_info("engine_gather_kernel",
+                 graph::gather_kernel_name(sim.gather_kernel_used()));
+  }
   return outcome;
 }
 
@@ -58,6 +72,7 @@ election_outcome run_election(const graph::graph& g,
   if (!options.fast_path) sim.set_fast_path_enabled(false);
   if (!options.compiled_kernel) sim.set_compiled_kernel_enabled(false);
   if (options.compiled_width != 0) sim.set_compiled_width(options.compiled_width);
+  if (!options.telemetry) sim.set_telemetry_enabled(false);
   if (!options.initial.empty()) {
     proto.set_states(options.initial);
     sim.restart_from_protocol();

@@ -81,6 +81,10 @@ struct election_options {
   /// Explicit initial configuration (Section-5 experiments); empty =
   /// the machine's initial state everywhere. Must hold valid state ids.
   std::vector<beeping::state_id> initial;
+  /// false = silence this trial's engine probes (the engine-local
+  /// toggle; the global support::telemetry switches still apply).
+  /// Probes never change a number, so this is purely a speed knob.
+  bool telemetry = true;
 };
 
 /// The one election runner: any state machine, all knobs in `options`.

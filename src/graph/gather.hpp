@@ -102,6 +102,10 @@ class heard_gather {
   }
   /// The kernel the most recent call actually ran.
   [[nodiscard]] gather_kernel last_used() const noexcept { return last_; }
+  /// Forgets the last-used kernel (back to auto_select) — called on
+  /// engine restarts so a fresh run never reports the previous run's
+  /// kernel before its first gather.
+  void reset_last_used() noexcept { last_ = gather_kernel::auto_select; }
 
   [[nodiscard]] bool stencil_available() const noexcept {
     return stencil_.has_value();

@@ -169,22 +169,65 @@ void engine::refresh_counters() {
 }
 
 void engine::step() {
+  // Same probe discipline as beeping::engine::step: counter bumps when
+  // enabled, clock reads and trace spans only on sampled rounds, and
+  // never a probe that could touch RNG streams or iteration order.
+  namespace tel = support::telemetry;
+  const bool tel_on = tel::compiled_in && telemetry_enabled_ && tel::enabled();
+  const bool sampled = tel_on && tel::round_sampled(round_);
+  const std::uint64_t probe_start = sampled ? tel::now_ns() : 0;
   if (fast_path_active()) {
-    step_fast();
-    return;
-  }
-  const std::size_t n = g_->node_count();
-  for (graph::node_id u = 0; u < n; ++u) {
-    std::fill(census_.begin(), census_.end(), 0U);
-    for (graph::node_id v : g_->neighbors(u)) {
-      const symbol sigma = machine_->display(states_[v]);
-      if (census_[sigma] < threshold_) ++census_[sigma];
+    if (tel_on) {
+      if (compiled_kernel_active()) {
+        ++metrics_.rounds_plane_compiled;
+      } else {
+        ++metrics_.rounds_plane_interpreted;
+      }
     }
-    next_states_[u] = machine_->transition(states_[u], census_, rngs_[u]);
+    step_fast();
+  } else {
+    if (tel_on) ++metrics_.rounds_virtual;
+    const std::size_t n = g_->node_count();
+    for (graph::node_id u = 0; u < n; ++u) {
+      std::fill(census_.begin(), census_.end(), 0U);
+      for (graph::node_id v : g_->neighbors(u)) {
+        const symbol sigma = machine_->display(states_[v]);
+        if (census_[sigma] < threshold_) ++census_[sigma];
+      }
+      next_states_[u] = machine_->transition(states_[u], census_, rngs_[u]);
+    }
+    states_.swap(next_states_);
+    ++round_;
+    refresh_counters();
   }
-  states_.swap(next_states_);
-  ++round_;
-  refresh_counters();
+  if (sampled) {
+    const std::uint64_t dur = tel::now_ns() - probe_start;
+    metrics_.round_ns.record(dur);
+    ++metrics_.sampled_rounds;
+    if (tel::trace_enabled()) {
+      tel::trace_complete("round", "stoneage", probe_start, dur);
+    }
+  }
+}
+
+support::telemetry::engine_metrics engine::telemetry_metrics() const {
+  support::telemetry::engine_metrics m = metrics_;
+  m.materializations = materializations_;
+  if (exec_) {
+    const auto claims = exec_->claim_counts();
+    std::uint64_t max_words = 0;
+    for (const auto& c : claims) {
+      m.tile_claims += c.tiles;
+      m.tile_claimed_words += c.words;
+      max_words = std::max(max_words, c.words);
+    }
+    if (m.tile_claimed_words != 0) {
+      const double mean = static_cast<double>(m.tile_claimed_words) /
+                          static_cast<double>(claims.size());
+      m.tile_imbalance = static_cast<double>(max_words) / mean;
+    }
+  }
+  return m;
 }
 
 // Table-driven bit-sliced round: the displayed-beep word is already

@@ -26,6 +26,7 @@
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/simd.hpp"
+#include "support/telemetry.hpp"
 
 namespace beepkit::stoneage {
 
@@ -179,6 +180,18 @@ class engine {
                                : graph::gather_kernel::auto_select;
   }
 
+  /// Telemetry: engine-local probe toggle (same contract as
+  /// beeping::engine — probes never change a number).
+  void set_telemetry_enabled(bool enabled) noexcept {
+    telemetry_enabled_ = enabled;
+  }
+  [[nodiscard]] bool telemetry_enabled() const noexcept {
+    return telemetry_enabled_;
+  }
+  /// Per-engine probe scratch with tile claims and materializations
+  /// folded in; hand to support::telemetry::fold_engine_metrics.
+  [[nodiscard]] support::telemetry::engine_metrics telemetry_metrics() const;
+
  private:
   void refresh_counters();
   void step_fast();
@@ -231,6 +244,10 @@ class engine {
   std::vector<std::uint32_t> census_;  // scratch: alphabet_size entries
   std::uint64_t round_ = 0;
   std::size_t leader_count_ = 0;
+  // Telemetry scratch — bumped only from step(), never inside the
+  // tiled word loops; folded at trial boundaries.
+  support::telemetry::engine_metrics metrics_;
+  bool telemetry_enabled_ = true;
 };
 
 }  // namespace beepkit::stoneage

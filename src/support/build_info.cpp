@@ -1,0 +1,89 @@
+#include "support/build_info.hpp"
+
+#include "support/simd.hpp"
+#include "support/telemetry.hpp"
+
+#if !defined(BEEPKIT_GIT_SHA)
+#define BEEPKIT_GIT_SHA "unknown"
+#endif
+#if !defined(BEEPKIT_BUILD_TYPE)
+#define BEEPKIT_BUILD_TYPE "unknown"
+#endif
+
+namespace beepkit::support {
+
+namespace {
+
+std::string detect_compiler() {
+#if defined(__clang__)
+  return std::string("clang ") + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string detect_flags() {
+  std::string flags;
+#if defined(__OPTIMIZE__)
+  flags += "opt";
+#else
+  flags += "noopt";
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  flags += "+asan";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  flags += "+asan";
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+  flags += "+tsan";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  flags += "+tsan";
+#endif
+#endif
+  return flags;
+}
+
+build_info make_current() {
+  build_info info;
+  info.git_sha = BEEPKIT_GIT_SHA;
+  info.compiler = detect_compiler();
+  info.build_type = BEEPKIT_BUILD_TYPE;
+  info.flags = detect_flags();
+  info.isa = simd::isa_name();
+  info.telemetry = telemetry::compiled_in;
+  return info;
+}
+
+}  // namespace
+
+json build_info::to_json() const {
+  return json(json::object{
+      {"git_sha", json(git_sha)},
+      {"compiler", json(compiler)},
+      {"build_type", json(build_type)},
+      {"flags", json(flags)},
+      {"isa", json(isa)},
+      {"telemetry", json(telemetry)},
+  });
+}
+
+std::string build_info::one_line() const {
+  return git_sha + " " + compiler + " " + build_type + " " + flags + " " +
+         isa + (telemetry ? " telemetry=on" : " telemetry=off");
+}
+
+const build_info& build_info::current() {
+  static const build_info info = make_current();
+  return info;
+}
+
+}  // namespace beepkit::support

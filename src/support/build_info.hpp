@@ -1,0 +1,34 @@
+#pragma once
+
+// Build/provenance stamp: which binary produced this artifact. Used by
+// JSONL sweep headers, bench output, and telemetry snapshots so blessed
+// baselines and merged sweeps can name the exact build that made them.
+// The git SHA and build type are configure-time CMake definitions
+// (scoped to build_info.cpp); everything else is read from predefined
+// compiler macros, so the stamp costs nothing at runtime.
+
+#include <string>
+
+#include "support/json.hpp"
+
+namespace beepkit::support {
+
+struct build_info {
+  std::string git_sha;     // short SHA, "unknown" outside a git checkout
+  std::string compiler;    // e.g. "gcc 13.2.0" / "clang 18.1.3"
+  std::string build_type;  // CMAKE_BUILD_TYPE at configure time
+  std::string flags;       // detectable flags: optimization, sanitizers
+  std::string isa;         // support::simd::isa_name()
+  bool telemetry = false;  // BEEPKIT_TELEMETRY compiled in?
+
+  /// {"git_sha":..,"compiler":..,"build_type":..,"flags":..,"isa":..,
+  ///  "telemetry":..} — insertion-ordered, deterministic dump.
+  [[nodiscard]] json to_json() const;
+  /// "abc123def456 gcc 13.2.0 Release O2 sse2 telemetry=on"
+  [[nodiscard]] std::string one_line() const;
+
+  /// The stamp for this binary (computed once).
+  static const build_info& current();
+};
+
+}  // namespace beepkit::support

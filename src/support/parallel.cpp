@@ -4,6 +4,8 @@
 #include <atomic>
 #include <utility>
 
+#include "support/telemetry.hpp"
+
 namespace beepkit::support {
 
 std::size_t resolve_threads(std::int64_t requested) noexcept {
@@ -85,6 +87,7 @@ void thread_pool::wait_idle() {
 
 tile_executor::tile_executor(std::size_t threads) {
   const std::size_t count = threads == 0 ? resolve_threads(0) : threads;
+  claims_.resize(count > 0 ? count : 1);
   workers_.reserve(count > 0 ? count - 1 : 0);
   for (std::size_t i = 1; i < count; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -110,6 +113,10 @@ void tile_executor::drain(std::size_t slot, tile_fn fn, void* ctx,
     if (t >= tiles) return;
     const std::size_t begin = t * tile_words;
     const std::size_t end = std::min(words, begin + tile_words);
+    if constexpr (telemetry::compiled_in) {
+      ++claims_[slot].tiles;
+      claims_[slot].words += end - begin;
+    }
     try {
       fn(ctx, slot, begin, end);
     } catch (...) {
@@ -159,6 +166,10 @@ void tile_executor::run_impl(std::size_t words, std::size_t tile_words,
     // Inline serial path: tiles in ascending order on the caller. The
     // per-tile results the caller folds are order-independent by
     // contract, so this is bit-identical to the threaded path.
+    if constexpr (telemetry::compiled_in) {
+      claims_[0].tiles += tiles;
+      claims_[0].words += words;
+    }
     for (std::size_t t = 0; t < tiles; ++t) {
       const std::size_t begin = t * tw;
       fn(ctx, 0, begin, std::min(words, begin + tw));
@@ -184,6 +195,18 @@ void tile_executor::run_impl(std::size_t words, std::size_t tile_words,
     lock.unlock();
     std::rethrow_exception(error);
   }
+}
+
+std::vector<tile_executor::slot_claims> tile_executor::claim_counts() const {
+  std::vector<slot_claims> out(claims_.size());
+  for (std::size_t s = 0; s < claims_.size(); ++s) {
+    out[s] = slot_claims{claims_[s].tiles, claims_[s].words};
+  }
+  return out;
+}
+
+void tile_executor::reset_claim_counts() noexcept {
+  for (padded_claims& c : claims_) c = padded_claims{};
 }
 
 void parallel_for_words(

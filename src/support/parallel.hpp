@@ -114,6 +114,17 @@ class tile_executor {
     return workers_.size() + 1;
   }
 
+  /// Telemetry: cumulative tiles/words claimed by one slot since
+  /// construction (or the last reset). Each slot writes only its own
+  /// cache-line-padded counter inside drain(), so the word loops stay
+  /// atomics-free; read these after run_tiles' barrier only.
+  struct slot_claims {
+    std::uint64_t tiles = 0;
+    std::uint64_t words = 0;
+  };
+  [[nodiscard]] std::vector<slot_claims> claim_counts() const;
+  void reset_claim_counts() noexcept;
+
   /// Invokes body(slot, begin, end) for consecutive word ranges
   /// covering [0, words), each at most `tile_words` long
   /// (tile_words == 0 splits the range evenly across the workers).
@@ -155,6 +166,14 @@ class tile_executor {
   std::atomic<std::size_t> next_tile_{0};
   std::exception_ptr first_error_;
   bool stopping_ = false;
+  // One cache line per slot; slot s is written only by the thread
+  // executing as slot s (workers under the job barrier, the caller on
+  // the inline path), read/reset only between jobs.
+  struct alignas(64) padded_claims {
+    std::uint64_t tiles = 0;
+    std::uint64_t words = 0;
+  };
+  std::vector<padded_claims> claims_;
 };
 
 /// One-shot convenience over tile_executor: body(slot, begin, end)

@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/build_info.hpp"
+#include "support/telemetry.hpp"
+
 namespace beepkit::sweep {
 
 namespace {
@@ -96,12 +99,38 @@ bool record_writer::open(const std::string& path) {
 constexpr std::size_t max_queued_lines = 65536;
 
 void record_writer::enqueue(std::string line) {
+  namespace tel = support::telemetry;
   std::unique_lock<std::mutex> lock(mutex_);
-  queue_drained_.wait(lock,
-                      [this] { return queue_.size() < max_queued_lines; });
+  if (queue_.size() >= max_queued_lines) {
+    // Backpressure stall: the producer is outrunning the disk. Timed
+    // (not just counted) so sweeps can report how much wall clock the
+    // bound actually cost; compiled away with the telemetry probes.
+    if constexpr (tel::compiled_in) {
+      const std::uint64_t start = tel::now_ns();
+      queue_drained_.wait(
+          lock, [this] { return queue_.size() < max_queued_lines; });
+      stall_ns_ += tel::now_ns() - start;
+    } else {
+      queue_drained_.wait(
+          lock, [this] { return queue_.size() < max_queued_lines; });
+    }
+  }
   queue_.push_back(std::move(line));
+  if constexpr (tel::compiled_in) {
+    max_depth_ = std::max(max_depth_, queue_.size());
+  }
   lock.unlock();
   queue_ready_.notify_one();
+}
+
+double record_writer::stall_seconds() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<double>(stall_ns_) * 1e-9;
+}
+
+std::size_t record_writer::max_queue_depth() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_depth_;
 }
 
 void record_writer::writer_loop() {
@@ -151,6 +180,9 @@ void record_writer::write_header(const std::string& sweep_name,
                                  support::shard_spec shard,
                                  std::uint64_t cell_count,
                                  std::uint64_t total_units) {
+  // Build provenance rides along as extra keys; readers only require
+  // the core fields, so old files and old readers both keep working.
+  const support::build_info& build = support::build_info::current();
   write_line(json(json::object{
       {"type", json("sweep")},
       {"name", json(sweep_name)},
@@ -159,6 +191,10 @@ void record_writer::write_header(const std::string& sweep_name,
       {"cells", json(cell_count)},
       {"total_units", json(total_units)},
       {"format_version", json(std::uint64_t{1})},
+      {"build_sha", json(build.git_sha)},
+      {"build_compiler", json(build.compiler)},
+      {"build_isa", json(build.isa)},
+      {"build_telemetry", json(build.telemetry)},
   }));
 }
 

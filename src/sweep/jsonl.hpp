@@ -129,6 +129,13 @@ class record_writer {
   /// Drains, flushes and closes; false when any write failed.
   [[nodiscard]] bool close();
 
+  /// Total wall time producers spent blocked in enqueue() because the
+  /// queue was at its backpressure bound. Valid any time, including
+  /// after close(); folded into the sweep telemetry snapshot.
+  [[nodiscard]] double stall_seconds();
+  /// High-water mark of the queue depth (lines), for sizing the bound.
+  [[nodiscard]] std::size_t max_queue_depth();
+
  private:
   void write_line(const support::json& record);
   void enqueue(std::string line);
@@ -146,6 +153,8 @@ class record_writer {
   bool writer_busy_ = false;
   bool stopping_ = false;
   std::atomic<bool> ok_{true};
+  std::uint64_t stall_ns_ = 0;    // guarded by mutex_
+  std::size_t max_depth_ = 0;     // guarded by mutex_
 };
 
 /// Fully parsed shard file (strict: the merge path). Throws

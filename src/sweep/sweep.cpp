@@ -10,6 +10,8 @@
 
 #include "graph/gather.hpp"
 #include "support/parallel.hpp"
+#include "support/table.hpp"
+#include "support/telemetry.hpp"
 #include "sweep/jsonl.hpp"
 
 namespace beepkit::sweep {
@@ -100,6 +102,18 @@ std::optional<unit> work_source::next() {
 }
 
 shard_result run(const spec& s, const options& opts) {
+  // Sweep-layer telemetry: per-trial latency histogram, checkpoint
+  // latency, writer backpressure, resume/salvage events. Probes live
+  // outside the trial computations (the serial fold loop and the
+  // already-measured per-trial clocks), so they cannot perturb any
+  // number. Local scratch; folded into the registry once at the end.
+  namespace tel = support::telemetry;
+  const bool tel_on = tel::compiled_in && tel::enabled();
+  if (tel_on && !opts.trace_path.empty()) tel::set_trace_enabled(true);
+  const auto sweep_start = std::chrono::steady_clock::now();
+  tel::log2_histogram trial_us_hist;
+  tel::log2_histogram checkpoint_us_hist;
+
   work_source source(s, opts.shard);
   shard_result result;
   result.units_total = source.total_units();
@@ -271,6 +285,14 @@ shard_result run(const spec& s, const options& opts) {
       p.seconds = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
+      if (tel_on && tel::trace_enabled()) {
+        // Span from the already-measured trial clock: one extra read
+        // pins the end on the telemetry epoch, the duration is reused.
+        const auto dur_ns = static_cast<std::uint64_t>(p.seconds * 1e9);
+        const std::uint64_t end_ns = tel::now_ns();
+        tel::trace_complete("trial", "sweep",
+                            end_ns > dur_ns ? end_ns - dur_ns : 0, dur_ns);
+      }
     });
 
     // Stream + fold in global unit order (the aggregation order is
@@ -279,6 +301,9 @@ shard_result run(const spec& s, const options& opts) {
       points[p.u.cell].push_back(
           {p.outcome.rounds, p.outcome.converged, p.outcome.total_coins});
       busy[p.u.cell] += p.seconds;
+      if (tel_on && !p.resumed) {
+        trial_us_hist.record(static_cast<std::uint64_t>(p.seconds * 1e6));
+      }
       if (p.resumed) {
         ++result.units_resumed;
       } else {
@@ -302,7 +327,15 @@ shard_result run(const spec& s, const options& opts) {
     }
     if (writer.is_open() && opts.checkpoint_every > 0 &&
         since_checkpoint >= opts.checkpoint_every) {
+      const std::uint64_t cp_start = tel_on ? tel::now_ns() : 0;
       writer.write_checkpoint(done_units, source.shard_units());
+      if (tel_on) {
+        const std::uint64_t cp_ns = tel::now_ns() - cp_start;
+        checkpoint_us_hist.record(cp_ns / 1000);
+        if (tel::trace_enabled()) {
+          tel::trace_complete("checkpoint", "sweep", cp_start, cp_ns);
+        }
+      }
       since_checkpoint = 0;
       if (!writer.healthy()) {  // fail fast, not after hours of trials
         throw std::runtime_error(write_path + ": write failure");
@@ -337,6 +370,42 @@ shard_result run(const spec& s, const options& opts) {
       std::remove(tmp_path.c_str());  // stale leftover, if any
     }
   }
+
+  if (tel_on) {
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - sweep_start)
+                            .count();
+    tel::registry& reg = tel::registry::global();
+    reg.add("sweep_units_run_total", result.units_run);
+    reg.add("sweep_units_resumed_total", result.units_resumed);
+    if (salvaging) reg.add("sweep_salvage_total");
+    reg.merge_histogram("sweep_trial_us", trial_us_hist);
+    reg.merge_histogram("sweep_checkpoint_us", checkpoint_us_hist);
+    if (wall > 0.0) {
+      reg.set_gauge("sweep_trials_per_sec",
+                    static_cast<double>(result.units_run) / wall);
+    }
+    reg.set_gauge("sweep_wall_seconds", wall);
+    if (!opts.jsonl_path.empty()) {
+      reg.set_gauge("sweep_writer_stall_seconds", writer.stall_seconds());
+      reg.set_gauge("sweep_writer_max_queue_depth",
+                    static_cast<double>(writer.max_queue_depth()));
+    }
+    if (!opts.telemetry_path.empty()) {
+      if (!support::write_text_file(opts.telemetry_path,
+                                    tel::snapshot().dump() + "\n") ||
+          !support::write_text_file(opts.telemetry_path + ".prom",
+                                    reg.to_prometheus())) {
+        throw std::runtime_error(opts.telemetry_path +
+                                 ": cannot write telemetry snapshot");
+      }
+    }
+    if (!opts.trace_path.empty()) {
+      if (!tel::write_chrome_trace(opts.trace_path)) {
+        throw std::runtime_error(opts.trace_path + ": cannot write trace");
+      }
+    }
+  }
   return result;
 }
 
@@ -346,6 +415,8 @@ options options_from_cli(const support::cli& args) {
   opts.shard = args.get_shard();
   opts.jsonl_path = args.get_string("jsonl", "");
   opts.resume = args.get_bool("resume", false);
+  opts.telemetry_path = args.get_string("telemetry", "");
+  opts.trace_path = args.get_string("trace", "");
   return opts;
 }
 

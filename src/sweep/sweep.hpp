@@ -100,6 +100,12 @@ struct options {
   bool resume = false;
   std::uint64_t checkpoint_every = 4096;  ///< Units between checkpoints.
   trial_hook on_trial;
+  /// Write a telemetry snapshot (support::telemetry JSON, plus a
+  /// Prometheus text sibling at `<path>.prom`) when the shard finishes.
+  std::string telemetry_path;
+  /// Record Chrome trace_event spans (trial/checkpoint/engine rounds)
+  /// and write them here when the shard finishes (Perfetto-loadable).
+  std::string trace_path;
 };
 
 /// What one shard produced. `cells[i]` aggregates only this shard's
@@ -123,8 +129,8 @@ struct shard_result {
 [[nodiscard]] shard_result run(const spec& s, const options& opts = {});
 
 /// Builds options from the standard bench flags: `--threads`,
-/// `--shard i/N`, `--jsonl path`, `--resume`. Benches layer their
-/// bespoke hooks on top.
+/// `--shard i/N`, `--jsonl path`, `--resume`, `--telemetry path`,
+/// `--trace path`. Benches layer their bespoke hooks on top.
 [[nodiscard]] options options_from_cli(const support::cli& args);
 
 /// The standard epilogue the ported benches print after their tables:

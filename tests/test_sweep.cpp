@@ -297,7 +297,13 @@ TEST(SweepMergeTest, ResumeRewritesCrashedFileIntoMergeableShard) {
                       std::istreambuf_iterator<char>());
     in.close();
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(bytes.data(), 200);  // mid-header-block crash, no trials
+    // Keep the header line, tear the first cell record mid-write: a
+    // crash during the header/cell block, before any trial landed.
+    const std::size_t header_end = bytes.find('\n');
+    ASSERT_NE(header_end, std::string::npos);
+    ASSERT_GT(bytes.size(), header_end + 51);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(header_end + 51));
   }
   opts.resume = true;
   const auto resumed = sweep::run(fixture.spec(), opts);

@@ -169,6 +169,21 @@ int main(int argc, char** argv) {
               "%zu catastrophic (beyond %.0f%%)\n",
               matched, regressions, threshold * 100.0,
               catastrophic_regressions, catastrophic * 100.0);
+  // Advisory telemetry-overhead line: when the current report carries
+  // both TelemetryProbes rows, their within-run ratio is a
+  // machine-independent signal (same binary, same runner, same
+  // instance) for the probes-on cost. Never affects the exit code.
+  {
+    const bench_rate* on = find_rate(*current, "BM_TelemetryProbesOn");
+    const bench_rate* off = find_rate(*current, "BM_TelemetryProbesOff");
+    if (on != nullptr && off != nullptr && off->items_per_second > 0.0) {
+      const double overhead =
+          1.0 - on->items_per_second / off->items_per_second;
+      std::printf("telemetry overhead (advisory): probes-on runs at "
+                  "%.2f%% below probes-off (target < 2%%)\n",
+                  overhead * 100.0);
+    }
+  }
   if (const auto csv = args.get("csv"); csv.has_value()) {
     if (!beepkit::support::write_text_file(*csv, report.to_csv())) {
       std::fprintf(stderr, "throughput_compare: cannot write %s\n",
