@@ -32,6 +32,7 @@
 #include "core/invariants.hpp"
 #include "core/timeout_bfw.hpp"
 #include "graph/generators.hpp"
+#include "graph/view.hpp"
 #include "stoneage/stoneage.hpp"
 #include "support/build_info.hpp"
 #include "support/simd.hpp"
@@ -332,6 +333,48 @@ void BM_BfwOnGridXLTiled(benchmark::State& state) {
   run_bfw_rounds(state, g, static_cast<std::size_t>(state.range(0)), 0);
 }
 BENCHMARK(BM_BfwOnGridXLTiled)->Arg(2)->Arg(8)->UseRealTime();
+
+// Implicit-view XL rows: the same geometries with no materialized
+// adjacency and the giant engine config (lazy RNG cursors, pinned
+// planes). The Implicit/materialized delta is the cost of the CSR the
+// implicit view never builds; the Giant rows show the checkpointable
+// 10^8-node regime at bench scale. Excluded from the CI baseline gate
+// like the other XL rows.
+void run_bfw_rounds_implicit(benchmark::State& state, graph::topology topo,
+                             bool giant_config) {
+  const auto view = graph::topology_view::implicit(topo);
+  const core::bfw_machine machine(0.5);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(view, proto, 42, beeping::noise_model{},
+                      giant_config ? beeping::engine_config::giant()
+                                   : beeping::engine_config{});
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(sim.leader_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(view.node_count()));
+  set_exec_label(state, sim);
+}
+
+void BM_BfwOnPathXLImplicit(benchmark::State& state) {
+  run_bfw_rounds_implicit(
+      state, {graph::topology::kind::path, 1, std::size_t{1} << 20}, false);
+}
+BENCHMARK(BM_BfwOnPathXLImplicit);
+
+void BM_BfwOnGridXLImplicit(benchmark::State& state) {
+  run_bfw_rounds_implicit(state, {graph::topology::kind::grid, 1024, 1024},
+                          false);
+}
+BENCHMARK(BM_BfwOnGridXLImplicit);
+
+void BM_BfwOnGridXLGiant(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  run_bfw_rounds_implicit(state, {graph::topology::kind::grid, side, side},
+                          true);
+}
+BENCHMARK(BM_BfwOnGridXLGiant)->Arg(1024)->Arg(8192);
 
 void run_stoneage_rounds(benchmark::State& state, const graph::graph& g,
                          bool compiled) {

@@ -59,10 +59,10 @@ int main(int argc, char** argv) {
   // algorithm, so it shards and resumes like the standard cells.
   const analysis::algorithm two_leader_algo{
       "BFW(p=0.5, two leaders at path ends)",
-      [](const graph::graph& g, std::uint64_t trial_seed,
+      [](const graph::topology_view& view, std::uint64_t trial_seed,
          std::uint64_t max_rounds) {
         return core::run_bfw_election_from(
-            g, 0.5, core::two_leaders_at_path_ends(g.node_count()),
+            view, 0.5, core::two_leaders_at_path_ends(view.node_count()),
             trial_seed, max_rounds);
       }};
 

@@ -21,12 +21,12 @@ struct trial_record {
   double seconds = 0.0;
 };
 
-trial_record execute_trial(const graph::graph& g, const algorithm& algo,
-                           std::uint64_t trial_seed,
+trial_record execute_trial(const graph::topology_view& view,
+                           const algorithm& algo, std::uint64_t trial_seed,
                            std::uint64_t max_rounds) {
   const auto start = std::chrono::steady_clock::now();
   trial_record record;
-  record.outcome = algo.run(g, trial_seed, max_rounds);
+  record.outcome = algo.run(view, trial_seed, max_rounds);
   record.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -36,7 +36,7 @@ trial_record execute_trial(const graph::graph& g, const algorithm& algo,
 /// Folds per-trial records in trial order through the shared
 /// aggregate_trial_points arithmetic, then adds the timing fields
 /// (which are never part of the reproducibility contract).
-trial_stats aggregate(const graph::graph& g, std::uint32_t diameter,
+trial_stats aggregate(const graph::topology_view& view, std::uint32_t diameter,
                       const algorithm& algo,
                       std::span<const trial_record> records,
                       std::uint64_t max_rounds) {
@@ -47,7 +47,8 @@ trial_stats aggregate(const graph::graph& g, std::uint32_t diameter,
                       record.outcome.total_coins});
   }
   trial_stats stats = aggregate_trial_points(
-      {algo.name, g.name(), g.node_count(), diameter}, points, max_rounds);
+      {algo.name, view.name(), view.node_count(), diameter}, points,
+      max_rounds);
   for (const trial_record& record : records) {
     stats.busy_seconds += record.seconds;
   }
@@ -64,11 +65,11 @@ std::vector<std::uint64_t> derive_seeds(std::uint64_t seed,
   return seeds;
 }
 
-core::election_outcome run_protocol(const graph::graph& g,
+core::election_outcome run_protocol(const graph::topology_view& view,
                                     beeping::protocol& proto,
                                     std::uint64_t seed,
                                     std::uint64_t max_rounds) {
-  beeping::engine sim(g, proto, seed);
+  beeping::engine sim(view, proto, seed);
   return core::finish_election(sim, sim.run_until_single_leader(max_rounds));
 }
 
@@ -111,9 +112,9 @@ algorithm make_bfw(double p) {
   std::ostringstream name;
   name << "BFW(p=" << p << ")";
   return {name.str(),
-          [p](const graph::graph& g, std::uint64_t seed,
+          [p](const graph::topology_view& view, std::uint64_t seed,
               std::uint64_t max_rounds) {
-            return core::run_bfw_election(g, p, seed, max_rounds);
+            return core::run_bfw_election(view, p, seed, max_rounds);
           }};
 }
 
@@ -121,10 +122,10 @@ algorithm make_bfw_known_diameter(std::uint32_t diameter) {
   std::ostringstream name;
   name << "BFW(p=1/(D+1), D=" << diameter << ")";
   return {name.str(),
-          [diameter](const graph::graph& g, std::uint64_t seed,
+          [diameter](const graph::topology_view& view, std::uint64_t seed,
                      std::uint64_t max_rounds) {
             const auto machine = core::make_known_diameter_bfw(diameter);
-            return core::run_fsm_election(g, machine, seed, max_rounds);
+            return core::run_fsm_election(view, machine, seed, max_rounds);
           }};
 }
 
@@ -132,10 +133,10 @@ algorithm make_id_broadcast(std::uint32_t diameter) {
   std::ostringstream name;
   name << "IdBroadcast(D=" << diameter << ")";
   return {name.str(),
-          [diameter](const graph::graph& g, std::uint64_t seed,
+          [diameter](const graph::topology_view& view, std::uint64_t seed,
                      std::uint64_t max_rounds) {
             baselines::id_broadcast_election proto(diameter);
-            return run_protocol(g, proto, seed, max_rounds);
+            return run_protocol(view, proto, seed, max_rounds);
           }};
 }
 
@@ -143,23 +144,23 @@ algorithm make_clique_lottery(double epsilon) {
   std::ostringstream name;
   name << "CliqueLottery(eps=" << epsilon << ")";
   return {name.str(),
-          [epsilon](const graph::graph& g, std::uint64_t seed,
+          [epsilon](const graph::topology_view& view, std::uint64_t seed,
                     std::uint64_t max_rounds) {
             baselines::clique_lottery proto(epsilon);
-            return run_protocol(g, proto, seed, max_rounds);
+            return run_protocol(view, proto, seed, max_rounds);
           }};
 }
 
-trial_stats run_trials(const graph::graph& g, std::uint32_t diameter,
-                       const algorithm& algo, std::size_t trials,
-                       std::uint64_t seed, std::uint64_t max_rounds,
-                       const run_options& opts) {
+trial_stats run_trials(const graph::topology_view& view,
+                       std::uint32_t diameter, const algorithm& algo,
+                       std::size_t trials, std::uint64_t seed,
+                       std::uint64_t max_rounds, const run_options& opts) {
   const auto seeds = derive_seeds(seed, trials);
   std::vector<trial_record> records(trials);
   support::parallel_for(trials, opts.threads, [&](std::size_t trial) {
-    records[trial] = execute_trial(g, algo, seeds[trial], max_rounds);
+    records[trial] = execute_trial(view, algo, seeds[trial], max_rounds);
   });
-  return aggregate(g, diameter, algo, records, max_rounds);
+  return aggregate(view, diameter, algo, records, max_rounds);
 }
 
 std::vector<trial_stats> run_matrix(std::span<const matrix_cell> cells,
@@ -180,17 +181,22 @@ std::vector<trial_stats> run_matrix(std::span<const matrix_cell> cells,
       items.push_back({c, t});
     }
   }
+  // One view per cell up front (cheap handles; implicit instances
+  // build theirs from the tag, explicit ones borrow the graph).
+  std::vector<graph::topology_view> views;
+  views.reserve(cells.size());
+  for (const matrix_cell& cell : cells) views.push_back(cell.inst->view());
   support::parallel_for(items.size(), opts.threads, [&](std::size_t i) {
     const auto [c, t] = items[i];
     const matrix_cell& cell = cells[c];
     records[c][t] =
-        execute_trial(cell.inst->g, cell.algo, seeds[c][t], cell.max_rounds);
+        execute_trial(views[c], cell.algo, seeds[c][t], cell.max_rounds);
   });
   std::vector<trial_stats> results;
   results.reserve(cells.size());
   for (std::size_t c = 0; c < cells.size(); ++c) {
     const matrix_cell& cell = cells[c];
-    results.push_back(aggregate(cell.inst->g, cell.inst->diameter, cell.algo,
+    results.push_back(aggregate(views[c], cell.inst->diameter, cell.algo,
                                 records[c], cell.max_rounds));
   }
   return results;
@@ -236,6 +242,18 @@ instance make_instance(graph::graph g, std::size_t exact_limit) {
                                      : graph::diameter_double_sweep(g);
   inst.g = std::move(g);
   inst.diameter = diameter;
+  return inst;
+}
+
+instance make_implicit_instance(graph::topology topo, std::string name) {
+  // The view validates the geometry (throws on zero-area shapes) and
+  // resolves the default name; the diameter is the exact closed form,
+  // so nothing here is O(n).
+  const auto view = graph::topology_view::implicit(topo, std::move(name));
+  instance inst;
+  inst.diameter = view.formula_diameter();
+  inst.implicit_topo = topo;
+  inst.implicit_name = view.name();
   return inst;
 }
 

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -15,6 +16,7 @@
 
 #include "core/convergence.hpp"
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -23,10 +25,13 @@
 namespace beepkit::analysis {
 
 /// A named, self-contained election algorithm. `run` executes one
-/// trial; it must be deterministic in (graph, seed).
+/// trial; it must be deterministic in (topology, seed). Takes a
+/// topology view so the same algorithm serves materialized graphs and
+/// implicit tagged topologies (graphs convert implicitly at the call
+/// site).
 struct algorithm {
   std::string name;
-  std::function<core::election_outcome(const graph::graph& g,
+  std::function<core::election_outcome(const graph::topology_view& view,
                                        std::uint64_t seed,
                                        std::uint64_t max_rounds)>
       run;
@@ -102,28 +107,57 @@ struct run_options {
 /// Runs `trials` independent elections (seeds derived from `seed`).
 ///
 /// Reproducibility contract: every statistical field of the result is
-/// bit-identical for a given (g, algo, trials, seed, max_rounds)
+/// bit-identical for a given (view, algo, trials, seed, max_rounds)
 /// regardless of `opts.threads`. Per-trial seeds are derived serially
-/// up front, each trial is deterministic in (graph, seed) with its own
-/// generators, and aggregation happens in trial order after the join
-/// barrier (coin counts included - no shared mutable accounting).
-[[nodiscard]] trial_stats run_trials(const graph::graph& g,
+/// up front, each trial is deterministic in (topology, seed) with its
+/// own generators, and aggregation happens in trial order after the
+/// join barrier (coin counts included - no shared mutable accounting).
+[[nodiscard]] trial_stats run_trials(const graph::topology_view& view,
                                      std::uint32_t diameter,
                                      const algorithm& algo,
                                      std::size_t trials, std::uint64_t seed,
                                      std::uint64_t max_rounds,
                                      const run_options& opts = {});
 
-/// A (graph, diameter) test instance; diameter is computed once.
+/// A (topology, diameter) test instance; diameter is computed once.
+/// Two flavors: explicit (owns a materialized graph, the historical
+/// form) and implicit (carries only a geometry tag; `g` stays empty
+/// and nothing O(n) is ever allocated). Either way, view() is the
+/// handle trials bind to; the view borrows from this instance, which
+/// must outlive it.
 struct instance {
-  graph::graph g;
+  graph::graph g;               ///< empty for implicit instances
   std::uint32_t diameter = 0;
+  std::optional<graph::topology> implicit_topo;  ///< set iff implicit
+  std::string implicit_name;
+
+  [[nodiscard]] bool is_implicit() const noexcept {
+    return implicit_topo.has_value();
+  }
+  [[nodiscard]] graph::topology_view view() const {
+    return is_implicit()
+               ? graph::topology_view::implicit(*implicit_topo, implicit_name)
+               : graph::topology_view(g);
+  }
+  [[nodiscard]] std::size_t node_count() const {
+    return is_implicit() ? view().node_count() : g.node_count();
+  }
+  [[nodiscard]] std::string name() const {
+    return is_implicit() ? view().name() : g.name();
+  }
 };
 
 /// Computes the diameter (exact up to `exact_limit` nodes, double-sweep
 /// beyond) and bundles it with the graph.
 [[nodiscard]] instance make_instance(graph::graph g,
                                      std::size_t exact_limit = 4096);
+
+/// Implicit-instance counterpart: geometry tag only, diameter from the
+/// closed-form formula, no adjacency ever materialized. This is how
+/// sweeps and benches put 10^8-node topologies in a matrix without
+/// paying O(n) memory per instance.
+[[nodiscard]] instance make_implicit_instance(graph::topology topo,
+                                              std::string name = {});
 
 /// One (instance, algorithm) cell of an experiment matrix. `inst` is
 /// non-owning and must outlive the run_matrix call.

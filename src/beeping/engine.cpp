@@ -17,12 +17,12 @@ constexpr std::size_t word_count(std::size_t n) noexcept {
   return (n + 63) / 64;
 }
 
-constexpr bool test_bit(const std::vector<std::uint64_t>& words,
+constexpr bool test_bit(std::span<const std::uint64_t> words,
                         graph::node_id u) noexcept {
   return (words[u >> 6] >> (u & 63)) & 1ULL;
 }
 
-constexpr void set_bit(std::vector<std::uint64_t>& words,
+constexpr void set_bit(std::span<std::uint64_t> words,
                        graph::node_id u) noexcept {
   words[u >> 6] |= 1ULL << (u & 63);
 }
@@ -47,33 +47,28 @@ inline std::uint64_t widen_bytes_to_u16(std::uint64_t bytes) noexcept {
 
 }  // namespace
 
-engine::engine(const graph::graph& g, protocol& proto, std::uint64_t seed)
-    : engine(g, proto, seed, noise_model{}) {}
+engine::engine(graph::topology_view view, protocol& proto, std::uint64_t seed)
+    : engine(std::move(view), proto, seed, noise_model{}) {}
 
-engine::engine(const graph::graph& g, protocol& proto, std::uint64_t seed,
+engine::engine(graph::topology_view view, protocol& proto, std::uint64_t seed,
                const noise_model& noise)
-    : g_(&g), proto_(&proto), noise_(noise), gather_(g) {
-  const std::size_t n = g.node_count();
-  rngs_ = support::make_node_streams(seed, n + 1);
-  // Stream n (never a node id) initializes the protocol, so identifier
-  // draws in baselines do not perturb the per-node round streams.
-  proto_->reset(n, rngs_[n]);
-  if (noise_.enabled()) {
-    // Dedicated streams: enabling noise must not perturb the protocol
-    // coins, and a (0, 0) noise model stays bit-identical.
-    noise_rngs_ = support::make_node_streams(seed ^ 0x6e015eULL, n);
-  }
+    : engine(std::move(view), proto, seed, noise, engine_config{}) {}
+
+engine::engine(graph::topology_view view, protocol& proto, std::uint64_t seed,
+               const noise_model& noise, const engine_config& config)
+    : view_(std::move(view)),
+      n_(view_.node_count()),
+      proto_(&proto),
+      config_(config),
+      noise_(noise),
+      gather_(view_) {
+  const std::size_t n = n_;
   // Bind-time fast-path detection: an FSM protocol whose machine
   // compiles to a flat table runs rounds without virtual dispatch.
   fsm_ = dynamic_cast<fsm_protocol*>(&proto);
   if (fsm_ != nullptr) {
     table_ = fsm_->machine().compile_table();
   }
-  beeping_.assign(n, 0);
-  beep_words_.assign(word_count(n), 0);
-  heard_words_.assign(word_count(n), 0);
-  active_words_.assign(word_count(n), 0);
-  beep_counts_.assign(n, 0);
   // Plane-mode eligibility. (The SWAR transpose writes state ids
   // through little-endian byte order; the sparse sweep carries
   // big-endian hosts.) The state cap is 64: six planes cover every
@@ -81,15 +76,74 @@ engine::engine(const graph::graph& g, protocol& proto, std::uint64_t seed,
   // machines take the sparse sweep.
   plane_capable_ = table_.has_value() && table_->state_count() <= 64 &&
                    std::endian::native == std::endian::little;
+  if (config_.pin_plane_mode && (!plane_capable_ || fsm_ == nullptr)) {
+    throw std::invalid_argument(
+        "beeping::engine: pin_plane_mode requires a plane-capable "
+        "fsm_protocol machine");
+  }
+  if (!config_.track_beep_counts && !config_.pin_plane_mode) {
+    // The sparse/virtual gears count beeps unconditionally; only the
+    // pinned plane sweep can run without the per-node count array.
+    throw std::invalid_argument(
+        "beeping::engine: track_beep_counts = false requires "
+        "pin_plane_mode");
+  }
+  support::draw_mode mode = support::draw_mode::coins;
+  if (config_.lazy_rng) {
+    if (noise_.enabled()) {
+      throw std::invalid_argument(
+          "beeping::engine: lazy_rng cannot serve a noise model "
+          "(dedicated noise streams stay dense)");
+    }
+    if (!table_.has_value()) {
+      throw std::invalid_argument(
+          "beeping::engine: lazy_rng requires a compiled machine table");
+    }
+    // A 4-byte cursor can only replay a stream whose draws are uniform
+    // in kind: all fair coins (one bit each) or all raw words.
+    bool any_coin = false;
+    bool any_raw = false;
+    for (const transition_rule& rule : table_->rules) {
+      if (rule.draw == transition_rule::draw_kind::coin) any_coin = true;
+      if (rule.draw == transition_rule::draw_kind::bernoulli) any_raw = true;
+    }
+    if (any_coin && any_raw) {
+      throw std::invalid_argument(
+          "beeping::engine: lazy_rng requires draw rules uniform in kind "
+          "(all coin or all bernoulli)");
+    }
+    mode = any_raw ? support::draw_mode::raw64 : support::draw_mode::coins;
+  }
+  // Stream n (never a node id) initializes the protocol, so identifier
+  // draws in baselines do not perturb the per-node round streams.
+  rngs_ = config_.lazy_rng ? support::rng_store::lazy(seed, n + 1, mode)
+                           : support::rng_store::dense(seed, n + 1);
+  if (config_.pin_plane_mode) {
+    // No O(n) state vector: the planes are seeded from the machine's
+    // initial state below and stay authoritative for the whole run.
+    fsm_->reset_deferred(n);
+  } else {
+    proto_->reset(n, rngs_[n]);
+  }
+  if (noise_.enabled()) {
+    // Dedicated streams: enabling noise must not perturb the protocol
+    // coins, and a (0, 0) noise model stays bit-identical.
+    noise_rngs_ = support::make_node_streams(seed ^ 0x6e015eULL, n);
+  }
+  const std::size_t words = word_count(n);
+  beep_words_ = arena_.alloc_words(words);
+  heard_words_ = arena_.alloc_words(words);
+  active_words_ = arena_.alloc_words(words);
+  if (config_.track_beep_counts) beep_counts_.assign(n, 0);
   if (plane_capable_) {
     plane_count_ = 1;
     while ((std::size_t{1} << plane_count_) < table_->state_count()) {
       ++plane_count_;
     }
     for (std::size_t j = 0; j < plane_count_; ++j) {
-      planes_[j].assign(word_count(n), 0);
+      planes_[j] = arena_.alloc_words(words);
     }
-    leader_words_.assign(word_count(n), 0);
+    leader_words_ = arena_.alloc_words(words);
     analyze_plane_plan();
     // beepc kernel dispatch: a registered kernel whose baked-in
     // structure matches this table takes over the plane rounds
@@ -99,22 +153,37 @@ engine::engine(const graph::graph& g, protocol& proto, std::uint64_t seed,
   }
   tail_mask_ = (n % 64 == 0) ? ~0ULL : ((1ULL << (n % 64)) - 1);
   if (plane_capable_) {
-    for (auto& lp : ledger_planes_) lp.assign(word_count(n), 0);
+    for (auto& lp : ledger_planes_) lp = arena_.alloc_words(words);
     // Planes authoritative: outside reads of the protocol's state
     // vector unpack from the planes on demand (lazy materialization).
     fsm_->bind_lazy_source(this);
   }
-  dirty_ledger_words_.assign(word_count(word_count(n)), 0);
+  dirty_ledger_words_ = arena_.alloc_words(word_count(words));
   slot_leaders_.assign(1, 0);
   slot_active_.assign(1, 0);
   slot_dirty_.assign(1, std::vector<std::uint64_t>(dirty_ledger_words_.size(), 0));
-  refresh_round_state();
+  if (config_.pin_plane_mode) {
+    plane_pinned_ = true;
+    enter_plane_mode_initial();
+    if (fsm_ != nullptr) synced_version_ = fsm_->config_version();
+  } else {
+    refresh_round_state();
+  }
 }
 
 engine::~engine() {
   // The protocol outlives the engine: flush any pending lazy unpack
-  // and detach the hook before the planes disappear.
-  if (fsm_ != nullptr && plane_capable_) fsm_->unbind_lazy_source(this);
+  // and detach the hook before the planes disappear. Pinned giant
+  // engines abandon instead - the O(n) unpack is exactly what the
+  // mode exists to avoid, and the run's result was read off the
+  // planes already.
+  if (fsm_ != nullptr && plane_capable_) {
+    if (plane_pinned_) {
+      fsm_->abandon_lazy_source(this);
+    } else {
+      fsm_->unbind_lazy_source(this);
+    }
+  }
 }
 
 void engine::set_parallelism(std::size_t threads, std::size_t tile_words) {
@@ -186,7 +255,7 @@ void engine::add_observer(observer* obs) {
 }
 
 void engine::refresh_round_state() {
-  const std::size_t n = g_->node_count();
+  const std::size_t n = n_;
   // The protocol's state vector becomes the source of truth here:
   // materialize any pending plane unpack, then drop out of plane mode;
   // it re-engages on the next dense round.
@@ -237,7 +306,7 @@ void engine::refresh_round_state() {
 }
 
 void engine::rebuild_active_set() {
-  const std::size_t n = g_->node_count();
+  const std::size_t n = n_;
   const machine_table& table = *table_;
   const std::span<state_id> states = fsm_->raw_states();
   std::fill(active_words_.begin(), active_words_.end(), 0);
@@ -253,6 +322,11 @@ void engine::set_fast_path_enabled(bool enabled) {
     fast_enabled_ = true;
     rebuild_active_set();
     return;
+  }
+  if (!enabled && plane_pinned_) {
+    throw std::logic_error(
+        "beeping::engine: the virtual gear is unavailable under "
+        "pin_plane_mode");
   }
   if (!enabled && plane_mode_) {
     // The virtual path reads the protocol's vector directly; hand the
@@ -270,7 +344,23 @@ void engine::set_fast_path_enabled(bool enabled) {
 // groups x up to 8 planes) - paid once per flush, not per round.
 void engine::flush_pending_ledger() const {
   if (pending_rounds_ == 0) return;
-  const std::size_t n = g_->node_count();
+  const std::size_t n = n_;
+  if (beep_counts_.empty()) {
+    // Counts untracked (giant mode): drop the banked rounds, keeping
+    // the ledger planes and dirty bitset clean for the next bank.
+    for (std::size_t d = 0; d < dirty_ledger_words_.size(); ++d) {
+      std::uint64_t dirty = dirty_ledger_words_[d];
+      dirty_ledger_words_[d] = 0;
+      while (dirty != 0) {
+        const std::size_t w =
+            (d << 6) + static_cast<std::size_t>(std::countr_zero(dirty));
+        dirty &= dirty - 1;
+        for (std::size_t j = 0; j < 8; ++j) ledger_planes_[j][w] = 0;
+      }
+    }
+    pending_rounds_ = 0;
+    return;
+  }
   for (std::size_t d = 0; d < dirty_ledger_words_.size(); ++d) {
     std::uint64_t dirty = dirty_ledger_words_[d];
     dirty_ledger_words_[d] = 0;
@@ -303,7 +393,7 @@ void engine::flush_pending_ledger() const {
 // packed leader set); called when a dense round engages the
 // word-parallel sweep.
 void engine::enter_plane_mode() {
-  const std::size_t n = g_->node_count();
+  const std::size_t n = n_;
   const machine_table& table = *table_;
   const state_id* const states = fsm_->raw_states().data();
   for (std::size_t j = 0; j < plane_count_; ++j) {
@@ -328,8 +418,50 @@ void engine::enter_plane_mode() {
 // bit-to-byte spread + widening store). This is exactly the write-back
 // every plane round used to perform eagerly; now it runs at most once
 // per batch of unobserved rounds, on first read.
+// Seeds the planes directly from the machine's initial state: every
+// lane starts identical, so each plane/flag word is all-ones (masked
+// by the tail) or all-zeros. O(words) - the pinned giant path never
+// materializes a state vector at all.
+void engine::enter_plane_mode_initial() {
+  const machine_table& table = *table_;
+  const state_id init = fsm_->machine().initial_state();
+  const std::size_t words = beep_words_.size();
+  const auto fill_all = [&](support::word_buffer& buf) {
+    for (std::size_t w = 0; w < words; ++w) {
+      buf[w] = (w + 1 == words) ? tail_mask_ : ~0ULL;
+    }
+  };
+  for (std::size_t j = 0; j < plane_count_; ++j) {
+    if ((init >> j) & 1U) fill_all(planes_[j]);
+  }
+  const std::uint8_t meta = table.meta[init];
+  if ((meta & machine_table::meta_beep) != 0) {
+    fill_all(beep_words_);
+    // Bank the round-0 beeps in the ledger so flushes stay exact even
+    // when counts are tracked under pinning.
+    for (std::size_t w = 0; w < words; ++w) {
+      if (beep_words_[w] == 0) continue;
+      dirty_ledger_words_[w >> 6] |= 1ULL << (w & 63);
+      ledger_planes_[0][w] = beep_words_[w];
+    }
+    pending_rounds_ = 1;
+  }
+  if ((meta & machine_table::meta_leader) != 0) {
+    fill_all(leader_words_);
+    leader_count_ = n_;
+  } else {
+    leader_count_ = 0;
+  }
+  if ((meta & machine_table::meta_bot_identity) == 0) {
+    fill_all(active_words_);
+  }
+  beep_flags_valid_ = false;
+  plane_mode_ = true;
+  fsm_->mark_states_stale();
+}
+
 void engine::materialize_states(std::span<state_id> out) {
-  const std::size_t n = g_->node_count();
+  const std::size_t n = n_;
   state_id* const states = out.data();
   const std::size_t words = word_count(n);
   const std::size_t p = plane_count_;
@@ -383,7 +515,10 @@ void engine::check_in_sync() const {
 
 void engine::ensure_beep_flags() const {
   if (beep_flags_valid_) return;
-  const std::size_t n = g_->node_count();
+  const std::size_t n = n_;
+  // Giant engines skip the O(n) byte mirror at bind time; size it on
+  // the first observer/reference read instead.
+  if (beeping_.size() != n) beeping_.assign(n, 0);
   for (graph::node_id u = 0; u < n; ++u) {
     beeping_[u] = test_bit(beep_words_, u) ? 1 : 0;
   }
@@ -395,7 +530,7 @@ round_view engine::make_view() const {
   flush_pending_ledger();  // ... and the exact beep counts
   round_view view;
   view.round = round_;
-  view.g = g_;
+  view.g = view_.explicit_graph();  // null for implicit topologies
   view.proto = proto_;
   view.beeping = beeping_;
   view.beep_counts = beep_counts_;
@@ -404,6 +539,11 @@ round_view engine::make_view() const {
 }
 
 void engine::restart_from_protocol() {
+  if (plane_pinned_) {
+    throw std::logic_error(
+        "beeping::engine: restart_from_protocol is unavailable under "
+        "pin_plane_mode (the planes are the only state authority)");
+  }
   round_ = 0;
   // Per-run introspection restarts with the configuration: plane/kernel
   // round counts, the last-used gather kernel, and the telemetry
@@ -421,6 +561,11 @@ void engine::restart_from_protocol() {
 }
 
 void engine::resync_with_protocol() {
+  if (plane_pinned_) {
+    throw std::logic_error(
+        "beeping::engine: resync_with_protocol is unavailable under "
+        "pin_plane_mode");
+  }
   // Undo the current round's ledger contribution (added by the refresh
   // that entered this round), then recompute all bookkeeping from the
   // protocol's new configuration; the round counter keeps running.
@@ -441,7 +586,7 @@ void engine::resync_with_protocol() {
 // dedicated stream (exactly one draw per silent node, in node order,
 // matching the scalar reference draw for draw).
 void engine::apply_noise() {
-  const std::size_t n = g_->node_count();
+  const std::size_t n = n_;
   for (graph::node_id u = 0; u < n; ++u) {
     if (test_bit(beep_words_, u)) continue;  // own beep is never corrupted
     const bool neighbor_beeped = test_bit(heard_words_, u);
@@ -471,7 +616,7 @@ void engine::notify_round_observers() {
 // Phase 2 + bookkeeping shared by step() and step_reference(); expects
 // heard_words_ to hold the delta_top set for the current round.
 void engine::finish_step() {
-  const std::size_t n = g_->node_count();
+  const std::size_t n = n_;
   if (fsm_ != nullptr) {
     // Guard-free virtual gear: fsm_protocol::step re-checks the
     // lazy-state guard on every call (~10-15% of a reference round);
@@ -506,7 +651,7 @@ void engine::finish_step_fast() {
   state_id* const states = fsm_->raw_states().data();
   const transition_rule* const rules = table.rules.data();
   const std::uint8_t* const meta = table.meta.data();
-  support::rng* const rngs = rngs_.data();
+  const support::rng_source rngs = rngs_.source();
   std::uint64_t* const beep_counts = beep_counts_.data();
   const std::uint64_t* const heard = heard_words_.data();
   std::uint64_t* const beep = beep_words_.data();
@@ -598,9 +743,9 @@ template <std::size_t P>
 void engine::finish_step_plane_impl() {
   const machine_table& table = *table_;
   const std::size_t q = table.state_count();
-  const std::size_t n = g_->node_count();
+  const std::size_t n = n_;
   const std::size_t words = heard_words_.size();
-  support::rng* const rngs = rngs_.data();
+  const support::rng_source rngs = rngs_.source();
   const std::uint64_t* const heard = heard_words_.data();
   std::uint64_t* const beep = beep_words_.data();
   std::uint64_t* const active = active_words_.data();
@@ -832,8 +977,9 @@ void engine::finish_step_plane_impl() {
   // back to the sparse sweep - which reads the protocol's vector, so
   // the authority moves back with one unpack here (the active set is
   // maintained in plane rounds, so no rebuild is needed on the way
-  // out).
-  if (active_next * 8 < n) {
+  // out). Pinned engines never leave: the sparse gear would need the
+  // O(n) state vector the giant path refuses to materialize.
+  if (!plane_pinned_ && active_next * 8 < n) {
     plane_mode_ = false;
     fsm_->ensure_states_fresh();
   }
@@ -854,7 +1000,7 @@ void engine::set_compiled_width(std::size_t width) {
 // to the interpreted sweep (the differential tests enforce it per
 // width).
 void engine::finish_step_plane_compiled() {
-  const std::size_t n = g_->node_count();
+  const std::size_t n = n_;
   const std::size_t words = heard_words_.size();
   std::uint64_t* plane_ptrs[6] = {};
   for (std::size_t j = 0; j < plane_count_; ++j) {
@@ -869,7 +1015,7 @@ void engine::finish_step_plane_compiled() {
   ctx.leader = leader_words_.data();
   ctx.planes = plane_ptrs;
   ctx.ledger = ledger_ptrs;
-  ctx.rngs = rngs_.data();
+  ctx.rngs = rngs_.source();
   ctx.rules = table_->rules.data();
   ctx.tail_mask = tail_mask_;
   ctx.words = words;
@@ -907,7 +1053,7 @@ void engine::finish_step_plane_compiled() {
   ++plane_rounds_;
   ++compiled_rounds_;
   if (++pending_rounds_ >= 254) flush_pending_ledger();
-  if (active_next * 8 < n) {
+  if (!plane_pinned_ && active_next * 8 < n) {
     plane_mode_ = false;
     fsm_->ensure_states_fresh();
   }
@@ -948,7 +1094,7 @@ void engine::step() {
         processed += static_cast<std::size_t>(
             std::popcount(heard_words_[w] | active_words_[w]));
       }
-      if (processed * 4 >= g_->node_count()) {
+      if (processed * 4 >= n_) {
         enter_plane_mode();
         if (tel_on) ++metrics_.plane_entries;
       }
@@ -996,19 +1142,31 @@ void engine::step() {
 
 void engine::step_reference() {
   check_in_sync();
-  const std::size_t n = g_->node_count();
+  const std::size_t n = n_;
   // The original scalar loop, kept verbatim in behavior: per-node
   // neighbor scan over byte flags, writing the packed heard set.
   ensure_beep_flags();
+  const graph::graph* const g = view_.explicit_graph();
   std::fill(heard_words_.begin(), heard_words_.end(), 0);
   for (graph::node_id u = 0; u < n; ++u) {
     bool heard = beeping_[u] != 0;
     if (!heard) {
       bool neighbor_beeped = false;
-      for (graph::node_id v : g_->neighbors(u)) {
-        if (beeping_[v] != 0) {
-          neighbor_beeped = true;
-          break;
+      if (g != nullptr) {
+        for (graph::node_id v : g->neighbors(u)) {
+          if (beeping_[v] != 0) {
+            neighbor_beeped = true;
+            break;
+          }
+        }
+      } else {
+        graph::node_id nb[4];
+        const std::size_t deg = view_.implicit_neighbors(u, nb);
+        for (std::size_t i = 0; i < deg; ++i) {
+          if (beeping_[nb[i]] != 0) {
+            neighbor_beeped = true;
+            break;
+          }
         }
       }
       heard = neighbor_beeped;
@@ -1046,12 +1204,25 @@ void engine::run_rounds(std::uint64_t count) {
 
 graph::node_id engine::sole_leader() const {
   if (leader_count_ != 1) {
-    return static_cast<graph::node_id>(g_->node_count());
+    return static_cast<graph::node_id>(n_);
   }
-  for (graph::node_id u = 0; u < g_->node_count(); ++u) {
+  if (plane_mode_) {
+    // The packed leader set is authoritative in plane rounds; scanning
+    // it avoids materializing the O(n) state vector (essential for
+    // pinned giant engines, a free speedup otherwise).
+    for (std::size_t w = 0; w < leader_words_.size(); ++w) {
+      if (leader_words_[w] != 0) {
+        return static_cast<graph::node_id>(
+            (w << 6) + static_cast<std::size_t>(
+                           std::countr_zero(leader_words_[w])));
+      }
+    }
+    return static_cast<graph::node_id>(n_);
+  }
+  for (graph::node_id u = 0; u < n_; ++u) {
     if (proto_->is_leader(u)) return u;
   }
-  return static_cast<graph::node_id>(g_->node_count());
+  return static_cast<graph::node_id>(n_);
 }
 
 support::telemetry::engine_metrics engine::telemetry_metrics() const {
@@ -1075,11 +1246,45 @@ support::telemetry::engine_metrics engine::telemetry_metrics() const {
 }
 
 std::uint64_t engine::total_coins_consumed() const noexcept {
-  std::uint64_t total = 0;
-  for (const auto& r : rngs_) {
-    total += r.coins_consumed();
+  return rngs_.total_coins();
+}
+
+engine::plane_state engine::plane_snapshot() {
+  if (!plane_mode_) {
+    throw std::logic_error(
+        "beeping::engine::plane_snapshot: the planes are only "
+        "authoritative in plane mode");
   }
-  return total;
+  plane_state st;
+  st.plane_count = plane_count_;
+  for (std::size_t j = 0; j < plane_count_; ++j) {
+    st.planes[j] = {planes_[j].data(), planes_[j].size()};
+  }
+  st.beep = {beep_words_.data(), beep_words_.size()};
+  st.active = {active_words_.data(), active_words_.size()};
+  st.leader = {leader_words_.data(), leader_words_.size()};
+  for (std::size_t j = 0; j < 8; ++j) {
+    st.ledger[j] = {ledger_planes_[j].data(), ledger_planes_[j].size()};
+  }
+  st.dirty = {dirty_ledger_words_.data(), dirty_ledger_words_.size()};
+  st.round = round_;
+  st.leaders = leader_count_;
+  st.pending_rounds = pending_rounds_;
+  return st;
+}
+
+void engine::adopt_plane_state(std::uint64_t round, std::size_t leaders,
+                               std::uint32_t pending_rounds) {
+  if (!plane_mode_) {
+    throw std::logic_error(
+        "beeping::engine::adopt_plane_state: requires plane mode "
+        "(bind with engine_config::giant)");
+  }
+  round_ = round;
+  leader_count_ = leaders;
+  pending_rounds_ = pending_rounds;
+  beep_flags_valid_ = false;
+  if (fsm_ != nullptr) fsm_->mark_states_stale();
 }
 
 }  // namespace beepkit::beeping

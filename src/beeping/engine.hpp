@@ -99,6 +99,8 @@
 #include "beeping/protocol.hpp"
 #include "graph/gather.hpp"
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
+#include "support/arena.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/simd.hpp"
@@ -136,15 +138,55 @@ struct noise_model {
   }
 };
 
+/// Construction-time switches for the streaming giant-trial mode
+/// (core/giant.hpp). The default configuration is the historical
+/// engine; every switch individually preserves draw-for-draw
+/// bit-identity with it - they only remove O(n) side structures a
+/// giant run cannot afford (and never reads).
+struct engine_config {
+  /// Per-node generators as 4-byte lazy draw cursors (rng_store) in
+  /// place of the materialized 56-byte-per-node array. Requires a
+  /// compiled table whose draw rules are uniform in kind (all
+  /// fair-coin or all bernoulli), no noise model, and serial rounds.
+  bool lazy_rng = false;
+  /// When false, skip the O(n) beep-count ledger behind the observer
+  /// API (beep_count reads zero). Giant runs attach no observers.
+  bool track_beep_counts = true;
+  /// Enter the word-parallel plane gear at round 0 - the planes are
+  /// seeded straight from the machine's initial state, no O(n) state
+  /// vector is ever materialized (the protocol is reset in deferred
+  /// mode) - and never leave it. Requires plane capability and an
+  /// fsm_protocol.
+  bool pin_plane_mode = false;
+
+  /// The giant-trial bundle: lazy cursors, no ledger, pinned planes.
+  [[nodiscard]] static engine_config giant() noexcept {
+    engine_config config;
+    config.lazy_rng = true;
+    config.track_beep_counts = false;
+    config.pin_plane_mode = true;
+    return config;
+  }
+};
+
 class engine : private fsm_protocol::lazy_source {
  public:
-  /// Binds a protocol instance to a graph and resets it. Both `g` and
-  /// `proto` must outlive the engine.
-  engine(const graph::graph& g, protocol& proto, std::uint64_t seed);
+  /// Binds a protocol instance to a topology view and resets it.
+  /// Explicit graphs convert implicitly, so `engine(g, proto, seed)`
+  /// keeps working; an explicit view's graph and `proto` must outlive
+  /// the engine.
+  engine(graph::topology_view view, protocol& proto, std::uint64_t seed);
 
   /// Same, with reception noise (robustness experiments).
-  engine(const graph::graph& g, protocol& proto, std::uint64_t seed,
+  engine(graph::topology_view view, protocol& proto, std::uint64_t seed,
          const noise_model& noise);
+
+  /// Same, with the giant-trial construction switches. Throws
+  /// std::invalid_argument when a switch's requirements are unmet
+  /// (lazy_rng with mixed draw kinds or noise, pin_plane_mode on a
+  /// plane-incapable machine).
+  engine(graph::topology_view view, protocol& proto, std::uint64_t seed,
+         const noise_model& noise, const engine_config& config);
 
   /// Materializes any stale protocol state and detaches the lazy hook
   /// (the protocol outlives the engine and must stay readable).
@@ -195,7 +237,12 @@ class engine : private fsm_protocol::lazy_source {
   void run_rounds(std::uint64_t count);
 
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
-  [[nodiscard]] const graph::graph& network() const noexcept { return *g_; }
+  /// The bound topology view (explicit_graph() is null for implicit
+  /// topologies - giant trials never materialize adjacency).
+  [[nodiscard]] const graph::topology_view& view() const noexcept {
+    return view_;
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_; }
   [[nodiscard]] protocol& proto() noexcept { return *proto_; }
   [[nodiscard]] const protocol& proto() const noexcept { return *proto_; }
 
@@ -208,9 +255,11 @@ class engine : private fsm_protocol::lazy_source {
 
   /// N_beep_t(u): beeps of u up to and including the current round.
   /// (Plane-mode rounds bank increments in the bit-sliced ledger
-  /// planes; the sum is always exact.)
+  /// planes; the sum is always exact.) With
+  /// engine_config::track_beep_counts off only the <= 254 pending
+  /// rounds are visible - giant runs never read counts.
   [[nodiscard]] std::uint64_t beep_count(graph::node_id u) const {
-    return beep_counts_[u] + pending_count(u);
+    return (beep_counts_.empty() ? 0 : beep_counts_[u]) + pending_count(u);
   }
   [[nodiscard]] std::span<const std::uint64_t> beep_counts() const {
     flush_pending_ledger();
@@ -312,7 +361,8 @@ class engine : private fsm_protocol::lazy_source {
   }
   /// Pins the kernel batch width (words per vector op; 1, 2, 4 or 8 -
   /// std::invalid_argument otherwise). Default:
-  /// support::simd::preferred_width(). Purely a throughput knob.
+  /// support::simd::autotuned_width(), a one-shot micro-probe over the
+  /// candidate widths at first engine bind. Purely a throughput knob.
   void set_compiled_width(std::size_t width);
   [[nodiscard]] std::size_t compiled_width() const noexcept {
     return compiled_width_;
@@ -336,6 +386,45 @@ class engine : private fsm_protocol::lazy_source {
   /// support::telemetry::fold_engine_metrics at trial boundaries.
   [[nodiscard]] support::telemetry::engine_metrics telemetry_metrics() const;
 
+  // --- streaming checkpoint surface (plane-pinned engines) ---------
+
+  /// Everything a single-trial checkpoint must capture besides the RNG
+  /// cursors: mutable word spans over the live plane-mode buffers (a
+  /// writer serializes them in this section order; a resume decodes
+  /// straight into them) plus the scalar round bookkeeping. Requires
+  /// plane mode (std::logic_error otherwise - the planes are only
+  /// authoritative there).
+  struct plane_state {
+    std::size_t plane_count = 0;
+    std::array<std::span<std::uint64_t>, 6> planes;
+    std::span<std::uint64_t> beep;
+    std::span<std::uint64_t> active;
+    std::span<std::uint64_t> leader;
+    std::array<std::span<std::uint64_t>, 8> ledger;
+    std::span<std::uint64_t> dirty;
+    std::uint64_t round = 0;
+    std::size_t leaders = 0;
+    std::uint32_t pending_rounds = 0;
+  };
+  [[nodiscard]] plane_state plane_snapshot();
+
+  /// Adopts buffer contents a resume decoded into plane_snapshot()
+  /// spans, plus the scalar bookkeeping, as the current configuration.
+  /// The protocol's state cache is marked stale (the planes stay
+  /// authoritative). Requires plane mode.
+  void adopt_plane_state(std::uint64_t round, std::size_t leaders,
+                         std::uint32_t pending_rounds);
+
+  /// The per-node generator store (giant runners save/restore its draw
+  /// cursors alongside the planes).
+  [[nodiscard]] support::rng_store& rng_streams() noexcept { return rngs_; }
+
+  /// Address space held by the engine's plane arena - the RSS bill of
+  /// a giant trial up to the cursor array.
+  [[nodiscard]] std::size_t arena_bytes_reserved() const noexcept {
+    return arena_.bytes_reserved();
+  }
+
  private:
   void refresh_round_state();
   void ensure_beep_flags() const;
@@ -347,6 +436,10 @@ class engine : private fsm_protocol::lazy_source {
   void finish_step_plane_impl();
   void finish_step_plane_compiled();
   void enter_plane_mode();
+  /// Pinned-mode round-0 entry: seeds the planes and the beep/active/
+  /// leader sets straight from the machine's initial state - all-equal
+  /// lanes, so this is O(words), never O(n).
+  void enter_plane_mode_initial();
   void analyze_plane_plan();
   /// fsm_protocol::lazy_source: unpacks the authoritative planes into
   /// the protocol's state vector (SWAR bit-to-byte transpose) - the
@@ -383,15 +476,24 @@ class engine : private fsm_protocol::lazy_source {
     std::uint8_t meta = 0;   ///< uniform machine_table::meta byte
   };
 
-  const graph::graph* g_;
+  graph::topology_view view_;
+  std::size_t n_ = 0;
   protocol* proto_;
+  engine_config config_;
   // Non-null iff the bound protocol is an fsm_protocol; paired with the
   // compiled table this enables the devirtualized round sweep.
   fsm_protocol* fsm_ = nullptr;
   std::optional<machine_table> table_;
   bool fast_enabled_ = true;
   std::uint64_t synced_version_ = 0;  // fsm_->config_version() last synced
-  std::vector<support::rng> rngs_;
+  // Owns every packed word array below (planes, ledgers, beep/heard/
+  // active/leader sets, dirty bits) - mmap chunks, huge pages on the
+  // giant ones, first-touch commit. Declared before the buffers it
+  // backs.
+  support::plane_arena arena_;
+  // mutable: total_coins_consumed() is const but the lazy store folds
+  // its scratch cursor back on read.
+  mutable support::rng_store rngs_;
   std::vector<support::rng> noise_rngs_;  // empty unless noise enabled
   noise_model noise_;
   // Byte mirror of beep_words_ for the observer API; rebuilt lazily
@@ -399,8 +501,8 @@ class engine : private fsm_protocol::lazy_source {
   // observer-free rounds skip the O(n) byte refresh entirely.
   mutable std::vector<std::uint8_t> beeping_;
   mutable bool beep_flags_valid_ = false;
-  std::vector<std::uint64_t> beep_words_;   // packed B_t
-  std::vector<std::uint64_t> heard_words_;  // packed delta_top set
+  support::word_buffer beep_words_;   // packed B_t
+  support::word_buffer heard_words_;  // packed delta_top set
   // The heard-gather kernels (word-CSR, packed rows, stencil masks)
   // behind the per-round dispatch; owns no graph state beyond derived
   // layouts.
@@ -418,17 +520,20 @@ class engine : private fsm_protocol::lazy_source {
   // draw) even in a silent round. Quiet-phase sweeps visit only
   // heard ∪ active nodes (the plane sweep skips whole quiet words).
   // Maintained by both the sparse and the plane rounds.
-  std::vector<std::uint64_t> active_words_;
+  support::word_buffer active_words_;
   // Plane mode only: packed leader set, so skipped quiet words still
   // contribute their (unchanged) leader lanes to the round's count.
   // Built on plane entry, maintained by plane rounds.
-  std::vector<std::uint64_t> leader_words_;
+  support::word_buffer leader_words_;
   // Plane mode (machines with <= 64 states): bit j of node u's state
   // id lives in planes_[j]; valid only while plane_mode_ is set - the
   // protocol's state vector is rewritten every plane round, so it is
   // never stale for outside readers.
-  std::array<std::vector<std::uint64_t>, 6> planes_;
+  std::array<support::word_buffer, 6> planes_;
   std::size_t plane_count_ = 0;  // ceil(log2(state_count)), >= 1
+  // Pinned plane mode (engine_config::pin_plane_mode): never exit to
+  // the O(n) sparse sweep, never materialize the state vector.
+  bool plane_pinned_ = false;
   // Bit-sliced-counter runs (see plane_chain) + the per-state skip
   // bytes telling the decode loop which states the chains cover.
   std::vector<plane_chain> plane_chains_;
@@ -441,7 +546,7 @@ class engine : private fsm_protocol::lazy_source {
   // only). The registry owns the descriptor; addresses are stable.
   const compiled_kernel* compiled_kernel_ = nullptr;
   bool compiled_enabled_ = true;
-  std::size_t compiled_width_ = support::simd::preferred_width();
+  std::size_t compiled_width_ = support::simd::autotuned_width();
   std::uint64_t compiled_rounds_ = 0;
   std::uint64_t tail_mask_ = ~0ULL;  // valid bits of the last word
   // Beep-ledger sidecar: plane rounds bank the per-node +1s as
@@ -454,8 +559,8 @@ class engine : private fsm_protocol::lazy_source {
   // words hold nonzero counters, so the fold only visits words that
   // actually beeped since the last flush. mutable: folding happens
   // under const accessors.
-  mutable std::array<std::vector<std::uint64_t>, 8> ledger_planes_;
-  mutable std::vector<std::uint64_t> dirty_ledger_words_;
+  mutable std::array<support::word_buffer, 8> ledger_planes_;
+  mutable support::word_buffer dirty_ledger_words_;
   mutable std::uint32_t pending_rounds_ = 0;
   mutable std::vector<std::uint64_t> beep_counts_;
   std::vector<observer*> observers_;

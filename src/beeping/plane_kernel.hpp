@@ -43,7 +43,10 @@ struct plane_ctx {
   std::uint64_t* leader = nullptr;
   std::uint64_t* const* planes = nullptr;
   std::uint64_t* const* ledger = nullptr;
-  support::rng* rngs = nullptr;
+  /// Per-node generator indirection: dense engines expose the raw
+  /// stream array, giant engines the lazy cursor store (identical draw
+  /// sequences either way).
+  support::rng_source rngs;
   /// machine_table::rules.data() of the bound table: stochastic rows
   /// are applied per node through this, so the kernel structure stays
   /// independent of p / coin-vs-bernoulli.

@@ -1,5 +1,6 @@
 #include "beeping/protocol.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -88,6 +89,17 @@ machine_table build_machine_table(const state_machine& machine,
 
 void fsm_protocol::materialize_cold() const {
   states_stale_ = false;
+  // A deferred reset leaves the vector empty; grow it on the first
+  // read that actually needs it.
+  if (deferred_nodes_ != 0 && states_.size() != deferred_nodes_) {
+    states_.resize(deferred_nodes_);
+  }
+  if (source_ == nullptr) {
+    // Deferred reset with no authority bound yet: every node still
+    // sits in the initial state.
+    std::fill(states_.begin(), states_.end(), machine_->initial_state());
+    return;
+  }
   ++materializations_;
   source_->materialize_states(std::span<state_id>(states_));
 }
@@ -96,7 +108,16 @@ void fsm_protocol::reset(std::size_t node_count, support::rng& /*init_rng*/) {
   // Wholesale overwrite: the fresh vector is the new truth, so any
   // pending lazy unpack is moot.
   states_stale_ = false;
+  deferred_nodes_ = node_count;
   states_.assign(node_count, machine_->initial_state());
+  ++config_version_;
+}
+
+void fsm_protocol::reset_deferred(std::size_t node_count) {
+  states_.clear();
+  states_.shrink_to_fit();
+  deferred_nodes_ = node_count;
+  states_stale_ = true;
   ++config_version_;
 }
 

@@ -232,6 +232,13 @@ class fsm_protocol final : public protocol {
   explicit fsm_protocol(const state_machine& machine) : machine_(&machine) {}
 
   void reset(std::size_t node_count, support::rng& init_rng) override;
+
+  /// Giant-mode reset: records the node count and marks the vector
+  /// stale WITHOUT materializing the O(n) initial configuration - the
+  /// binding engine's planes (seeded from the same initial state)
+  /// become the authority at round 0. The vector is sized lazily on
+  /// the first outside read.
+  void reset_deferred(std::size_t node_count);
   [[nodiscard]] bool beeping(graph::node_id node) const override;
   [[nodiscard]] bool is_leader(graph::node_id node) const override;
   void step(graph::node_id node, bool heard, support::rng& node_rng) override;
@@ -279,9 +286,12 @@ class fsm_protocol final : public protocol {
 
   /// Registers `src` as the authority behind a stale state vector. If
   /// a previous source left the vector stale, it is materialized first
-  /// (its planes are about to stop being maintained). Engine-internal.
+  /// (its planes are about to stop being maintained). A deferred reset
+  /// with no source bound needs no rescue - its truth is "initial
+  /// state everywhere", exactly what the new source seeds from.
+  /// Engine-internal.
   void bind_lazy_source(lazy_source* src) {
-    materialize();
+    if (source_ != nullptr && source_ != src) materialize();
     source_ = src;
   }
   /// Detaches `src` if it is the bound source, materializing any stale
@@ -291,6 +301,19 @@ class fsm_protocol final : public protocol {
     if (source_ != src) return;
     materialize();
     source_ = nullptr;
+  }
+
+  /// Giant-mode detach: drops the authority WITHOUT the O(n)
+  /// materialization (a 10^9-node pinned engine must never unpack).
+  /// The configuration is lost; the protocol requires a reset before
+  /// reuse. Engine-internal, pinned engines only.
+  void abandon_lazy_source(lazy_source* src) noexcept {
+    if (source_ != src) return;
+    source_ = nullptr;
+    states_stale_ = false;
+    states_.clear();
+    deferred_nodes_ = 0;
+    ++config_version_;
   }
   /// Marks the vector stale (planes authoritative). No-op unless a
   /// lazy source is bound. Engine-internal, called after plane rounds.
@@ -328,6 +351,9 @@ class fsm_protocol final : public protocol {
   mutable std::uint64_t materializations_ = 0;
   lazy_source* source_ = nullptr;
   std::uint64_t config_version_ = 0;
+  // Nonzero after reset_deferred: the node count the lazily-sized
+  // vector must grow to on first materialization.
+  std::size_t deferred_nodes_ = 0;
 };
 
 }  // namespace beepkit::beeping

@@ -4,8 +4,10 @@
 
 namespace beepkit::core {
 
-std::uint64_t default_horizon(const graph::graph& g, std::uint32_t diameter) {
-  const double n = std::max<double>(2.0, static_cast<double>(g.node_count()));
+std::uint64_t default_horizon(const graph::topology_view& view,
+                              std::uint32_t diameter) {
+  const double n =
+      std::max<double>(2.0, static_cast<double>(view.node_count()));
   const double d = std::max<double>(1.0, static_cast<double>(diameter));
   // 64 * D^2 * (log n + 1), floored at 4096 rounds for tiny graphs.
   const double bound = 64.0 * d * d * (std::log(n) + 1.0);
@@ -14,15 +16,22 @@ std::uint64_t default_horizon(const graph::graph& g, std::uint32_t diameter) {
 
 namespace {
 
-std::uint64_t resolve_horizon(const graph::graph& g,
+std::uint64_t resolve_horizon(const graph::topology_view& view,
                               const election_options& options) {
   if (options.max_rounds.has_value()) return *options.max_rounds;
-  const std::uint32_t diameter =
-      options.diameter != 0
-          ? options.diameter
-          : static_cast<std::uint32_t>(
-                std::max<std::size_t>(1, g.node_count()));
-  return default_horizon(g, diameter);
+  // Implicit views know their exact formula diameter; otherwise the
+  // explicit option, falling back to node count (an upper bound for
+  // connected graphs).
+  std::uint32_t diameter = options.diameter;
+  if (diameter == 0) {
+    if (view.is_implicit()) {
+      diameter = view.formula_diameter();
+    } else {
+      diameter = static_cast<std::uint32_t>(
+          std::max<std::size_t>(1, view.node_count()));
+    }
+  }
+  return default_horizon(view, diameter);
 }
 
 }  // namespace
@@ -60,12 +69,12 @@ election_outcome finish_election(beeping::engine& sim,
   return outcome;
 }
 
-election_outcome run_election(const graph::graph& g,
+election_outcome run_election(const graph::topology_view& view,
                               const beeping::state_machine& machine,
                               std::uint64_t seed,
                               const election_options& options) {
   beeping::fsm_protocol proto(machine);
-  beeping::engine sim(g, proto, seed, options.noise);
+  beeping::engine sim(view, proto, seed, options.noise);
   if (options.exec.threads != 1 || options.exec.tile_words != 0) {
     sim.set_parallelism(options.exec.threads, options.exec.tile_words);
   }
@@ -78,25 +87,25 @@ election_outcome run_election(const graph::graph& g,
     sim.restart_from_protocol();
   }
   return finish_election(
-      sim, sim.run_until_single_leader(resolve_horizon(g, options)));
+      sim, sim.run_until_single_leader(resolve_horizon(view, options)));
 }
 
-election_outcome run_election(const graph::graph& g, const protocol_spec& spec,
-                              std::uint64_t seed,
+election_outcome run_election(const graph::topology_view& view,
+                              const protocol_spec& spec, std::uint64_t seed,
                               const election_options& options) {
   const std::unique_ptr<spec_machine> machine = make_protocol(spec);
-  return run_election(g, *machine, seed, options);
+  return run_election(view, *machine, seed, options);
 }
 
-election_outcome run_bfw_election(const graph::graph& g, double p,
+election_outcome run_bfw_election(const graph::topology_view& view, double p,
                                   std::uint64_t seed,
                                   std::uint64_t max_rounds,
                                   const engine_exec& exec) {
   const bfw_machine machine(p);
-  return run_fsm_election(g, machine, seed, max_rounds, exec);
+  return run_fsm_election(view, machine, seed, max_rounds, exec);
 }
 
-election_outcome run_fsm_election(const graph::graph& g,
+election_outcome run_fsm_election(const graph::topology_view& view,
                                   const beeping::state_machine& machine,
                                   std::uint64_t seed,
                                   std::uint64_t max_rounds,
@@ -104,10 +113,11 @@ election_outcome run_fsm_election(const graph::graph& g,
   election_options options;
   options.max_rounds = max_rounds;
   options.exec = exec;
-  return run_election(g, machine, seed, options);
+  return run_election(view, machine, seed, options);
 }
 
-election_outcome run_bfw_election_from(const graph::graph& g, double p,
+election_outcome run_bfw_election_from(const graph::topology_view& view,
+                                       double p,
                                        std::vector<beeping::state_id> initial,
                                        std::uint64_t seed,
                                        std::uint64_t max_rounds,
@@ -117,10 +127,10 @@ election_outcome run_bfw_election_from(const graph::graph& g, double p,
   options.max_rounds = max_rounds;
   options.exec = exec;
   options.initial = std::move(initial);
-  return run_election(g, machine, seed, options);
+  return run_election(view, machine, seed, options);
 }
 
-std::vector<double> convergence_rounds(const graph::graph& g,
+std::vector<double> convergence_rounds(const graph::topology_view& view,
                                        const beeping::state_machine& machine,
                                        std::size_t trials, std::uint64_t seed,
                                        std::uint64_t max_rounds) {
@@ -129,7 +139,7 @@ std::vector<double> convergence_rounds(const graph::graph& g,
   support::rng seeder(seed);
   for (std::size_t trial = 0; trial < trials; ++trial) {
     const auto outcome =
-        run_fsm_election(g, machine, seeder.next_u64(), max_rounds);
+        run_fsm_election(view, machine, seeder.next_u64(), max_rounds);
     rounds.push_back(static_cast<double>(
         outcome.converged ? outcome.rounds : max_rounds));
   }

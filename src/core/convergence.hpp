@@ -13,6 +13,7 @@
 #include "core/bfw.hpp"
 #include "core/protocol_spec.hpp"
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
 
 namespace beepkit::core {
 
@@ -53,7 +54,9 @@ struct election_outcome {
 
 /// Default horizon used by the runners when none is given: a generous
 /// multiple of the Theorem-2 bound D^2 log n (never tight in practice).
-[[nodiscard]] std::uint64_t default_horizon(const graph::graph& g,
+/// Topology views carry everything this needs (node count); explicit
+/// graphs convert implicitly.
+[[nodiscard]] std::uint64_t default_horizon(const graph::topology_view& view,
                                             std::uint32_t diameter);
 
 /// Everything one election trial can be configured with, replacing the
@@ -88,15 +91,19 @@ struct election_options {
 };
 
 /// The one election runner: any state machine, all knobs in `options`.
+/// Takes a topology view, so trials run against either a materialized
+/// graph (implicit conversion from graph::graph keeps every existing
+/// caller working) or an implicit tagged topology that never
+/// materializes adjacency (graph::topology_view::implicit).
 [[nodiscard]] election_outcome run_election(
-    const graph::graph& g, const beeping::state_machine& machine,
+    const graph::topology_view& view, const beeping::state_machine& machine,
     std::uint64_t seed, const election_options& options = {});
 
 /// Spec form of the same: builds the machine via make_protocol, so a
 /// protocol defined only as JSON runs end-to-end with no recompilation.
 [[nodiscard]] election_outcome run_election(
-    const graph::graph& g, const protocol_spec& spec, std::uint64_t seed,
-    const election_options& options = {});
+    const graph::topology_view& view, const protocol_spec& spec,
+    std::uint64_t seed, const election_options& options = {});
 
 // ---- legacy entry points ---------------------------------------------
 // Thin shims over run_election, kept so no caller breaks; new code
@@ -104,12 +111,12 @@ struct election_options {
 
 /// Runs BFW with parameter `p` from the all-W• initial configuration.
 [[nodiscard]] election_outcome run_bfw_election(
-    const graph::graph& g, double p, std::uint64_t seed,
+    const graph::topology_view& view, double p, std::uint64_t seed,
     std::uint64_t max_rounds, const engine_exec& exec = {});
 
 /// Runs any state machine through the beeping engine.
 [[nodiscard]] election_outcome run_fsm_election(
-    const graph::graph& g, const beeping::state_machine& machine,
+    const graph::topology_view& view, const beeping::state_machine& machine,
     std::uint64_t seed, std::uint64_t max_rounds,
     const engine_exec& exec = {});
 
@@ -117,14 +124,14 @@ struct election_options {
 /// Section-5 experiments: two leaders at path ends, adversarial
 /// states, ...). `initial` must hold valid BFW state ids.
 [[nodiscard]] election_outcome run_bfw_election_from(
-    const graph::graph& g, double p, std::vector<beeping::state_id> initial,
-    std::uint64_t seed, std::uint64_t max_rounds,
-    const engine_exec& exec = {});
+    const graph::topology_view& view, double p,
+    std::vector<beeping::state_id> initial, std::uint64_t seed,
+    std::uint64_t max_rounds, const engine_exec& exec = {});
 
 /// Convergence rounds over `trials` independent seeds (derived from
 /// `seed`); non-converged trials are recorded as `max_rounds`.
 [[nodiscard]] std::vector<double> convergence_rounds(
-    const graph::graph& g, const beeping::state_machine& machine,
+    const graph::topology_view& view, const beeping::state_machine& machine,
     std::size_t trials, std::uint64_t seed, std::uint64_t max_rounds);
 
 }  // namespace beepkit::core

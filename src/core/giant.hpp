@@ -1,0 +1,84 @@
+// Giant single-trial runner: one election on a 10^8-10^9-node implicit
+// topology, streamed through the pinned plane gear with checkpointing.
+//
+// What makes a trial "giant" is that nothing O(n) beyond the planes
+// may exist: the topology is an implicit view (no adjacency), the
+// engine runs engine_config::giant() (lazy 4-byte RNG cursors, no
+// beep-count ledger vector, planes pinned from round 0 with no state
+// vector ever materialized), and all word storage lives in the
+// engine's mmap plane arena. Budget: ~17 words of planes/sets/ledgers
+// per 64 nodes (~2.1 bytes/node) plus the 4-byte cursor per node.
+//
+// Checkpointing streams the complete trial state - planes, beep /
+// active / leader sets, pending-ledger slices, and every per-node RNG
+// cursor - through the sweep JSONL record machinery into an appendable
+// journal:
+//
+//   {"type":"giant_header", topology, n, seed, ...}
+//   {"type":"ckpt_begin", seq, round, leaders, pending_rounds, ...}
+//   {"type":"ckpt_words", seq, section, offset, data(base64)}   (chunked)
+//   {"type":"ckpt_cursors", seq, offset, count, data(varints)}  (chunked)
+//   {"type":"ckpt_end", seq, words, cursors, digest}
+//   {"type":"giant_done", ...}
+//
+// A checkpoint is adoptable iff its ckpt_end is present and its FNV-1a
+// digest (header integers + every word and cursor in stream order)
+// verifies - a torn tail from a kill mid-checkpoint is skipped in
+// favor of the previous complete snapshot. Resume restores the exact
+// generator cursors, so the continued run is bit-identical
+// draw-for-draw to the uninterrupted one (tests/test_giant_trial.cpp
+// pins outcome, round and total draw count).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "beeping/protocol.hpp"
+#include "graph/view.hpp"
+
+namespace beepkit::core {
+
+struct giant_options {
+  /// Stop horizon; 0 derives the Theorem-2 default from the view's
+  /// formula diameter (node count for untagged explicit graphs).
+  std::uint64_t max_rounds = 0;
+  /// Checkpoint journal path; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Rounds between snapshots (counted from round 0, so checkpoints
+  /// land on multiples; 0 with a path set = only the forced snapshot
+  /// at an early stop).
+  std::uint64_t checkpoint_every = 0;
+  /// Resume from the last complete snapshot in checkpoint_path
+  /// (which must exist); new records append to the same journal.
+  bool resume = false;
+  /// Stop (with a forced snapshot when checkpointing) once the round
+  /// counter reaches this value - the controlled "kill" half of the
+  /// kill/resume differential. 0 = run to election or horizon.
+  std::uint64_t stop_after_round = 0;
+  /// Compiled-kernel batch width override; 0 keeps the autotuned
+  /// default.
+  std::size_t compiled_width = 0;
+};
+
+struct giant_result {
+  bool converged = false;       ///< Exactly one leader at the stop round.
+  std::uint64_t rounds = 0;     ///< Round counter at the stop.
+  std::size_t leaders = 0;      ///< Leader count at the stop.
+  graph::node_id leader = 0;    ///< The survivor (when converged).
+  std::uint64_t draws = 0;      ///< Total RNG draws across all nodes.
+  std::uint64_t start_round = 0;        ///< 0, or the resumed round.
+  std::uint64_t checkpoints_written = 0;
+  bool stopped_early = false;   ///< stop_after_round fired.
+  std::size_t arena_bytes = 0;  ///< Engine plane-arena reservation.
+};
+
+/// Runs one giant trial of `machine` on `view` (typically implicit;
+/// explicit graphs work but pay their own adjacency). Throws
+/// std::invalid_argument on an unusable machine/config and
+/// std::runtime_error on journal I/O or resume-verification failure.
+[[nodiscard]] giant_result run_giant_trial(const graph::topology_view& view,
+                                           const beeping::state_machine& machine,
+                                           std::uint64_t seed,
+                                           const giant_options& options = {});
+
+}  // namespace beepkit::core

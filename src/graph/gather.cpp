@@ -90,11 +90,12 @@ std::string gather_kernel_name(gather_kernel k) {
   return "unknown";
 }
 
-heard_gather::heard_gather(const graph& g) : g_(&g) {
-  const std::size_t n = g.node_count();
+heard_gather::heard_gather(topology_view view) : view_(std::move(view)) {
+  const std::size_t n = view_.node_count();
+  n_ = n;
   words_ = packed_word_count(n);
   tail_mask_ = (n % 64 == 0) ? ~0ULL : ((1ULL << (n % 64)) - 1);
-  stencil_ = g.topology_tag();
+  stencil_ = view_.tag();
   if (stencil_.has_value()) {
     // Stencil preconditions. Generators only produce tags that pass
     // them, but hand-tagged or degenerate instances (a torus below
@@ -151,8 +152,13 @@ heard_gather::heard_gather(const graph& g) : g_(&g) {
 // dead weight there.
 void heard_gather::ensure_adjacency_layouts() {
   if (csr_built_) return;
-  csr_ = word_csr(*g_);
-  if (word_csr::packed_rows_worthwhile(*g_)) csr_.build_packed_rows(*g_);
+  const graph* g = view_.explicit_graph();
+  if (g == nullptr) {
+    throw std::logic_error(
+        "heard_gather: adjacency layouts need an explicit graph");
+  }
+  csr_ = word_csr(*g);
+  if (word_csr::packed_rows_worthwhile(*g)) csr_.build_packed_rows(*g);
   csr_built_ = true;
 }
 
@@ -161,11 +167,19 @@ void heard_gather::force_kernel(gather_kernel k) {
     throw std::invalid_argument(
         "heard_gather: stencil kernel requires a topology-tagged graph");
   }
+  if ((k == gather_kernel::word_csr_push ||
+       k == gather_kernel::packed_pull) &&
+      view_.is_implicit()) {
+    throw std::invalid_argument(
+        "heard_gather: " + gather_kernel_name(k) +
+        " needs adjacency; implicit views have none");
+  }
   if (k == gather_kernel::word_csr_push || k == gather_kernel::packed_pull) {
     ensure_adjacency_layouts();
   }
   if (k == gather_kernel::packed_pull && !csr_.packed_rows_built()) {
-    csr_.build_packed_rows(*g_);  // debug/test override of the heuristic
+    // Debug/test override of the worthwhile heuristic.
+    csr_.build_packed_rows(*view_.explicit_graph());
   }
   forced_ = k;
 }
@@ -176,6 +190,12 @@ void heard_gather::operator()(std::span<const std::uint64_t> beep,
   if (k == gather_kernel::auto_select) {
     if (stencil_.has_value()) {
       k = gather_kernel::stencil;
+    } else if (view_.is_implicit()) {
+      // Degenerate implicit shapes (ring below 3, n == 1, sub-3x3
+      // torus) have no stencil and no adjacency to refine: the
+      // arithmetic-neighbor reference kernel is exact and these views
+      // are tiny by construction.
+      k = gather_kernel::legacy_pull;
     } else {
       ensure_adjacency_layouts();
       // Push costs ~beeper word-pairs, pull ~one early-exit row scan
@@ -186,7 +206,7 @@ void heard_gather::operator()(std::span<const std::uint64_t> beep,
       for (const std::uint64_t word : beep) {
         beepers += static_cast<std::size_t>(std::popcount(word));
       }
-      const std::size_t n = g_->node_count();
+      const std::size_t n = n_;
       if (2 * beepers > n) {
         dense_mode_ = true;
       } else if (4 * beepers <= n) {
@@ -277,7 +297,7 @@ void heard_gather::gather_stencil_range(std::span<const std::uint64_t> beep,
       }
       if (topo.shape == topology::kind::ring) {
         // Wrap bits belong to the tiles owning the first/last word.
-        const std::size_t n = g_->node_count();
+        const std::size_t n = n_;
         const auto end = static_cast<node_id>(n - 1);
         if (wb == 0 && test_bit(beep, end)) h[0] |= 1ULL;
         const std::size_t end_word = static_cast<std::size_t>(end) >> 6;
@@ -396,7 +416,7 @@ void heard_gather::gather_word_csr_push_tiled(
 void heard_gather::gather_packed_pull(std::span<const std::uint64_t> beep,
                                       std::span<std::uint64_t> heard,
                                       std::size_t wb, std::size_t we) const {
-  const std::size_t n = g_->node_count();
+  const std::size_t n = n_;
   const std::size_t words = heard.size();
   const std::uint64_t* const b = beep.data();
   const node_id lo = static_cast<node_id>(wb << 6);
@@ -421,20 +441,32 @@ void heard_gather::gather_legacy_push(std::span<const std::uint64_t> beep,
       const auto u = static_cast<node_id>(
           (w << 6) + static_cast<std::size_t>(std::countr_zero(bits)));
       bits &= bits - 1;
-      for (node_id v : g_->neighbors(u)) {
-        set_bit(heard, v);
-      }
+      view_.for_each_neighbor(u, [&](node_id v) { set_bit(heard, v); });
     }
   }
 }
 
 void heard_gather::gather_legacy_pull(std::span<const std::uint64_t> beep,
                                       std::span<std::uint64_t> heard) const {
-  const std::size_t n = g_->node_count();
+  const std::size_t n = n_;
+  if (const graph* g = view_.explicit_graph(); g != nullptr) {
+    for (node_id u = 0; u < n; ++u) {
+      if (test_bit(heard, u)) continue;  // beeps itself
+      for (node_id v : g->neighbors(u)) {
+        if (test_bit(beep, v)) {
+          set_bit(heard, u);
+          break;
+        }
+      }
+    }
+    return;
+  }
   for (node_id u = 0; u < n; ++u) {
     if (test_bit(heard, u)) continue;  // beeps itself
-    for (node_id v : g_->neighbors(u)) {
-      if (test_bit(beep, v)) {
+    node_id nb[4];
+    const std::size_t count = view_.implicit_neighbors(u, nb);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (test_bit(beep, nb[i])) {
         set_bit(heard, u);
         break;
       }

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "graph/word_csr.hpp"
 
 namespace beepkit::support {
@@ -58,17 +59,21 @@ enum class gather_kernel : std::uint8_t {
 
 class heard_gather {
  public:
-  /// Derives the stencil masks for topology-tagged graphs; the
-  /// adjacency layouts (word-CSR, plus packed rows when
-  /// word_csr::packed_rows_worthwhile says the bitmap earns its keep)
-  /// are built lazily on the first gather that needs them - a tagged
-  /// graph always takes the stencil kernel and never pays for them.
+  /// Binds a topology view (explicit graphs convert implicitly, so
+  /// `heard_gather(g)` keeps working). Derives the stencil masks for
+  /// tagged views; the adjacency layouts (word-CSR, plus packed rows
+  /// when word_csr::packed_rows_worthwhile says the bitmap earns its
+  /// keep) are built lazily on the first gather that needs them - a
+  /// tagged view always takes the stencil kernel and never pays for
+  /// them, and an implicit view *cannot* pay for them (no adjacency
+  /// exists; that absence is the whole point of giant trials).
   /// A tag whose stencil preconditions fail (torus smaller than 3x3,
   /// ring below 3 nodes, rows*cols not matching the node count) is
-  /// dropped here, so such graphs fall back to the CSR kernels cleanly
-  /// instead of computing a wrong heard set. `g` must outlive the
-  /// gather.
-  explicit heard_gather(const graph& g);
+  /// dropped here: explicit graphs fall back to the CSR kernels,
+  /// implicit views to the arithmetic-neighbor legacy kernels - both
+  /// compute the same heard set as always. An explicit view's graph
+  /// must outlive the gather.
+  explicit heard_gather(topology_view view);
 
   /// heard := beep ∪ N(beep), both packed over word_count() words.
   /// `heard` must enter EQUAL to `beep` (a beeper always hears; the
@@ -94,8 +99,10 @@ class heard_gather {
 
   /// Pins one kernel (auto_select restores the default dispatch).
   /// Throws std::invalid_argument when the kernel is unavailable for
-  /// this graph (stencil without a topology tag). Forcing packed_pull
-  /// builds the rows on demand regardless of the worthwhile heuristic.
+  /// this view (stencil without a usable topology tag; word_csr_push /
+  /// packed_pull on an implicit view, which has no adjacency to build
+  /// them from). Forcing packed_pull builds the rows on demand
+  /// regardless of the worthwhile heuristic.
   void force_kernel(gather_kernel k);
   [[nodiscard]] gather_kernel forced_kernel() const noexcept {
     return forced_;
@@ -136,7 +143,8 @@ class heard_gather {
   void gather_legacy_pull(std::span<const std::uint64_t> beep,
                           std::span<std::uint64_t> heard) const;
 
-  const graph* g_;
+  topology_view view_;
+  std::size_t n_ = 0;
   word_csr csr_;  // empty until ensure_adjacency_layouts()
   bool csr_built_ = false;
   std::size_t words_ = 0;

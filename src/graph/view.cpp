@@ -1,0 +1,167 @@
+#include "graph/view.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace beepkit::graph {
+
+namespace {
+
+std::string default_name(const topology& topo) {
+  switch (topo.shape) {
+    case topology::kind::path:
+      return "path(" + std::to_string(topo.cols) + ")";
+    case topology::kind::ring:
+      return "cycle(" + std::to_string(topo.cols) + ")";
+    case topology::kind::grid:
+      return "grid(" + std::to_string(topo.rows) + "x" +
+             std::to_string(topo.cols) + ")";
+    case topology::kind::torus:
+      return "torus(" + std::to_string(topo.rows) + "x" +
+             std::to_string(topo.cols) + ")";
+  }
+  return "view(?)";
+}
+
+std::optional<std::size_t> parse_size(std::string_view text) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+topology_view topology_view::implicit(topology topo, std::string name) {
+  if (topo.rows == 0 || topo.cols == 0) {
+    throw std::invalid_argument("topology_view: zero-area geometry");
+  }
+  if ((topo.shape == topology::kind::path ||
+       topo.shape == topology::kind::ring) &&
+      topo.rows != 1) {
+    throw std::invalid_argument("topology_view: path/ring need rows == 1");
+  }
+  topology_view view;
+  view.n_ = topo.rows * topo.cols;
+  view.name_ = name.empty() ? default_name(topo) : std::move(name);
+  view.topo_ = topo;
+  return view;
+}
+
+std::optional<topology_view> topology_view::parse(std::string_view spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const std::string_view kind = spec.substr(0, colon);
+  const std::string_view dims = spec.substr(colon + 1);
+
+  topology topo;
+  if (kind == "path") {
+    topo.shape = topology::kind::path;
+  } else if (kind == "ring" || kind == "cycle") {
+    topo.shape = topology::kind::ring;
+  } else if (kind == "grid") {
+    topo.shape = topology::kind::grid;
+  } else if (kind == "torus") {
+    topo.shape = topology::kind::torus;
+  } else {
+    return std::nullopt;
+  }
+
+  const bool two_dim = topo.shape == topology::kind::grid ||
+                       topo.shape == topology::kind::torus;
+  if (two_dim) {
+    const auto x = dims.find('x');
+    if (x == std::string_view::npos) return std::nullopt;
+    const auto rows = parse_size(dims.substr(0, x));
+    const auto cols = parse_size(dims.substr(x + 1));
+    if (!rows || !cols || *rows == 0 || *cols == 0) return std::nullopt;
+    topo.rows = *rows;
+    topo.cols = *cols;
+  } else {
+    const auto n = parse_size(dims);
+    if (!n || *n == 0) return std::nullopt;
+    topo.rows = 1;
+    topo.cols = *n;
+  }
+  return implicit(topo);
+}
+
+std::uint32_t topology_view::formula_diameter() const {
+  if (!topo_.has_value()) {
+    throw std::logic_error("topology_view: formula_diameter needs a tag");
+  }
+  const topology& t = *topo_;
+  switch (t.shape) {
+    case topology::kind::path:
+      return static_cast<std::uint32_t>(n_ - 1);
+    case topology::kind::ring:
+      return static_cast<std::uint32_t>(n_ / 2);
+    case topology::kind::grid:
+      return static_cast<std::uint32_t>((t.rows - 1) + (t.cols - 1));
+    case topology::kind::torus:
+      return static_cast<std::uint32_t>(t.rows / 2 + t.cols / 2);
+  }
+  return 0;
+}
+
+std::size_t topology_view::implicit_neighbors(node_id u, node_id out[4]) const {
+  if (g_ != nullptr || !topo_.has_value()) {
+    throw std::logic_error("topology_view: implicit_neighbors on a non-implicit view");
+  }
+  const topology& t = *topo_;
+  node_id cand[4];
+  std::size_t raw = 0;
+  const auto n = static_cast<node_id>(n_);
+  switch (t.shape) {
+    case topology::kind::path:
+      if (u > 0) cand[raw++] = u - 1;
+      if (u + 1 < n) cand[raw++] = u + 1;
+      break;
+    case topology::kind::ring:
+      if (n > 1) {
+        cand[raw++] = (u + n - 1) % n;
+        cand[raw++] = (u + 1) % n;
+      }
+      break;
+    case topology::kind::grid: {
+      const auto cols = static_cast<node_id>(t.cols);
+      const node_id col = u % cols;
+      if (u >= cols) cand[raw++] = u - cols;
+      if (col > 0) cand[raw++] = u - 1;
+      if (col + 1 < cols) cand[raw++] = u + 1;
+      if (u + cols < n) cand[raw++] = u + cols;
+      break;
+    }
+    case topology::kind::torus: {
+      const auto rows = static_cast<node_id>(t.rows);
+      const auto cols = static_cast<node_id>(t.cols);
+      const node_id row = u / cols;
+      const node_id col = u % cols;
+      if (rows > 1) {
+        cand[raw++] = ((row + rows - 1) % rows) * cols + col;
+        cand[raw++] = ((row + 1) % rows) * cols + col;
+      }
+      if (cols > 1) {
+        cand[raw++] = row * cols + (col + cols - 1) % cols;
+        cand[raw++] = row * cols + (col + 1) % cols;
+      }
+      break;
+    }
+  }
+  // Simple-graph normalization for the degenerate shapes the stencil
+  // kernels refuse (ring of 2, 2-row torus, ...): drop self loops,
+  // sort, deduplicate. raw <= 4, so insertion handling is trivial.
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < raw; ++i) {
+    if (cand[i] != u) out[count++] = cand[i];
+  }
+  std::sort(out, out + count);
+  count = static_cast<std::size_t>(std::unique(out, out + count) - out);
+  return count;
+}
+
+}  // namespace beepkit::graph

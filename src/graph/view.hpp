@@ -1,0 +1,101 @@
+// Topology view: the lightweight handle engines bind to instead of a
+// concrete graph::graph.
+//
+// Two flavors share one type:
+//
+//  * explicit  - wraps a materialized graph (non-owning, like the
+//    `const graph&` the engines used to take). Implicitly convertible
+//    from `const graph&`, so every existing call site keeps compiling.
+//  * implicit  - carries only geometry (a graph::topology tag plus the
+//    node count it implies). No adjacency, no CSR, no O(n) anything:
+//    the stencil gather kernels and the arithmetic neighbor formulas
+//    below are the entire topology. This is what makes 10^8-10^9-node
+//    trials fit in plane-only memory (see core/giant.hpp).
+//
+// The differential contract: an implicit view and an explicit graph of
+// the same tagged topology produce bit-identical heard sets, draws and
+// election outcomes, for every gather kernel, tile size and thread
+// count. tests/test_topology_view.cpp pins this, degenerate shapes
+// included.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "graph/graph.hpp"
+
+namespace beepkit::graph {
+
+class topology_view {
+ public:
+  /// Empty view (0 nodes).
+  topology_view() = default;
+
+  /// Explicit view over a materialized graph. Intentionally implicit:
+  /// every API that used to take `const graph&` now takes a
+  /// topology_view and keeps accepting graphs unchanged. `g` must
+  /// outlive the view (same contract the engines already had).
+  topology_view(const graph& g)  // NOLINT(google-explicit-constructor)
+      : g_(&g), topo_(g.topology_tag()), n_(g.node_count()), name_(g.name()) {}
+
+  /// Implicit view: geometry only. The node count is rows*cols; the
+  /// name defaults to the matching generator's ("grid(4x8)", ...).
+  /// Throws std::invalid_argument on a zero-area geometry or a
+  /// path/ring with rows != 1.
+  [[nodiscard]] static topology_view implicit(topology topo,
+                                              std::string name = {});
+
+  /// Parses a topology spec string: "path:N", "ring:N" (or "cycle:N"),
+  /// "grid:RxC", "torus:RxC". Returns nullopt on malformed input or a
+  /// zero-area geometry.
+  [[nodiscard]] static std::optional<topology_view> parse(
+      std::string_view spec);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_; }
+  [[nodiscard]] bool is_implicit() const noexcept { return g_ == nullptr; }
+  /// The wrapped graph, or nullptr for an implicit view.
+  [[nodiscard]] const graph* explicit_graph() const noexcept { return g_; }
+  /// Geometry tag: always present for implicit views; for explicit
+  /// views, whatever the graph carries.
+  [[nodiscard]] const std::optional<topology>& tag() const noexcept {
+    return topo_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Exact diameter from the geometry formula (path n-1, ring
+  /// floor(n/2), grid (r-1)+(c-1), torus floor(r/2)+floor(c/2)).
+  /// Throws std::logic_error on a view without a tag - explicit
+  /// untagged graphs compute diameters through graph/algorithms.
+  [[nodiscard]] std::uint32_t formula_diameter() const;
+
+  /// Neighbors of u from the geometry alone, ascending and
+  /// deduplicated (a ring of 2 has one neighbor, a singleton none) -
+  /// exactly the simple-graph adjacency the matching generator builds.
+  /// Implicit views only. Returns the count written into out[0..3].
+  std::size_t implicit_neighbors(node_id u, node_id out[4]) const;
+
+  /// Visits the neighbors of u in ascending order - CSR adjacency for
+  /// explicit views, the arithmetic formulas for implicit ones.
+  template <typename Fn>
+  void for_each_neighbor(node_id u, Fn&& fn) const {
+    if (g_ != nullptr) {
+      for (const node_id v : g_->neighbors(u)) fn(v);
+      return;
+    }
+    node_id buf[4];
+    const std::size_t count = implicit_neighbors(u, buf);
+    for (std::size_t i = 0; i < count; ++i) fn(buf[i]);
+  }
+
+ private:
+  const graph* g_ = nullptr;
+  std::optional<topology> topo_;
+  std::size_t n_ = 0;
+  std::string name_ = "view(empty)";
+};
+
+}  // namespace beepkit::graph

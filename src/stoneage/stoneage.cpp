@@ -15,13 +15,16 @@ constexpr symbol beep_symbol = 1;
 
 }  // namespace
 
-engine::engine(const graph::graph& g, const automaton& machine,
+engine::engine(graph::topology_view view, const automaton& machine,
                std::uint32_t threshold, std::uint64_t seed)
-    : g_(&g), machine_(&machine), threshold_(threshold) {
+    : view_(std::move(view)),
+      n_(view_.node_count()),
+      machine_(&machine),
+      threshold_(threshold) {
   if (threshold_ == 0) {
     throw std::invalid_argument("stoneage::engine: threshold must be >= 1");
   }
-  const std::size_t n = g.node_count();
+  const std::size_t n = n_;
   rngs_ = support::make_node_streams(seed, n);
   states_.assign(n, machine.initial_state());
   next_states_.assign(n, machine.initial_state());
@@ -56,7 +59,7 @@ engine::engine(const graph::graph& g, const automaton& machine,
               "disagree with the automaton");
         }
       }
-      gather_.emplace(g);
+      gather_.emplace(view_);
       beep_words_.assign((n + 63) / 64, 0);
       heard_words_.assign((n + 63) / 64, 0);
       plane_count_ = 1;
@@ -82,7 +85,7 @@ engine::engine(const graph::graph& g, const automaton& machine,
 // displayed-beep word (the sweep maintains both incrementally from
 // here on - the per-round O(n) scalar display packing is gone).
 void engine::pack_planes() {
-  const std::size_t n = g_->node_count();
+  const std::size_t n = n_;
   const beeping::machine_table& table = *table_;
   for (std::size_t j = 0; j < plane_count_; ++j) {
     std::fill(planes_[j].begin(), planes_[j].end(), 0);
@@ -109,8 +112,8 @@ void engine::materialize() const {
   for (std::size_t j = 0; j < plane_count_; ++j) {
     plane_ptrs[j] = planes_[j].data();
   }
-  support::simd::transpose_planes_to_u16(plane_ptrs, plane_count_,
-                                         g_->node_count(), states_.data());
+  support::simd::transpose_planes_to_u16(plane_ptrs, plane_count_, n_,
+                                         states_.data());
 }
 
 void engine::set_fast_path_enabled(bool enabled) {
@@ -187,13 +190,13 @@ void engine::step() {
     step_fast();
   } else {
     if (tel_on) ++metrics_.rounds_virtual;
-    const std::size_t n = g_->node_count();
+    const std::size_t n = n_;
     for (graph::node_id u = 0; u < n; ++u) {
       std::fill(census_.begin(), census_.end(), 0U);
-      for (graph::node_id v : g_->neighbors(u)) {
+      view_.for_each_neighbor(u, [&](graph::node_id v) {
         const symbol sigma = machine_->display(states_[v]);
         if (census_[sigma] < threshold_) ++census_[sigma];
-      }
+      });
       next_states_[u] = machine_->transition(states_[u], census_, rngs_[u]);
     }
     states_.swap(next_states_);
@@ -406,7 +409,7 @@ void engine::step_compiled() {
   ctx.heard = heard_words_.data();
   ctx.beep = beep_words_.data();
   ctx.planes = plane_ptrs;
-  ctx.rngs = rngs_.data();
+  ctx.rngs = support::rng_source{rngs_.data(), nullptr};
   ctx.rules = table_->rules.data();
   ctx.tail_mask = tail_mask_;
   ctx.words = words;
@@ -444,13 +447,13 @@ engine::run_result engine::run_until_single_leader(std::uint64_t max_rounds) {
 
 graph::node_id engine::sole_leader() const {
   if (leader_count_ != 1) {
-    return static_cast<graph::node_id>(g_->node_count());
+    return static_cast<graph::node_id>(n_);
   }
   materialize();
-  for (graph::node_id u = 0; u < g_->node_count(); ++u) {
+  for (graph::node_id u = 0; u < n_; ++u) {
     if (machine_->is_leader(states_[u])) return u;
   }
-  return static_cast<graph::node_id>(g_->node_count());
+  return static_cast<graph::node_id>(n_);
 }
 
 void engine::set_states(std::vector<state_id> states) {

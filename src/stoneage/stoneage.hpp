@@ -23,6 +23,7 @@
 #include "beeping/protocol.hpp"
 #include "graph/gather.hpp"
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/simd.hpp"
@@ -79,7 +80,10 @@ class automaton {
 /// plane-authoritative model.
 class engine {
  public:
-  engine(const graph::graph& g, const automaton& machine,
+  /// Binds to a topology view (explicit graphs convert implicitly;
+  /// implicit views route the fast path to the stencil kernels and the
+  /// generic census path to arithmetic neighbor enumeration).
+  engine(graph::topology_view view, const automaton& machine,
          std::uint32_t threshold, std::uint64_t seed);
 
   void step();
@@ -204,7 +208,8 @@ class engine {
   /// Unpacks the authoritative planes back into states_ (lazy).
   void materialize() const;
 
-  const graph::graph* g_;
+  graph::topology_view view_;
+  std::size_t n_ = 0;
   const automaton* machine_;
   std::uint32_t threshold_;
   // Set when the automaton exposes a compiled beeping machine
@@ -219,7 +224,7 @@ class engine {
   // beep word + leader count, no active/ledger upkeep).
   const beeping::compiled_kernel* compiled_kernel_ = nullptr;
   bool compiled_enabled_ = true;
-  std::size_t compiled_width_ = support::simd::preferred_width();
+  std::size_t compiled_width_ = support::simd::autotuned_width();
   std::uint64_t compiled_rounds_ = 0;
   std::optional<graph::heard_gather> gather_;     // fast path only
   std::vector<std::uint64_t> beep_words_;   // fast path: packed displays

@@ -1,0 +1,155 @@
+#include "support/codec.hpp"
+
+#include <array>
+
+namespace beepkit::support::codec {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> make_decode_table() {
+  std::array<std::int8_t, 256> table{};
+  for (auto& v : table) v = -1;
+  for (std::int8_t i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = i;
+  }
+  return table;
+}
+
+constexpr auto kDecode = make_decode_table();
+
+}  // namespace
+
+std::string base64_encode(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(((bytes.size() + 2) / 3) * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(bytes[i]) << 16) |
+                            (static_cast<std::uint32_t>(bytes[i + 1]) << 8) |
+                            bytes[i + 2];
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back(kAlphabet[v & 63]);
+  }
+  const std::size_t rem = bytes.size() - i;
+  if (rem == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(bytes[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(bytes[i]) << 16) |
+                            (static_cast<std::uint32_t>(bytes[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> base64_decode(std::string_view text) {
+  if (text.size() % 4 != 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve((text.size() / 4) * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    const bool last = i + 4 == text.size();
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (std::size_t k = 0; k < 4; ++k) {
+      const char c = text[i + k];
+      if (c == '=') {
+        // Padding is only legal in the last quantum's tail positions.
+        if (!last || k < 2) return std::nullopt;
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad != 0) return std::nullopt;  // data after padding
+      const std::int8_t d = kDecode[static_cast<unsigned char>(c)];
+      if (d < 0) return std::nullopt;
+      v = (v << 6) | static_cast<std::uint32_t>(d);
+    }
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>(v >> 8));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(v));
+  }
+  return out;
+}
+
+std::string encode_words(std::span<const std::uint64_t> words) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(words.size() * 8);
+  for (const std::uint64_t w : words) {
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+    }
+  }
+  return base64_encode(bytes);
+}
+
+std::optional<std::size_t> decode_words(std::string_view text,
+                                        std::span<std::uint64_t> out) {
+  const auto bytes = base64_decode(text);
+  if (!bytes.has_value()) return std::nullopt;
+  if (bytes->size() % 8 != 0) return std::nullopt;
+  const std::size_t count = bytes->size() / 8;
+  if (count > out.size()) return std::nullopt;
+  for (std::size_t w = 0; w < count; ++w) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>((*bytes)[w * 8 + i]) << (8 * i);
+    }
+    out[w] = v;
+  }
+  return count;
+}
+
+void put_uvarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::optional<std::uint64_t> get_uvarint(std::span<const std::uint8_t> bytes,
+                                         std::size_t& pos) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 70; shift += 7) {
+    if (pos >= bytes.size()) return std::nullopt;
+    const std::uint8_t b = bytes[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  return std::nullopt;  // overlong (> 10 bytes)
+}
+
+std::string encode_cursors(std::span<const std::uint32_t> vals) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(vals.size() * 2);  // small cursors dominate
+  for (const std::uint32_t v : vals) put_uvarint(bytes, v);
+  return base64_encode(bytes);
+}
+
+std::optional<std::size_t> decode_cursors(std::string_view text,
+                                          std::span<std::uint32_t> out) {
+  const auto bytes = base64_decode(text);
+  if (!bytes.has_value()) return std::nullopt;
+  std::size_t pos = 0;
+  std::size_t count = 0;
+  while (pos < bytes->size()) {
+    const auto v = get_uvarint(*bytes, pos);
+    if (!v.has_value() || *v > 0xFFFFFFFFULL) return std::nullopt;
+    if (count >= out.size()) return std::nullopt;
+    out[count++] = static_cast<std::uint32_t>(*v);
+  }
+  return count;
+}
+
+}  // namespace beepkit::support::codec

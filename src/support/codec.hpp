@@ -1,0 +1,88 @@
+// Binary-in-JSONL codecs for the giant-trial checkpoint stream
+// (core/giant.hpp): base64 for word-plane payloads, LEB128 varints for
+// per-node RNG cursors (small integers dominate, so variable length
+// beats fixed u32 by 2-4x on disk), and streaming FNV-1a so every
+// checkpoint carries an end-to-end digest the resume path verifies
+// before adopting any state.
+//
+// Everything here is deterministic and platform-independent: words are
+// serialized little-endian byte order explicitly, so a checkpoint
+// written on one machine resumes bit-identically on another.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace beepkit::support::codec {
+
+/// Standard base64 (RFC 4648, with padding) over raw bytes.
+[[nodiscard]] std::string base64_encode(std::span<const std::uint8_t> bytes);
+
+/// Decodes standard base64; returns nullopt on any malformed input
+/// (bad character, bad padding, truncated quantum).
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> base64_decode(
+    std::string_view text);
+
+/// Serializes 64-bit words little-endian and base64-encodes them (the
+/// plane payload encoding).
+[[nodiscard]] std::string encode_words(std::span<const std::uint64_t> words);
+
+/// Inverse of encode_words into a caller-provided destination (the
+/// resume path decodes straight into arena-backed plane spans).
+/// Returns the number of words written, or nullopt when the text is
+/// malformed or decodes to more words than `out` can hold (or to a
+/// non-whole number of words).
+[[nodiscard]] std::optional<std::size_t> decode_words(
+    std::string_view text, std::span<std::uint64_t> out);
+
+/// Appends the LEB128 varint encoding of v (1-10 bytes).
+void put_uvarint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/// Reads one LEB128 varint, advancing `pos`. Returns nullopt on
+/// truncation or a >10-byte (overlong) encoding.
+[[nodiscard]] std::optional<std::uint64_t> get_uvarint(
+    std::span<const std::uint8_t> bytes, std::size_t& pos);
+
+/// Varint-packs a u32 cursor array and base64s it (per-node RNG
+/// cursor encoding: one checkpoint section, chunked by the caller).
+[[nodiscard]] std::string encode_cursors(std::span<const std::uint32_t> vals);
+
+/// Inverse of encode_cursors into a caller-provided destination.
+/// Returns the number of cursors written, or nullopt on malformed
+/// input or overflow of `out` / of u32.
+[[nodiscard]] std::optional<std::size_t> decode_cursors(
+    std::string_view text, std::span<std::uint32_t> out);
+
+/// Streaming 64-bit FNV-1a. update() order defines the digest; the
+/// checkpoint hashes every section's raw words/cursors in stream
+/// order plus the header integers, so any torn or reordered record
+/// fails verification.
+class fnv1a {
+ public:
+  void update(std::span<const std::uint8_t> bytes) noexcept {
+    for (const std::uint8_t b : bytes) {
+      state_ ^= b;
+      state_ *= 0x100000001b3ULL;
+    }
+  }
+  void update_u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= static_cast<std::uint8_t>(v >> (8 * i));
+      state_ *= 0x100000001b3ULL;
+    }
+  }
+  void update_words(std::span<const std::uint64_t> words) noexcept {
+    for (const std::uint64_t w : words) update_u64(w);
+  }
+  [[nodiscard]] std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace beepkit::support::codec

@@ -1,6 +1,8 @@
 #include "support/rng.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace beepkit::support {
 
@@ -78,6 +80,84 @@ std::vector<rng> make_node_streams(std::uint64_t root_seed,
     streams.push_back(root.substream(node));
   }
   return streams;
+}
+
+rng_store rng_store::dense(std::uint64_t root_seed, std::size_t count) {
+  rng_store store;
+  store.dense_ = make_node_streams(root_seed, count);
+  return store;
+}
+
+rng_store rng_store::lazy(std::uint64_t root_seed, std::size_t count,
+                          draw_mode mode) {
+  rng_store store;
+  store.lazy_ = true;
+  store.mode_ = mode;
+  store.root_ = rng(root_seed);
+  store.cursors_.assign(count, 0);
+  return store;
+}
+
+rng& rng_store::acquire(std::size_t stream) noexcept {
+  sync();
+  active_ = stream;
+  scratch_ = root_.substream(stream);
+  const std::uint32_t cursor = cursors_[stream];
+  if (cursor != 0) {
+    if (mode_ == draw_mode::coins) {
+      scratch_.discard_coins(cursor);
+    } else {
+      scratch_.discard_u64(cursor);
+    }
+  }
+  return scratch_;
+}
+
+void rng_store::sync() noexcept {
+  if (active_ == npos) return;
+  const std::uint64_t count = mode_ == draw_mode::coins
+                                  ? scratch_.coins_consumed()
+                                  : scratch_.u64_draws();
+  cursors_[active_] = static_cast<std::uint32_t>(count);
+  active_ = npos;
+}
+
+std::span<const std::uint32_t> rng_store::cursors() {
+  sync();
+  return cursors_;
+}
+
+void rng_store::set_cursors(std::span<const std::uint32_t> cursors) {
+  if (!lazy_ || cursors.size() != cursors_.size()) {
+    throw std::invalid_argument("rng_store: cursor size mismatch");
+  }
+  active_ = npos;
+  std::copy(cursors.begin(), cursors.end(), cursors_.begin());
+}
+
+std::span<std::uint32_t> rng_store::cursors_mutable() {
+  if (!lazy_) {
+    throw std::logic_error("rng_store: dense mode has no cursor array");
+  }
+  sync();
+  return cursors_;
+}
+
+std::uint64_t rng_store::total_draws() {
+  if (!lazy_) {
+    std::uint64_t total = 0;
+    for (const rng& stream : dense_) total += stream.coins_consumed();
+    return total;
+  }
+  sync();
+  std::uint64_t total = 0;
+  for (const std::uint32_t cursor : cursors_) total += cursor;
+  return total;
+}
+
+std::uint64_t rng_store::total_coins() {
+  if (lazy_ && mode_ == draw_mode::raw64) return 0;
+  return total_draws();
 }
 
 }  // namespace beepkit::support

@@ -63,6 +63,7 @@ class rng {
 
   /// Raw 64 uniform bits (xoshiro256** scrambler).
   std::uint64_t next_u64() noexcept {
+    ++calls_;
     const std::uint64_t result = rotl_(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;
     state_[2] ^= state_[0];
@@ -128,6 +129,34 @@ class rng {
   /// Number of fair coin bits drawn through coin() so far.
   [[nodiscard]] std::uint64_t coins_consumed() const noexcept { return coins_; }
 
+  /// Number of raw 64-bit words drawn through next_u64() so far (every
+  /// draw primitive bottoms out there). Together with coins_consumed()
+  /// this is the complete draw cursor of a stream: a fresh generator
+  /// fast-forwarded by either count lands on the identical state, which
+  /// is what lets giant trials store a 4-byte cursor per node instead
+  /// of a 56-byte generator (rng_store below).
+  [[nodiscard]] std::uint64_t u64_draws() const noexcept { return calls_; }
+
+  /// Advances past `count` fair coins exactly as `count` coin() calls
+  /// would - same buffer refill boundaries, same residual buffer bits,
+  /// same coin account - without reading the results.
+  void discard_coins(std::uint64_t count) noexcept {
+    coin_buffer_ = 0;
+    coin_bits_left_ = 0;
+    for (std::uint64_t i = 0; i < count / 64; ++i) (void)next_u64();
+    const auto rem = static_cast<unsigned>(count % 64);
+    if (rem != 0) {
+      coin_buffer_ = next_u64() >> rem;
+      coin_bits_left_ = 64 - rem;
+    }
+    coins_ += count;
+  }
+
+  /// Advances past `count` raw next_u64() draws.
+  void discard_u64(std::uint64_t count) noexcept {
+    for (std::uint64_t i = 0; i < count; ++i) (void)next_u64();
+  }
+
   /// Resets only the coin account (state is untouched).
   void reset_coin_account() noexcept { coins_ = 0; }
 
@@ -147,11 +176,112 @@ class rng {
   std::uint64_t coin_buffer_ = 0;
   unsigned coin_bits_left_ = 0;
   std::uint64_t coins_ = 0;
+  std::uint64_t calls_ = 0;
 };
 
 /// Derives `count` per-node generators from a root seed, one substream
 /// per node id. Convenience used by every simulator.
 [[nodiscard]] std::vector<rng> make_node_streams(std::uint64_t root_seed,
                                                  std::size_t count);
+
+/// How a lazily reconstructed stream's draw cursor maps back onto
+/// generator state: `coins` replays fair-coin bits through the coin
+/// buffer (BFW with p = 1/2 - one bit per draw), `raw64` replays whole
+/// next_u64 calls (bernoulli / uniform draws - one word per draw).
+enum class draw_mode : std::uint8_t { coins, raw64 };
+
+/// The per-node generator array behind an engine, in one of two
+/// representations with identical draw sequences:
+///
+///  * dense - a materialized std::vector<rng>, exactly the historical
+///    make_node_streams array. Zero-cost indexing; 56 bytes per node.
+///  * lazy  - a 4-byte draw cursor per node plus one scratch
+///    generator. operator[] reconstructs the requested stream on
+///    demand (substream + fast-forward by the cursor), so a
+///    10^9-node giant trial pays 4 GB instead of 56 GB, and the
+///    cursor array doubles as the checkpoint representation of all
+///    randomness. Reconstruction replays cursor/64 words, which stays
+///    cheap because a BFW node only draws while it waits in W-black.
+///
+/// Lazy mode serves one stream at a time (the engines' plane sweeps
+/// draw in ascending node order, so this is a cache hit in the common
+/// case) and is single-threaded by contract; dense mode has the exact
+/// sharing contract of the vector it replaces.
+class rng_store {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  rng_store() = default;
+
+  [[nodiscard]] static rng_store dense(std::uint64_t root_seed,
+                                       std::size_t count);
+  [[nodiscard]] static rng_store lazy(std::uint64_t root_seed,
+                                      std::size_t count, draw_mode mode);
+
+  [[nodiscard]] bool is_lazy() const noexcept { return lazy_; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return lazy_ ? cursors_.size() : dense_.size();
+  }
+
+  rng& operator[](std::size_t stream) noexcept {
+    if (!lazy_) return dense_[stream];
+    return stream == active_ ? scratch_ : acquire(stream);
+  }
+
+  /// Lazy mode: the per-stream draw cursors with the active scratch
+  /// stream folded back in - the complete serializable state of every
+  /// generator. Invalidated by the next operator[].
+  [[nodiscard]] std::span<const std::uint32_t> cursors();
+  /// Lazy mode: restores cursors saved by cursors(). Size must match.
+  void set_cursors(std::span<const std::uint32_t> cursors);
+  /// Lazy mode: mutable access to the cursor array for in-place
+  /// restore - the giant resume decodes varint chunks straight into
+  /// this span instead of staging a second O(n) buffer. Syncs and
+  /// deactivates the scratch stream first. Throws std::logic_error in
+  /// dense mode.
+  [[nodiscard]] std::span<std::uint32_t> cursors_mutable();
+
+  /// Total draws across all streams (coin bits or u64 calls, per the
+  /// mode). Dense mode reports coin bits.
+  [[nodiscard]] std::uint64_t total_draws();
+  /// Fair-coin account across all streams - what engines report as
+  /// total_coins_consumed(). raw64-mode draws are not coins and count
+  /// zero, exactly as bernoulli() never touched the dense coin account.
+  [[nodiscard]] std::uint64_t total_coins();
+
+  /// The draw-loop view of this store (see rng_source below).
+  [[nodiscard]] struct rng_source source() noexcept;
+
+ private:
+  rng& acquire(std::size_t stream) noexcept;
+  void sync() noexcept;
+
+  bool lazy_ = false;
+  draw_mode mode_ = draw_mode::coins;
+  std::vector<rng> dense_;
+  // Lazy representation:
+  rng root_{0};
+  std::vector<std::uint32_t> cursors_;
+  rng scratch_{0};
+  std::size_t active_ = npos;
+
+  friend struct rng_source;
+};
+
+/// The indirection the engines' draw loops go through: dense engines
+/// expose the raw stream array (one predictable branch over the
+/// historical direct indexing), giant engines the lazy store.
+struct rng_source {
+  rng* dense = nullptr;
+  rng_store* store = nullptr;
+
+  rng& operator[](std::size_t stream) const noexcept {
+    return dense != nullptr ? dense[stream] : (*store)[stream];
+  }
+};
+
+inline rng_source rng_store::source() noexcept {
+  return lazy_ ? rng_source{nullptr, this} : rng_source{dense_.data(), nullptr};
+}
 
 }  // namespace beepkit::support

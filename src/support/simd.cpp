@@ -1,0 +1,116 @@
+#include "support/simd.hpp"
+
+#include <chrono>
+#include <vector>
+
+namespace beepkit::support::simd {
+
+namespace {
+
+// A representative slice of the compiled plane sweep: per vector of
+// words, decode a membership mask from three planes, split it by the
+// heard vector, ripple-carry one add across the planes and fold the
+// result back. The op mix (AND/ANDNOT/XOR chains with a serial carry
+// dependency) is what distinguishes the widths in the real kernels -
+// pure streaming bandwidth would always favor the widest vector.
+template <std::size_t W>
+std::uint64_t probe_pass(const std::uint64_t* heard, std::uint64_t* p0,
+                         std::uint64_t* p1, std::uint64_t* p2,
+                         std::size_t words) noexcept {
+  using vec = wordvec<W>;
+  std::uint64_t acc = 0;
+  for (std::size_t w = 0; w + W <= words; w += W) {
+    const vec h = vec::load(heard + w);
+    vec b0 = vec::load(p0 + w);
+    vec b1 = vec::load(p1 + w);
+    vec b2 = vec::load(p2 + w);
+    const vec members = andnot(b0 & b1, b2);
+    const vec top = members & h;
+    const vec inc = andnot(members, h);
+    vec carry = inc;
+    vec t = (b0 ^ carry) & inc;
+    carry &= b0;
+    b0 = andnot(b0, inc) | t;
+    t = (b1 ^ carry) & inc;
+    carry &= b1;
+    b1 = andnot(b1, inc) | t;
+    t = (b2 ^ carry) & inc;
+    b2 = andnot(b2, inc) | t;
+    b0 |= top;
+    b1 ^= top;
+    b0.store(p0 + w);
+    b1.store(p1 + w);
+    b2.store(p2 + w);
+    for (std::size_t i = 0; i < W; ++i) acc += b2.lane(i);
+  }
+  return acc;
+}
+
+std::size_t run_probe() {
+  constexpr std::size_t kWords = 1u << 12;  // 256 KiB working set
+  constexpr int kReps = 4;
+  std::vector<std::uint64_t> heard(kWords), p0(kWords), p1(kWords), p2(kWords);
+  // Deterministic pseudo-random fill (splitmix-style) so the decode
+  // masks are non-degenerate; the actual values are irrelevant.
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  const auto next = [&x]() noexcept {
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return z ^ (z >> 31);
+  };
+  for (std::size_t w = 0; w < kWords; ++w) {
+    heard[w] = next();
+    p0[w] = next();
+    p1[w] = next();
+    p2[w] = next();
+  }
+  using clock = std::chrono::steady_clock;
+  std::uint64_t sink = 0;
+  const auto time_width = [&](auto width_tag) {
+    constexpr std::size_t W = decltype(width_tag)::value;
+    // Warm-up pass (page faults, icache), then best-of-kReps.
+    sink += probe_pass<W>(heard.data(), p0.data(), p1.data(), p2.data(),
+                          kWords);
+    auto best = clock::duration::max();
+    for (int r = 0; r < kReps; ++r) {
+      const auto t0 = clock::now();
+      sink += probe_pass<W>(heard.data(), p0.data(), p1.data(), p2.data(),
+                            kWords);
+      const auto dt = clock::now() - t0;
+      if (dt < best) best = dt;
+    }
+    return best;
+  };
+  const clock::duration times[4] = {
+      time_width(std::integral_constant<std::size_t, 1>{}),
+      time_width(std::integral_constant<std::size_t, 2>{}),
+      time_width(std::integral_constant<std::size_t, 4>{}),
+      time_width(std::integral_constant<std::size_t, 8>{}),
+  };
+  constexpr std::size_t widths[4] = {1, 2, 4, 8};
+  // Ties (and near-ties within 2%) break toward the compile-time
+  // preference, which the probe must beat to override.
+  std::size_t best = preferred_width();
+  auto best_time = times[preferred_width() == 8   ? 3
+                         : preferred_width() == 4 ? 2
+                         : preferred_width() == 2 ? 1
+                                                  : 0];
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (times[i].count() * 100 < best_time.count() * 98) {
+      best = widths[i];
+      best_time = times[i];
+    }
+  }
+  // The sink keeps the optimizer honest without affecting the result.
+  if (sink == 0x5eed5eed5eed5eedULL) return 1;
+  return best;
+}
+
+}  // namespace
+
+std::size_t autotuned_width() noexcept {
+  static const std::size_t width = run_probe();
+  return width;
+}
+
+}  // namespace beepkit::support::simd

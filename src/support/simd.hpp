@@ -59,6 +59,15 @@ namespace beepkit::support::simd {
 #endif
 }
 
+/// Runtime-tuned batch width: a one-shot micro-probe (first call)
+/// times a representative bit-plane sweep - decode masks, ripple-carry
+/// add, successor routing - at each candidate width on this machine
+/// and caches the winner for the process. Engines use this as their
+/// compiled-width default; preferred_width() stays the compile-time
+/// fallback and ties break toward it. Width is purely a throughput
+/// knob - every width computes bit-identical words.
+[[nodiscard]] std::size_t autotuned_width() noexcept;
+
 #if BEEPKIT_SIMD_VECTOR_EXT
 namespace detail {
 // The vector_size argument must be a literal: GCC silently drops the

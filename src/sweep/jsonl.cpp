@@ -81,11 +81,12 @@ json summary_to_json(const support::summary& s) {
 
 record_writer::~record_writer() { stop_writer(); }
 
-bool record_writer::open(const std::string& path) {
+bool record_writer::open(const std::string& path, bool append) {
   stop_writer();  // re-open: retire any previous writer thread first
   if (out_.is_open()) out_.close();
   out_.clear();  // a failed or closed stream must not poison the reopen
-  out_.open(path, std::ios::out | std::ios::trunc);
+  out_.open(path, append ? (std::ios::out | std::ios::app)
+                         : (std::ios::out | std::ios::trunc));
   opened_ = out_.is_open();
   if (!opened_) return false;
   ok_.store(true, std::memory_order_release);
@@ -286,6 +287,10 @@ void record_writer::write_done(std::uint64_t units_run,
       {"units_resumed", json(units_resumed)},
   }));
   flush();
+}
+
+void record_writer::write_record(const support::json& record) {
+  write_line(record);
 }
 
 void record_writer::flush() {

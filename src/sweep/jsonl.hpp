@@ -101,9 +101,13 @@ class record_writer {
   record_writer(const record_writer&) = delete;
   record_writer& operator=(const record_writer&) = delete;
 
-  /// Opens (and truncates) `path` and starts the writer thread.
+  /// Opens `path` and starts the writer thread. Truncates by default
+  /// (resumed sweeps rewrite the file so output is always well-formed);
+  /// `append == true` keeps the existing contents and adds records at
+  /// the end - the giant-trial checkpoint stream (core/giant.hpp)
+  /// appends snapshots to one growing journal across interruptions.
   /// Returns false when the file cannot be opened.
-  [[nodiscard]] bool open(const std::string& path);
+  [[nodiscard]] bool open(const std::string& path, bool append = false);
   [[nodiscard]] bool is_open() const noexcept { return opened_; }
 
   void write_header(const std::string& sweep_name, support::shard_spec shard,
@@ -117,6 +121,10 @@ class record_writer {
   void write_cell_summary(const analysis::trial_stats& stats,
                           std::uint64_t cell);
   void write_done(std::uint64_t units_run, std::uint64_t units_resumed);
+  /// Streams an arbitrary record through the same queue (used by the
+  /// giant-trial checkpoint journal, whose record types live in
+  /// core/giant.cpp rather than here).
+  void write_record(const support::json& record);
   /// Drains the queue (synchronous barrier) and flushes the stream.
   void flush();
 

@@ -34,8 +34,8 @@ cell_record make_cell_record(std::size_t index,
   cell_record record;
   record.cell = index;
   record.algorithm = cell.algo.name;
-  record.graph = cell.inst->g.name();
-  record.n = cell.inst->g.node_count();
+  record.graph = cell.inst->name();
+  record.n = cell.inst->node_count();
   record.diameter = cell.inst->diameter;
   record.trials = cell.trials;
   record.seed = cell.seed;
@@ -281,7 +281,7 @@ shard_result run(const spec& s, const options& opts) {
       pending& p = batch[fresh[k]];
       const analysis::matrix_cell& cell = s.cells[p.u.cell];
       const auto start = std::chrono::steady_clock::now();
-      p.outcome = cell.algo.run(cell.inst->g, p.u.seed, cell.max_rounds);
+      p.outcome = cell.algo.run(cell.inst->view(), p.u.seed, cell.max_rounds);
       p.seconds = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();

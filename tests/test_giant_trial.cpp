@@ -1,0 +1,366 @@
+// Giant-trial subsystem: the plane arena, the binary-in-JSONL codecs,
+// the lazy cursor store, and the checkpoint/resume loop. The standing
+// contract under test: a giant-configured engine (lazy RNG cursors,
+// pinned planes, no ledger vector) is bit-identical to the ordinary
+// engine, and a resumed trial is bit-identical - outcome, round and
+// total draw count - to the uninterrupted one.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "beeping/engine.hpp"
+#include "core/bfw.hpp"
+#include "core/convergence.hpp"
+#include "core/giant.hpp"
+#include "graph/generators.hpp"
+#include "graph/view.hpp"
+#include "support/arena.hpp"
+#include "support/codec.hpp"
+#include "support/rng.hpp"
+#include "support/simd.hpp"
+
+namespace beepkit {
+namespace {
+
+using graph::topology;
+using graph::topology_view;
+namespace codec = support::codec;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "beepkit_" + name;
+}
+
+// --- plane arena ------------------------------------------------------
+
+TEST(PlaneArena, AllocationsAreZeroedAndAligned) {
+  support::plane_arena arena;
+  const auto small = arena.alloc_words(17);
+  const auto large = arena.alloc_words(1 << 19);  // 4 MiB: dedicated chunk
+  ASSERT_EQ(small.size(), 17U);
+  ASSERT_EQ(large.size(), std::size_t{1} << 19);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(small.data()) % 64, 0U);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(large.data()) % 64, 0U);
+  for (const std::uint64_t w : small) EXPECT_EQ(w, 0U);
+  EXPECT_EQ(large[0], 0U);
+  EXPECT_EQ(large[large.size() - 1], 0U);
+  EXPECT_GE(arena.bytes_reserved(), (std::size_t{1} << 22));
+  EXPECT_GE(arena.chunk_count(), 2U);  // bump block + dedicated chunk
+  // Buffers are writable and independent.
+  small[0] = ~0ULL;
+  large[0] = 42;
+  EXPECT_EQ(small[0], ~0ULL);
+  EXPECT_EQ(large[0], 42U);
+}
+
+TEST(PlaneArena, MoveTransfersOwnership) {
+  support::plane_arena arena;
+  const auto buf = arena.alloc_words(100);
+  buf[7] = 1234;
+  support::plane_arena moved = std::move(arena);
+  EXPECT_EQ(buf[7], 1234U);
+  EXPECT_GE(moved.bytes_reserved(), 800U);
+}
+
+// --- codecs -----------------------------------------------------------
+
+TEST(Codec, Base64RoundTripsAllLengths) {
+  std::vector<std::uint8_t> bytes;
+  for (int len = 0; len < 70; ++len) {
+    const std::string text = codec::base64_encode(bytes);
+    const auto back = codec::base64_decode(text);
+    ASSERT_TRUE(back.has_value()) << len;
+    EXPECT_EQ(*back, bytes) << len;
+    bytes.push_back(static_cast<std::uint8_t>(len * 37 + 11));
+  }
+}
+
+TEST(Codec, Base64RejectsMalformedInput) {
+  EXPECT_FALSE(codec::base64_decode("abc").has_value());      // not mod 4
+  EXPECT_FALSE(codec::base64_decode("ab!d").has_value());     // bad char
+  EXPECT_FALSE(codec::base64_decode("=abc").has_value());     // pad first
+  EXPECT_FALSE(codec::base64_decode("ab=c").has_value());     // data after pad
+}
+
+TEST(Codec, WordsRoundTripThroughBase64) {
+  const std::vector<std::uint64_t> words = {0, ~0ULL, 0x0123456789abcdefULL,
+                                            1ULL << 63, 42};
+  const std::string text = codec::encode_words(words);
+  std::vector<std::uint64_t> out(words.size(), 7);
+  const auto count = codec::decode_words(text, out);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, words.size());
+  EXPECT_EQ(out, words);
+  // Destination too small is an error, not a truncation.
+  std::vector<std::uint64_t> tiny(words.size() - 1);
+  EXPECT_FALSE(codec::decode_words(text, tiny).has_value());
+}
+
+TEST(Codec, VarintCursorsRoundTrip) {
+  std::vector<std::uint32_t> cursors = {0, 1, 127, 128, 300, 0xFFFFFFFFU, 5};
+  const std::string text = codec::encode_cursors(cursors);
+  std::vector<std::uint32_t> out(cursors.size(), 9);
+  const auto count = codec::decode_cursors(text, out);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, cursors.size());
+  EXPECT_EQ(out, cursors);
+}
+
+TEST(Codec, Fnv1aIsOrderSensitive) {
+  codec::fnv1a a;
+  codec::fnv1a b;
+  a.update_u64(1);
+  a.update_u64(2);
+  b.update_u64(2);
+  b.update_u64(1);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+// --- autotuned width --------------------------------------------------
+
+TEST(Simd, AutotunedWidthIsValidAndStable) {
+  const std::size_t w = support::simd::autotuned_width();
+  EXPECT_TRUE(w == 1 || w == 2 || w == 4 || w == 8) << w;
+  EXPECT_EQ(support::simd::autotuned_width(), w);  // cached, one probe
+}
+
+// --- lazy cursor store ------------------------------------------------
+
+TEST(RngStore, LazyMatchesDenseDrawForDraw) {
+  support::rng_store dense = support::rng_store::dense(42, 9);
+  support::rng_store lazy =
+      support::rng_store::lazy(42, 9, support::draw_mode::coins);
+  // Interleaved access pattern with revisits (the engines sweep
+  // ascending but revisit across rounds).
+  const std::size_t pattern[] = {0, 3, 3, 8, 1, 0, 8, 5, 3};
+  for (const std::size_t s : pattern) {
+    for (int k = 0; k < 5; ++k) {
+      ASSERT_EQ(dense[s].coin(), lazy[s].coin()) << "stream " << s;
+    }
+  }
+  EXPECT_EQ(dense.total_draws(), lazy.total_draws());
+  EXPECT_EQ(dense.total_coins(), lazy.total_coins());
+}
+
+TEST(RngStore, CursorsRestoreExactGeneratorState) {
+  support::rng_store store =
+      support::rng_store::lazy(7, 5, support::draw_mode::coins);
+  for (std::size_t s = 0; s < 5; ++s) {
+    for (std::size_t k = 0; k < s * 13 + 1; ++k) (void)store[s].coin();
+  }
+  const auto saved_span = store.cursors();
+  const std::vector<std::uint32_t> saved(saved_span.begin(),
+                                         saved_span.end());
+  std::vector<bool> expected;
+  for (std::size_t s = 0; s < 5; ++s) expected.push_back(store[s].coin());
+
+  support::rng_store restored =
+      support::rng_store::lazy(7, 5, support::draw_mode::coins);
+  restored.set_cursors(saved);
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_EQ(restored[s].coin(), expected[s]) << "stream " << s;
+  }
+  // In-place restore path used by the giant resume.
+  support::rng_store inplace =
+      support::rng_store::lazy(7, 5, support::draw_mode::coins);
+  const auto dest = inplace.cursors_mutable();
+  std::copy(saved.begin(), saved.end(), dest.begin());
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_EQ(inplace[s].coin(), expected[s]) << "stream " << s;
+  }
+}
+
+// --- giant engine == ordinary engine ---------------------------------
+
+TEST(GiantTrial, GiantConfigMatchesOrdinaryEngine) {
+  const auto view = topology_view::implicit({topology::kind::grid, 9, 23});
+  const core::bfw_machine machine(0.5);
+  const auto ordinary =
+      core::run_election(view, machine, 1234, {.max_rounds = 500000});
+  const auto giant =
+      core::run_giant_trial(view, machine, 1234, {.max_rounds = 500000});
+  ASSERT_TRUE(ordinary.converged);
+  EXPECT_TRUE(giant.converged);
+  EXPECT_EQ(giant.rounds, ordinary.rounds);
+  EXPECT_EQ(giant.leader, ordinary.leader);
+  EXPECT_EQ(giant.draws, ordinary.total_coins);
+  EXPECT_GT(giant.arena_bytes, 0U);
+}
+
+TEST(GiantTrial, ExplicitGraphsWorkToo) {
+  const auto g = graph::make_path(130);
+  const core::bfw_machine machine(0.5);
+  const auto giant =
+      core::run_giant_trial(g, machine, 5, {.max_rounds = 500000});
+  const auto ordinary =
+      core::run_election(g, machine, 5, {.max_rounds = 500000});
+  EXPECT_EQ(giant.rounds, ordinary.rounds);
+  EXPECT_EQ(giant.leader, ordinary.leader);
+}
+
+// --- checkpoint / resume ---------------------------------------------
+
+TEST(GiantTrial, ResumedRunIsBitIdenticalToUninterrupted) {
+  const auto view = topology_view::implicit({topology::kind::grid, 17, 31});
+  const core::bfw_machine machine(0.5);
+  const std::string path = temp_path("resume.jsonl");
+  std::remove(path.c_str());
+
+  const auto straight =
+      core::run_giant_trial(view, machine, 77, {.max_rounds = 500000});
+  ASSERT_TRUE(straight.converged);
+  ASSERT_GT(straight.rounds, 40U);
+
+  core::giant_options first;
+  first.max_rounds = 500000;
+  first.checkpoint_path = path;
+  first.checkpoint_every = 16;
+  first.stop_after_round = straight.rounds / 2;
+  const auto killed = core::run_giant_trial(view, machine, 77, first);
+  EXPECT_TRUE(killed.stopped_early);
+  EXPECT_GT(killed.checkpoints_written, 0U);
+
+  core::giant_options second;
+  second.max_rounds = 500000;
+  second.checkpoint_path = path;
+  second.resume = true;
+  const auto resumed = core::run_giant_trial(view, machine, 77, second);
+  EXPECT_EQ(resumed.start_round, killed.rounds);
+  EXPECT_TRUE(resumed.converged);
+  EXPECT_EQ(resumed.rounds, straight.rounds);
+  EXPECT_EQ(resumed.leader, straight.leader);
+  EXPECT_EQ(resumed.draws, straight.draws);
+  std::remove(path.c_str());
+}
+
+TEST(GiantTrial, ResumeFromPeriodicSnapshotReplaysIdentically) {
+  // Resume from a mid-run periodic checkpoint (not the forced final
+  // one): kill the journal after the periodic snapshot by truncating
+  // the forced one away is overkill - instead stop exactly on a
+  // checkpoint boundary so the forced and periodic snapshots coincide.
+  const auto view = topology_view::implicit({topology::kind::ring, 1, 300});
+  const core::bfw_machine machine(0.5);
+  const std::string path = temp_path("periodic.jsonl");
+  std::remove(path.c_str());
+
+  const auto straight =
+      core::run_giant_trial(view, machine, 31, {.max_rounds = 500000});
+  ASSERT_TRUE(straight.converged);
+
+  core::giant_options first;
+  first.max_rounds = 500000;
+  first.checkpoint_path = path;
+  first.checkpoint_every = 8;
+  first.stop_after_round = 24;  // lands on a multiple of checkpoint_every
+  (void)core::run_giant_trial(view, machine, 31, first);
+
+  core::giant_options second;
+  second.max_rounds = 500000;
+  second.checkpoint_path = path;
+  second.resume = true;
+  const auto resumed = core::run_giant_trial(view, machine, 31, second);
+  EXPECT_EQ(resumed.rounds, straight.rounds);
+  EXPECT_EQ(resumed.draws, straight.draws);
+  EXPECT_EQ(resumed.leader, straight.leader);
+  std::remove(path.c_str());
+}
+
+TEST(GiantTrial, ResumeRejectsWrongTrialAndCorruptJournal) {
+  const auto view = topology_view::implicit({topology::kind::grid, 6, 11});
+  const core::bfw_machine machine(0.5);
+  const std::string path = temp_path("corrupt.jsonl");
+  std::remove(path.c_str());
+
+  core::giant_options write;
+  write.max_rounds = 500000;
+  write.checkpoint_path = path;
+  write.stop_after_round = 10;
+  (void)core::run_giant_trial(view, machine, 9, write);
+
+  core::giant_options resume;
+  resume.max_rounds = 500000;
+  resume.checkpoint_path = path;
+  resume.resume = true;
+  // Wrong seed: the journal belongs to seed 9.
+  EXPECT_THROW((void)core::run_giant_trial(view, machine, 10, resume),
+               std::runtime_error);
+
+  // Flip one payload character: the FNV digest must catch it.
+  {
+    std::ifstream in(path);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    const auto pos = contents.find("\"data\":\"");
+    ASSERT_NE(pos, std::string::npos);
+    char& c = contents[pos + 9];
+    c = c == 'A' ? 'B' : 'A';
+    std::ofstream out(path, std::ios::trunc);
+    out << contents;
+  }
+  EXPECT_THROW((void)core::run_giant_trial(view, machine, 9, resume),
+               std::runtime_error);
+
+  // Missing journal.
+  std::remove(path.c_str());
+  EXPECT_THROW((void)core::run_giant_trial(view, machine, 9, resume),
+               std::runtime_error);
+  // Resume without a path is a usage error.
+  core::giant_options no_path;
+  no_path.resume = true;
+  EXPECT_THROW((void)core::run_giant_trial(view, machine, 9, no_path),
+               std::invalid_argument);
+}
+
+TEST(GiantTrial, JournalTruncatedMidCheckpointFallsBackToPrevious) {
+  const auto view = topology_view::implicit({topology::kind::grid, 10, 13});
+  const core::bfw_machine machine(0.5);
+  const std::string path = temp_path("torn.jsonl");
+  std::remove(path.c_str());
+
+  core::giant_options write;
+  write.max_rounds = 500000;
+  write.checkpoint_path = path;
+  write.checkpoint_every = 4;
+  write.stop_after_round = 10;  // forced snapshot at 10, periodic at 4 and 8
+  (void)core::run_giant_trial(view, machine, 21, write);
+
+  // Chop the journal inside the last checkpoint: drop everything from
+  // the final ckpt_end on, leaving a begun-but-unfinished snapshot.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  std::size_t last_end = lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find("\"type\":\"ckpt_end\"") != std::string::npos) {
+      last_end = i;
+    }
+  }
+  ASSERT_LT(last_end, lines.size());
+  {
+    std::ofstream out(path, std::ios::trunc);
+    for (std::size_t i = 0; i < last_end; ++i) out << lines[i] << "\n";
+    out << lines.back().substr(0, lines.back().size() / 2);  // torn tail
+  }
+
+  core::giant_options resume;
+  resume.max_rounds = 500000;
+  resume.checkpoint_path = path;
+  resume.resume = true;
+  const auto resumed = core::run_giant_trial(view, machine, 21, resume);
+  // It resumed from an earlier complete snapshot and still matches the
+  // uninterrupted trajectory.
+  const auto straight =
+      core::run_giant_trial(view, machine, 21, {.max_rounds = 500000});
+  EXPECT_EQ(resumed.start_round, 8U);  // round-10 snapshot torn away
+  EXPECT_EQ(resumed.rounds, straight.rounds);
+  EXPECT_EQ(resumed.draws, straight.draws);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace beepkit
