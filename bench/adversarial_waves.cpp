@@ -17,6 +17,7 @@
 #include "beeping/engine.hpp"
 #include "core/adversarial.hpp"
 #include "core/bfw.hpp"
+#include "core/faults.hpp"
 #include "graph/generators.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
@@ -45,8 +46,14 @@ int main(int argc, char** argv) {
     const core::bfw_machine machine(0.5);
     beeping::fsm_protocol proto(machine);
     beeping::engine sim(g, proto, seed);
-    proto.set_states(core::leaderless_waves_on_cycle(n, waves));
-    sim.restart_from_protocol();
+    // Injected waves are a declarative round-0 fault (fires as
+    // set_states + restart_from_protocol, draw-for-draw identical to
+    // the historical inline sequence).
+    core::fault_plan plan;
+    plan.name = "leaderless_waves";
+    plan.inject(0, core::leaderless_waves_on_cycle(n, waves));
+    core::fault_session session(plan, sim, seed);
+    session.apply_pending();
     sim.run_rounds(rounds);
     meter.add_run(rounds);
     std::uint64_t total_beeps = 0;
@@ -90,11 +97,14 @@ int main(int argc, char** argv) {
             auto states = core::leaderless_wave_on_cycle(n);
             states[n / 2] =
                 static_cast<beeping::state_id>(core::bfw_state::leader_wait);
-            proto.set_states(states);
-            sim.restart_from_protocol();
+            core::fault_plan plan;
+            plan.name = "wave_plus_leader";
+            plan.inject(0, std::move(states));
+            core::fault_session session(plan, sim, trial_seed);
+            session.apply_pending();
             constexpr std::uint64_t horizon = 50000;
             while (sim.leader_count() > 0 && sim.round() < horizon) {
-              sim.step();
+              session.step();
             }
             return assassination_trial{sim.leader_count() == 0, sim.round()};
           });
@@ -131,8 +141,11 @@ int main(int argc, char** argv) {
         n, static_cast<beeping::state_id>(core::bfw_state::follower_wait));
     states[0] =
         static_cast<beeping::state_id>(core::bfw_state::follower_beep);
-    proto.set_states(states);
-    sim.restart_from_protocol();
+    core::fault_plan plan;
+    plan.name = "boundary_wave";
+    plan.inject(0, std::move(states));
+    core::fault_session session(plan, sim, seed);
+    session.apply_pending();
     std::uint64_t dead_round = 0;
     for (std::uint64_t r = 0; r < 2 * n; ++r) {
       bool any = false;

@@ -84,6 +84,43 @@ void run_bfw_rounds(benchmark::State& state, const graph::graph& g,
   set_exec_label(state, sim);
 }
 
+// XL rows additionally report per-round latency percentiles alongside
+// the throughput rate: stride-1 sampling into the engine's round_ns
+// histogram, surfaced as round_ns_p50 / round_ns_p99 counters so a
+// report line shows tail latency (tile scheduling jitter) and not just
+// the mean. The probes are restored afterwards, so no other suite
+// pays the sampling cost.
+void run_bfw_rounds_latency(benchmark::State& state, const graph::graph& g,
+                            std::size_t threads = 1,
+                            std::size_t tile_words = 0) {
+  namespace tel = support::telemetry;
+  const bool was_enabled = tel::enabled();
+  const std::uint64_t was_stride = tel::round_sample_stride();
+  tel::set_enabled(true);
+  tel::set_round_sample_stride(1);
+  const core::bfw_machine machine(0.5);
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(g, proto, 42);
+  if (threads != 1 || tile_words != 0) {
+    sim.set_parallelism(threads, tile_words);
+  }
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(sim.leader_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.node_count()));
+  if (tel::compiled_in) {
+    const support::telemetry::log2_histogram& round_ns =
+        sim.telemetry_metrics().round_ns;
+    state.counters["round_ns_p50"] = round_ns.percentile(0.5);
+    state.counters["round_ns_p99"] = round_ns.percentile(0.99);
+  }
+  tel::set_round_sample_stride(was_stride);
+  tel::set_enabled(was_enabled);
+  set_exec_label(state, sim);
+}
+
 // The packed engine with the table-driven fast path disabled: per-node
 // virtual protocol::step/beeping/is_leader dispatch, exactly the
 // pre-fast-path hot loop.
@@ -312,7 +349,7 @@ BENCHMARK(BM_TimeoutBfwT9OnGridVirtual)->Arg(16)->Arg(64);
 // one run.
 void BM_BfwOnPathXL(benchmark::State& state) {
   const auto g = graph::make_path(std::size_t{1} << 20);
-  run_bfw_rounds(state, g);
+  run_bfw_rounds_latency(state, g);
 }
 BENCHMARK(BM_BfwOnPathXL);
 
@@ -324,7 +361,7 @@ BENCHMARK(BM_BfwOnPathXLTiled)->Arg(2)->Arg(8)->UseRealTime();
 
 void BM_BfwOnGridXL(benchmark::State& state) {
   const auto g = graph::make_grid(1024, 1024);
-  run_bfw_rounds(state, g);
+  run_bfw_rounds_latency(state, g);
 }
 BENCHMARK(BM_BfwOnGridXL);
 

@@ -22,6 +22,7 @@
 #include "beeping/engine.hpp"
 #include "core/adversarial.hpp"
 #include "core/bfw.hpp"
+#include "core/faults.hpp"
 #include "core/timeout_bfw.hpp"
 #include "graph/generators.hpp"
 #include "support/cli.hpp"
@@ -51,13 +52,19 @@ double median_stabilization(const graph::graph& g,
       [&](std::size_t /*trial*/, std::uint64_t trial_seed) {
         beeping::fsm_protocol proto(machine);
         beeping::engine sim(g, proto, trial_seed);
-        proto.set_states(initial);
-        sim.restart_from_protocol();
+        // The adversarial start is a declarative round-0 injection;
+        // fault_session fires it as set_states + restart_from_protocol,
+        // draw-for-draw identical to the historical inline sequence.
+        core::fault_plan plan;
+        plan.name = "selfstab_inject";
+        plan.inject(0, initial);
+        core::fault_session session(plan, sim, trial_seed);
+        session.apply_pending();
         core::stabilization_probe probe;
         probe.observe(0, sim.leader_count());
         core::stabilization_result res;
         while (sim.round() < horizon) {
-          sim.step();
+          session.step();
           probe.observe(sim.round(), sim.leader_count());
           res = probe.result(window);
           if (res.stabilized) break;

@@ -1,0 +1,106 @@
+#include "analysis/recovery.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "beeping/engine.hpp"
+#include "core/bfw.hpp"
+
+namespace beepkit::analysis {
+
+namespace {
+
+std::uint64_t resolve_horizon(const graph::topology_view& view,
+                              const recovery_options& options) {
+  if (options.max_rounds.has_value()) return *options.max_rounds;
+  std::uint32_t diameter = options.diameter;
+  if (diameter == 0) {
+    diameter = view.is_implicit()
+                   ? view.formula_diameter()
+                   : static_cast<std::uint32_t>(
+                         std::max<std::size_t>(1, view.node_count()));
+  }
+  return core::default_horizon(view, diameter);
+}
+
+}  // namespace
+
+recovery_result measure_recovery(const graph::topology_view& view,
+                                 const beeping::state_machine& machine,
+                                 const core::fault_plan& plan,
+                                 std::uint64_t seed,
+                                 const recovery_options& options) {
+  beeping::fsm_protocol proto(machine);
+  beeping::engine sim(view, proto, seed);
+  if (options.exec.threads != 1 || options.exec.tile_words != 0) {
+    sim.set_parallelism(options.exec.threads, options.exec.tile_words);
+  }
+  if (!options.fast_path) sim.set_fast_path_enabled(false);
+  if (!options.compiled_kernel) sim.set_compiled_kernel_enabled(false);
+  if (!options.telemetry) sim.set_telemetry_enabled(false);
+
+  core::fault_session session(plan, sim, seed);
+  if (options.scheduler != nullptr) session.set_adversary(options.scheduler);
+  const std::uint64_t horizon = resolve_horizon(view, options);
+
+  recovery_result result;
+  // Epoch 0 is initial convergence: the run starts outside the
+  // single-alive-leader configuration (all-W• has every node a leader
+  // candidate) and its first recovery is the plain election round.
+  bool in_epoch = true;
+  std::uint64_t epoch_start = 0;
+  while (true) {
+    session.apply_pending();
+    const std::size_t alive = sim.alive_leader_count();
+    if (in_epoch && alive == 1) {
+      const std::uint64_t took = sim.round() - epoch_start;
+      result.points.push_back({epoch_start, true, took});
+      result.recovery_rounds.record(took);
+      in_epoch = false;
+    } else if (!in_epoch && alive != 1) {
+      // A fault (crash of the leader, rejoin of a rival, injection,
+      // churn-induced wave collision) broke the absorbing
+      // configuration: a new disruption epoch starts here.
+      in_epoch = true;
+      epoch_start = sim.round();
+    }
+    if (sim.round() >= horizon) break;
+    if (!in_epoch && session.exhausted()) break;
+    sim.step();
+  }
+  if (in_epoch) {
+    result.points.push_back({epoch_start, false, horizon - epoch_start});
+  }
+  result.faults_applied = session.faults_applied();
+  result.outcome = core::finish_election(
+      sim, beeping::run_result{sim.round(), sim.alive_leader_count() == 1,
+                               sim.alive_leader_count()});
+
+  namespace tel = support::telemetry;
+  if (tel::compiled_in && tel::enabled() && sim.telemetry_enabled()) {
+    tel::registry& reg = tel::registry::global();
+    reg.merge_histogram("recovery_rounds", result.recovery_rounds);
+    reg.add("recovery_epochs_total", result.points.size());
+    reg.add("recovery_unrecovered_total",
+            result.points.size() - result.recovered_epochs());
+    reg.add("recovery_faults_applied_total", result.faults_applied);
+  }
+  return result;
+}
+
+algorithm make_faulted_bfw(double p, core::fault_plan plan) {
+  std::ostringstream name;
+  name << "BFW(p=" << p << ")+" << plan.name;
+  return {name.str(),
+          [p, plan = std::move(plan)](const graph::topology_view& view,
+                                      std::uint64_t seed,
+                                      std::uint64_t max_rounds) {
+            const core::bfw_machine machine(p);
+            core::election_options options;
+            options.max_rounds = max_rounds;
+            options.faults = &plan;
+            return core::run_election(view, machine, seed, options);
+          }};
+}
+
+}  // namespace beepkit::analysis

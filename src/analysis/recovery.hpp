@@ -1,0 +1,85 @@
+// Recovery-measurement harness: drives a fault_plan against one
+// election trial and measures, per disruption epoch, how many rounds
+// the protocol needs to re-reach a single-alive-leader configuration.
+// This is the quantitative side of the paper's self-stabilization
+// remark (Section 5): BFW's absorbing single-leader configuration is
+// re-entered after crashes, rejoins and topology churn, and the
+// harness reports how fast.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "core/convergence.hpp"
+#include "core/faults.hpp"
+#include "graph/view.hpp"
+#include "support/telemetry.hpp"
+
+namespace beepkit::analysis {
+
+/// One disruption epoch: the run left (or started outside) the
+/// single-alive-leader configuration at `fault_round` and re-entered
+/// it `rounds_to_recover` rounds later (or hit the horizon,
+/// recovered == false, with rounds_to_recover capped at the remaining
+/// horizon).
+struct recovery_point {
+  std::uint64_t fault_round = 0;
+  bool recovered = false;
+  std::uint64_t rounds_to_recover = 0;
+};
+
+/// Everything one recovery trial reports. Deterministic in
+/// (view, machine, plan, seed, options) - same contract as
+/// run_election, including bit-identical replay under any kernel,
+/// tiling or thread count.
+struct recovery_result {
+  /// Epochs in time order. points[0] is initial convergence (from the
+  /// start configuration); later points are fault-induced.
+  std::vector<recovery_point> points;
+  /// Distribution of rounds_to_recover over recovered epochs.
+  support::telemetry::log2_histogram recovery_rounds;
+  std::uint64_t faults_applied = 0;  ///< Individual fault actions fired.
+  /// The final engine state folded exactly like a run_election trial.
+  core::election_outcome outcome;
+
+  [[nodiscard]] std::size_t epochs() const noexcept { return points.size(); }
+  [[nodiscard]] std::size_t recovered_epochs() const noexcept {
+    std::size_t count = 0;
+    for (const recovery_point& point : points) count += point.recovered ? 1 : 0;
+    return count;
+  }
+};
+
+/// Knobs for one recovery trial (a subset of election_options; the
+/// fault plan is a first-class argument here).
+struct recovery_options {
+  /// Horizon; unset derives core::default_horizon (diameter falls back
+  /// to the node count exactly like run_election).
+  std::optional<std::uint64_t> max_rounds;
+  std::uint32_t diameter = 0;
+  core::engine_exec exec;
+  bool fast_path = true;
+  bool compiled_kernel = true;
+  bool telemetry = true;
+  /// Optional adversary attached for the whole run (not owned).
+  core::adversary* scheduler = nullptr;
+};
+
+/// Runs one faulted election and measures every disruption epoch. When
+/// telemetry is compiled in and enabled, folds a "recovery_rounds"
+/// histogram plus recovery_epochs_total / recovery_unrecovered_total
+/// counters into the global registry (probe-only: numbers never
+/// change).
+[[nodiscard]] recovery_result measure_recovery(
+    const graph::topology_view& view, const beeping::state_machine& machine,
+    const core::fault_plan& plan, std::uint64_t seed,
+    const recovery_options& options = {});
+
+/// BFW with parameter `p` under `plan`, packaged as a named algorithm
+/// so faulted cells drop into the sweep/shard/JSONL/merge machinery
+/// unchanged (the plan is captured by value; trials stay deterministic
+/// in (topology, seed)).
+[[nodiscard]] algorithm make_faulted_bfw(double p, core::fault_plan plan);
+
+}  // namespace beepkit::analysis

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "graph/patch.hpp"
+
 #if defined(__SSE2__)
 #include <emmintrin.h>
 #endif
@@ -546,12 +548,15 @@ void engine::restart_from_protocol() {
   }
   round_ = 0;
   // Per-run introspection restarts with the configuration: plane/kernel
-  // round counts, the last-used gather kernel, and the telemetry
-  // scratch all describe the run that ended here, not the next one.
+  // round counts, the last-used gather kernel, the telemetry scratch
+  // and the crashed set all describe the run that ended here, not the
+  // next one. (The topology patch and the adversary hook stay attached
+  // - they are configuration, like a forced kernel.)
   plane_rounds_ = 0;
   compiled_rounds_ = 0;
   gather_.reset_last_used();
   metrics_.reset();
+  clear_faults();
   std::fill(beep_counts_.begin(), beep_counts_.end(), 0);
   for (auto& lp : ledger_planes_) std::fill(lp.begin(), lp.end(), 0);
   std::fill(dirty_ledger_words_.begin(), dirty_ledger_words_.end(), 0);
@@ -580,6 +585,314 @@ void engine::resync_with_protocol() {
     }
   }
   refresh_round_state();
+  // Corpses stay crashed through an injected configuration; they are
+  // re-frozen in whatever the new states say (and re-silenced - the
+  // refresh above counted their beeps as if they were alive).
+  if (crashed_count_ != 0) refreeze_crashed();
+}
+
+// ---- fault-injection surface ---------------------------------------
+
+void engine::require_fault_capable() const {
+  if (fsm_ == nullptr || !table_.has_value()) {
+    throw std::logic_error(
+        "beeping::engine: fault injection requires a compiled "
+        "fsm_protocol machine");
+  }
+  if (plane_pinned_) {
+    throw std::logic_error(
+        "beeping::engine: fault injection is unavailable under "
+        "pin_plane_mode (frozen snapshots would materialize O(n) state)");
+  }
+}
+
+void engine::ensure_fault_buffers() {
+  const std::size_t words = beep_words_.size();
+  if (crashed_words_.size() != words) crashed_words_.assign(words, 0);
+  if (frozen_states_.size() != n_) frozen_states_.assign(n_, 0);
+  if (plane_capable_) {
+    for (std::size_t j = 0; j < plane_count_; ++j) {
+      if (frozen_planes_[j].size() != words) {
+        frozen_planes_[j].assign(words, 0);
+      }
+    }
+    if (frozen_leader_words_.size() != words) {
+      frozen_leader_words_.assign(words, 0);
+    }
+    if (frozen_active_words_.size() != words) {
+      frozen_active_words_.assign(words, 0);
+    }
+  }
+}
+
+state_id engine::current_state_of(graph::node_id u) {
+  if (plane_mode_) {
+    const std::size_t w = u >> 6;
+    const std::uint64_t shift = u & 63;
+    state_id s = 0;
+    for (std::size_t j = 0; j < plane_count_; ++j) {
+      s |= static_cast<state_id>(((planes_[j][w] >> shift) & 1ULL) << j);
+    }
+    return s;
+  }
+  fsm_->ensure_states_fresh();
+  return fsm_->raw_states()[u];
+}
+
+void engine::write_lane_state(graph::node_id u, state_id s, bool frozen) {
+  const machine_table& table = *table_;
+  const std::size_t w = u >> 6;
+  const std::uint64_t bit = 1ULL << (u & 63);
+  const bool lead = table.leader_flag[s] != 0;
+  const bool act = table.bot_identity[s] == 0;
+  if (plane_mode_) {
+    const state_id prev = current_state_of(u);
+    for (std::size_t j = 0; j < plane_count_; ++j) {
+      planes_[j][w] =
+          (planes_[j][w] & ~bit) | ((((s >> j) & 1U) != 0) ? bit : 0);
+    }
+    leader_count_ += lead ? 1 : 0;
+    leader_count_ -= table.leader_flag[prev];
+    leader_words_[w] = (leader_words_[w] & ~bit) | (lead ? bit : 0);
+    fsm_->mark_states_stale();
+  } else {
+    fsm_->ensure_states_fresh();
+    state_id* const states = fsm_->raw_states().data();
+    leader_count_ += lead ? 1 : 0;
+    leader_count_ -= table.leader_flag[states[u]];
+    states[u] = s;
+  }
+  active_words_[w] = (active_words_[w] & ~bit) | (act ? bit : 0);
+  if (frozen) {
+    frozen_states_[u] = s;
+    if (plane_capable_) {
+      for (std::size_t j = 0; j < plane_count_; ++j) {
+        frozen_planes_[j][w] =
+            (frozen_planes_[j][w] & ~bit) | ((((s >> j) & 1U) != 0) ? bit : 0);
+      }
+      frozen_leader_words_[w] =
+          (frozen_leader_words_[w] & ~bit) | (lead ? bit : 0);
+      frozen_active_words_[w] =
+          (frozen_active_words_[w] & ~bit) | (act ? bit : 0);
+    }
+  }
+}
+
+bool engine::suppress_current_beep(graph::node_id u) {
+  const std::size_t w = u >> 6;
+  const std::uint64_t bit = 1ULL << (u & 63);
+  if ((beep_words_[w] & bit) == 0) return false;
+  // The current round's contribution may still sit in the ledger
+  // sidecar; fold it into the counts first, then take back exactly one
+  // (the resync_with_protocol convention).
+  flush_pending_ledger();
+  beep_words_[w] &= ~bit;
+  if (!beep_counts_.empty()) --beep_counts_[u];
+  beep_flags_valid_ = false;
+  return true;
+}
+
+void engine::crash_with_state(graph::node_id u, state_id s) {
+  require_fault_capable();
+  check_in_sync();
+  if (u >= n_) {
+    throw std::invalid_argument("beeping::engine::fault_crash: node out of range");
+  }
+  if (s >= table_->state_count()) {
+    throw std::invalid_argument(
+        "beeping::engine::fault_crash: state out of range");
+  }
+  ensure_fault_buffers();
+  const std::size_t w = u >> 6;
+  const std::uint64_t bit = 1ULL << (u & 63);
+  const bool was_crashed = (crashed_words_[w] & bit) != 0;
+  if (was_crashed) {
+    crashed_leaders_ -= table_->leader_flag[frozen_states_[u]];
+  }
+  write_lane_state(u, s, /*frozen=*/true);
+  suppress_current_beep(u);
+  crashed_words_[w] |= bit;
+  if (!was_crashed) ++crashed_count_;
+  crashed_leaders_ += table_->leader_flag[s];
+  ++metrics_.faults_applied;
+  beep_flags_valid_ = false;
+}
+
+void engine::fault_crash(graph::node_id u) {
+  require_fault_capable();
+  if (u >= n_) {
+    throw std::invalid_argument("beeping::engine::fault_crash: node out of range");
+  }
+  if (crashed(u)) return;  // idempotent: already frozen in place
+  crash_with_state(u, current_state_of(u));
+}
+
+void engine::fault_crash_as(graph::node_id u, state_id s) {
+  crash_with_state(u, s);
+}
+
+void engine::fault_restart(graph::node_id u) {
+  fault_restart_as(u, fsm_ != nullptr ? fsm_->machine().initial_state()
+                                      : state_id{0});
+}
+
+void engine::fault_restart_as(graph::node_id u, state_id s) {
+  require_fault_capable();
+  check_in_sync();
+  if (u >= n_) {
+    throw std::invalid_argument(
+        "beeping::engine::fault_restart: node out of range");
+  }
+  if (s >= table_->state_count()) {
+    throw std::invalid_argument(
+        "beeping::engine::fault_restart: state out of range");
+  }
+  if (!crashed(u)) {
+    throw std::logic_error(
+        "beeping::engine::fault_restart: node is alive (corrupt live "
+        "nodes through fsm_protocol::set_states + resync_with_protocol)");
+  }
+  const std::size_t w = u >> 6;
+  const std::uint64_t bit = 1ULL << (u & 63);
+  crashed_words_[w] &= ~bit;
+  --crashed_count_;
+  crashed_leaders_ -= table_->leader_flag[frozen_states_[u]];
+  write_lane_state(u, s, /*frozen=*/false);
+  // The node re-enters the *current* round's configuration: it beeps
+  // this round iff its new state beeps (the crashed lane's bit is
+  // guaranteed clear beforehand).
+  if (table_->beeps(s)) {
+    flush_pending_ledger();
+    beep_words_[w] |= bit;
+    if (!beep_counts_.empty()) ++beep_counts_[u];
+  }
+  ++metrics_.faults_applied;
+  beep_flags_valid_ = false;
+}
+
+void engine::clear_faults() noexcept {
+  if (crashed_count_ == 0) return;
+  std::fill(crashed_words_.begin(), crashed_words_.end(), 0);
+  crashed_count_ = 0;
+  crashed_leaders_ = 0;
+}
+
+void engine::set_topology_patch(const graph::patch_overlay* patch) {
+  if (patch != nullptr && patch->view().node_count() != n_) {
+    throw std::invalid_argument(
+        "beeping::engine::set_topology_patch: overlay node count mismatch");
+  }
+  patch_ = patch;
+  gather_.set_patch(patch);
+}
+
+void engine::mask_crashed_heard() {
+  for (std::size_t w = 0; w < crashed_words_.size(); ++w) {
+    heard_words_[w] &= ~crashed_words_[w];
+  }
+}
+
+void engine::fixup_crashed_vector() {
+  const machine_table& table = *table_;
+  state_id* const states = fsm_->raw_states().data();
+  for (std::size_t w = 0; w < crashed_words_.size(); ++w) {
+    std::uint64_t c = crashed_words_[w];
+    if (c == 0) continue;
+    // Silence first: whatever the rolled-back transition beeped is
+    // taken back (bit + count), making the corpse's net contribution
+    // to this round exactly zero.
+    const std::uint64_t bb = beep_words_[w] & c;
+    if (bb != 0) {
+      beep_words_[w] &= ~bb;
+      std::uint64_t bits = bb;
+      while (bits != 0) {
+        const auto u = static_cast<graph::node_id>(
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+        --beep_counts_[u];
+      }
+    }
+    while (c != 0) {
+      const auto offset = static_cast<std::size_t>(std::countr_zero(c));
+      const std::uint64_t bit = c & (~c + 1);
+      c &= c - 1;
+      const auto u = static_cast<graph::node_id>((w << 6) + offset);
+      const state_id frozen = frozen_states_[u];
+      const state_id cur = states[u];
+      if (cur != frozen) {
+        leader_count_ += table.leader_flag[frozen];
+        leader_count_ -= table.leader_flag[cur];
+        states[u] = frozen;
+      }
+      active_words_[w] = (active_words_[w] & ~bit) |
+                         (table.bot_identity[frozen] == 0 ? bit : 0);
+    }
+  }
+  beep_flags_valid_ = false;
+}
+
+void engine::fixup_crashed_plane() {
+  for (std::size_t w = 0; w < crashed_words_.size(); ++w) {
+    const std::uint64_t c = crashed_words_[w];
+    if (c == 0) continue;
+    const std::uint64_t bb = beep_words_[w] & c;
+    if (bb != 0) {
+      beep_words_[w] &= ~bb;
+      // Un-bank the sweep's ledger add for these lanes: a ripple-borrow
+      // subtract of 1 from each vertical counter (the lane just banked
+      // +1, so the counter is >= 1 and the borrow terminates).
+      std::uint64_t borrow = bb;
+      for (std::size_t j = 0; j < 8 && borrow != 0; ++j) {
+        const std::uint64_t old = ledger_planes_[j][w];
+        ledger_planes_[j][w] = old ^ borrow;
+        borrow &= ~old;
+      }
+    }
+    for (std::size_t j = 0; j < plane_count_; ++j) {
+      planes_[j][w] = (planes_[j][w] & ~c) | (frozen_planes_[j][w] & c);
+    }
+    const std::uint64_t cur_lead = leader_words_[w] & c;
+    const std::uint64_t froz_lead = frozen_leader_words_[w] & c;
+    if (cur_lead != froz_lead) {
+      leader_count_ += static_cast<std::size_t>(std::popcount(froz_lead));
+      leader_count_ -= static_cast<std::size_t>(std::popcount(cur_lead));
+      leader_words_[w] = (leader_words_[w] & ~c) | froz_lead;
+    }
+    active_words_[w] = (active_words_[w] & ~c) | (frozen_active_words_[w] & c);
+  }
+  beep_flags_valid_ = false;
+}
+
+void engine::refreeze_crashed() {
+  // refresh_round_state just rebuilt all bookkeeping from the new
+  // configuration (plane mode is off, states are fresh) - counting
+  // crashed lanes as alive; re-snapshot and re-silence them.
+  const machine_table& table = *table_;
+  const state_id* const states = fsm_->raw_states().data();
+  crashed_leaders_ = 0;
+  for (std::size_t w = 0; w < crashed_words_.size(); ++w) {
+    std::uint64_t c = crashed_words_[w];
+    while (c != 0) {
+      const std::uint64_t bit = c & (~c + 1);
+      const auto u = static_cast<graph::node_id>(
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(c)));
+      c &= c - 1;
+      const state_id s = states[u];
+      frozen_states_[u] = s;
+      crashed_leaders_ += table.leader_flag[s];
+      if (plane_capable_) {
+        for (std::size_t j = 0; j < plane_count_; ++j) {
+          frozen_planes_[j][w] =
+              (frozen_planes_[j][w] & ~bit) | ((((s >> j) & 1U) != 0) ? bit : 0);
+        }
+        frozen_leader_words_[w] = (frozen_leader_words_[w] & ~bit) |
+                                  (table.leader_flag[s] != 0 ? bit : 0);
+        frozen_active_words_[w] = (frozen_active_words_[w] & ~bit) |
+                                  (table.bot_identity[s] == 0 ? bit : 0);
+      }
+      suppress_current_beep(u);
+    }
+  }
 }
 
 // Reception noise redraws every silent node's verdict from its own
@@ -637,6 +950,10 @@ void engine::finish_step() {
   }
   ++round_;
   refresh_round_state();
+  // The refresh counted crashed lanes as if alive (their lanes
+  // transitioned naturally, keeping the draw sequence gear-identical);
+  // roll them back to their frozen snapshots before anyone looks.
+  if (crashed_count_ != 0) fixup_crashed_vector();
   notify_round_observers();
 }
 
@@ -696,6 +1013,7 @@ void engine::finish_step_fast() {
     active[w] = active_bits;
   }
   leader_count_ = leaders;
+  if (crashed_count_ != 0) fixup_crashed_vector();
   ++round_;
   notify_round_observers();
 }
@@ -969,6 +1287,7 @@ void engine::finish_step_plane_impl() {
     }
   }
   leader_count_ = leaders;
+  if (crashed_count_ != 0) fixup_crashed_plane();
   fsm_->mark_states_stale();
   ++round_;
   ++plane_rounds_;
@@ -1048,6 +1367,7 @@ void engine::finish_step_plane_compiled() {
     }
   }
   leader_count_ = leaders;
+  if (crashed_count_ != 0) fixup_crashed_plane();
   fsm_->mark_states_stale();
   ++round_;
   ++plane_rounds_;
@@ -1083,6 +1403,14 @@ void engine::step() {
   gather_(beep_words_, heard_words_);
   if (noise_.enabled()) {
     apply_noise();
+  }
+  // Fault stack, in fixed order: the adversary gets the final say on
+  // perception (after noise), then crashed nodes are masked deaf -
+  // the hook cannot wake the dead.
+  if (heard_hook_) heard_hook_(round_, beep_words_, heard_words_);
+  if (crashed_count_ != 0) mask_crashed_heard();
+  if (tel_on && patch_ != nullptr) {
+    metrics_.fault_patched_words += patch_->patched_words();
   }
   // Phase 2: simultaneous transitions (the heard set is frozen above).
   if (fast_path_active()) {
@@ -1152,7 +1480,13 @@ void engine::step_reference() {
     bool heard = beeping_[u] != 0;
     if (!heard) {
       bool neighbor_beeped = false;
-      if (g != nullptr) {
+      if (patch_ != nullptr && patch_->touched(u)) {
+        // Churned neighborhood: the overlay's effective neighbor list
+        // replaces the base scan (matches gather + fix_heard exactly).
+        patch_->for_each_neighbor(u, [&](graph::node_id v) {
+          if (beeping_[v] != 0) neighbor_beeped = true;
+        });
+      } else if (g != nullptr) {
         for (graph::node_id v : g->neighbors(u)) {
           if (beeping_[v] != 0) {
             neighbor_beeped = true;
@@ -1182,6 +1516,10 @@ void engine::step_reference() {
     }
     if (heard) set_bit(heard_words_, u);
   }
+  // Same fault-stack order as step(): adversary hook, then the crash
+  // deafness mask.
+  if (heard_hook_) heard_hook_(round_, beep_words_, heard_words_);
+  if (crashed_count_ != 0) mask_crashed_heard();
   finish_step();
 }
 
@@ -1189,11 +1527,13 @@ run_result engine::run_until_single_leader(std::uint64_t max_rounds) {
   check_in_sync();
   while (round_ < max_rounds) {
     // Both absorbing cases stop the run for leader-monotone protocols;
-    // only exactly-one-leader counts as a successful election.
-    if (leader_count_ <= 1) break;
+    // only exactly-one-alive-leader counts as a successful election (a
+    // leader frozen inside the crashed set leads nobody; with no
+    // faults alive == total, the historical predicate).
+    if (alive_leader_count() <= 1) break;
     step();
   }
-  return {round_, leader_count_ == 1, leader_count_};
+  return {round_, alive_leader_count() == 1, alive_leader_count()};
 }
 
 void engine::run_rounds(std::uint64_t count) {

@@ -89,6 +89,7 @@
 #include <array>
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -225,13 +226,94 @@ class engine : private fsm_protocol::lazy_source {
   /// round, exactly as if an adversary rewrote states between rounds.
   void resync_with_protocol();
 
-  /// Runs until at most one leader remains, or `max_rounds` elapse.
-  /// For leader-monotone protocols (no transition creates a leader -
-  /// true of BFW and all bundled baselines), both absorbing cases are
-  /// permanent: exactly one leader is the election round of
+  /// Runs until at most one *alive* leader remains, or `max_rounds`
+  /// elapse. For leader-monotone protocols (no transition creates a
+  /// leader - true of BFW and all bundled baselines), both absorbing
+  /// cases are permanent: exactly one leader is the election round of
   /// Definition 1 (converged), zero leaders is extinction (reported as
-  /// converged == false with leaders == 0).
+  /// converged == false with leaders == 0). Crashed nodes never count:
+  /// with no faults injected alive == total, so this is exactly the
+  /// historical predicate.
   run_result run_until_single_leader(std::uint64_t max_rounds);
+
+  // --- fault-injection surface (core/faults drives this) -----------
+  //
+  // All fault entry points require a compiled fsm_protocol machine and
+  // are unavailable under engine_config::pin_plane_mode (std::logic_
+  // error otherwise - faults keep per-node frozen snapshots the giant
+  // path refuses to materialize). The crash model is crash-stop with
+  // rejoin: a crashed node is frozen in place, never beeps (its packed
+  // beep bit is forced 0, so neighbors stop hearing it with no
+  // adjacency rewrite), never hears (its heard bit is masked after the
+  // gather/noise/adversary stack), and its lane is rolled back after
+  // every round's transition sweep - the lane still *transitions
+  // naturally* inside each gear so the per-node draw sequences stay
+  // identical across the scalar/virtual/sparse/plane/compiled gears,
+  // then a per-gear epilogue discards the move. An engine with no
+  // crashed nodes, no patch and no hook is draw-for-draw bit-identical
+  // to one without the fault surface at all.
+
+  /// Crashes node u frozen in its current state (no-op if already
+  /// crashed). Its beep contribution to the *current* round is
+  /// suppressed immediately - observers already saw this round, so the
+  /// change becomes visible next round, exactly the
+  /// resync_with_protocol convention.
+  void fault_crash(graph::node_id u);
+  /// Crashes node u frozen in state `s` (a crashed corpse can carry a
+  /// corrupt state; re-crashing an already-crashed node re-freezes it).
+  void fault_crash_as(graph::node_id u, state_id s);
+  /// Revives crashed node u in the machine's initial state; the node
+  /// re-enters the current round's configuration (it beeps this round
+  /// iff its new state beeps). Throws std::logic_error if u is alive.
+  void fault_restart(graph::node_id u);
+  /// Revives crashed node u in state `s` (corrupt rejoin).
+  void fault_restart_as(graph::node_id u, state_id s);
+  /// Drops the whole crashed set: every corpse resumes from its frozen
+  /// state next round. Also called by restart_from_protocol - a fresh
+  /// configuration starts all-alive.
+  void clear_faults() noexcept;
+
+  [[nodiscard]] bool crashed(graph::node_id u) const noexcept {
+    return crashed_count_ != 0 &&
+           ((crashed_words_[u >> 6] >> (u & 63)) & 1ULL) != 0;
+  }
+  [[nodiscard]] std::size_t crashed_count() const noexcept {
+    return crashed_count_;
+  }
+  /// leader_count() minus leaders frozen inside the crashed set - the
+  /// convergence predicate under faults (a dead leader leads nobody).
+  [[nodiscard]] std::size_t alive_leader_count() const noexcept {
+    return leader_count_ - crashed_leaders_;
+  }
+
+  /// Attaches a dynamic-topology patch overlay (nullptr detaches): the
+  /// heard-gather applies the overlay's exact per-touched-node fix
+  /// after every base kernel, and step_reference scans patched
+  /// neighborhoods - both compute the same heard set, on explicit and
+  /// implicit views alike. The overlay must outlive the engine (or be
+  /// detached first) and is *kept across restart_from_protocol*, like
+  /// a forced kernel: it is configuration, not run state. Throws
+  /// std::invalid_argument on a node-count mismatch.
+  void set_topology_patch(const graph::patch_overlay* patch);
+  [[nodiscard]] const graph::patch_overlay* topology_patch() const noexcept {
+    return patch_;
+  }
+
+  /// Adversary scheduler hook: runs every round after the gather and
+  /// the noise model, observing the packed beep set (read-only) and
+  /// rewriting the packed heard set in place - the adversary's final
+  /// say on who perceives a beep, except that crashed nodes are masked
+  /// deaf *after* the hook (it cannot wake the dead). The hook must
+  /// not touch engine RNG streams; any randomness it needs comes from
+  /// its own captured generator (core::adversary bundles strategies).
+  /// An empty hook is bit-identical to no hook.
+  using heard_hook =
+      std::function<void(std::uint64_t round, std::span<const std::uint64_t> beep,
+                         std::span<std::uint64_t> heard)>;
+  void set_heard_hook(heard_hook hook) { heard_hook_ = std::move(hook); }
+  [[nodiscard]] bool heard_hook_attached() const noexcept {
+    return static_cast<bool>(heard_hook_);
+  }
 
   /// Runs exactly `count` rounds.
   void run_rounds(std::uint64_t count);
@@ -460,6 +542,38 @@ class engine : private fsm_protocol::lazy_source {
   void rebuild_active_set();
   void notify_round_observers();
   void check_in_sync() const;
+  // --- fault-surface internals -------------------------------------
+  /// Throws std::logic_error unless faults can serve this binding.
+  void require_fault_capable() const;
+  /// Lazily sizes the crashed set and frozen snapshots (first fault).
+  void ensure_fault_buffers();
+  /// Node u's state in the authoritative representation (planes in
+  /// plane mode, the FSM vector otherwise).
+  [[nodiscard]] state_id current_state_of(graph::node_id u);
+  /// Shared body of fault_crash/fault_crash_as.
+  void crash_with_state(graph::node_id u, state_id s);
+  /// Writes state `s` into node u's lane of the authoritative
+  /// representation, maintaining leader_count_, leader/active lanes
+  /// and (when `frozen`) the frozen snapshots. Does not touch beep
+  /// bits - callers handle the current round's beep contribution.
+  void write_lane_state(graph::node_id u, state_id s, bool frozen);
+  /// Suppresses node u's current-round beep (clear bit + un-count);
+  /// returns whether a beep was actually suppressed.
+  bool suppress_current_beep(graph::node_id u);
+  /// Restores every crashed lane after a vector-gear round: state back
+  /// to frozen, beep silenced/un-counted, leader count and active bit
+  /// refit to the frozen state.
+  void fixup_crashed_vector();
+  /// Same for a plane-gear round: plane/leader/active lanes restored
+  /// from the frozen words, beep bits cleared with a ripple-borrow
+  /// subtract un-banking the ledger add.
+  void fixup_crashed_plane();
+  /// Re-snapshots every crashed node's frozen state from the (new)
+  /// protocol configuration - resync_with_protocol keeps corpses
+  /// crashed, frozen in whatever the injected configuration says.
+  void refreeze_crashed();
+  /// Masks crashed nodes out of the heard set (dead nodes are deaf).
+  void mask_crashed_heard();
   [[nodiscard]] round_view make_view() const;
 
   // A maximal run of states [first, last] whose silent transitions
@@ -566,6 +680,21 @@ class engine : private fsm_protocol::lazy_source {
   std::vector<observer*> observers_;
   std::uint64_t round_ = 0;
   std::size_t leader_count_ = 0;
+  // Fault surface: packed crashed set + per-node frozen snapshots
+  // (states always; plane/leader/active lane words when plane-capable,
+  // so the plane epilogue restores lanes with pure word ops). All
+  // empty until the first fault - a fault-free engine pays one
+  // crashed_count_ branch per round.
+  std::vector<std::uint64_t> crashed_words_;
+  std::size_t crashed_count_ = 0;
+  std::size_t crashed_leaders_ = 0;
+  std::vector<state_id> frozen_states_;
+  std::array<std::vector<std::uint64_t>, 6> frozen_planes_;
+  std::vector<std::uint64_t> frozen_leader_words_;
+  std::vector<std::uint64_t> frozen_active_words_;
+  // Dynamic-topology overlay (shared with gather_) + adversary hook.
+  const graph::patch_overlay* patch_ = nullptr;
+  heard_hook heard_hook_;
   // Telemetry scratch: plain members, bumped only from step() (never
   // inside the tiled word loops), folded into the global registry at
   // trial boundaries. Dead weight when BEEPKIT_TELEMETRY is OFF.

@@ -86,8 +86,14 @@ election_outcome run_election(const graph::topology_view& view,
     proto.set_states(options.initial);
     sim.restart_from_protocol();
   }
-  return finish_election(
-      sim, sim.run_until_single_leader(resolve_horizon(view, options)));
+  const std::uint64_t horizon = resolve_horizon(view, options);
+  if (options.faults != nullptr || options.scheduler != nullptr) {
+    fault_session session(
+        options.faults != nullptr ? *options.faults : fault_plan{}, sim, seed);
+    if (options.scheduler != nullptr) session.set_adversary(options.scheduler);
+    return finish_election(sim, session.run_until_single_leader(horizon));
+  }
+  return finish_election(sim, sim.run_until_single_leader(horizon));
 }
 
 election_outcome run_election(const graph::topology_view& view,

@@ -11,6 +11,7 @@
 
 #include "beeping/engine.hpp"
 #include "core/bfw.hpp"
+#include "core/faults.hpp"
 #include "core/protocol_spec.hpp"
 #include "graph/graph.hpp"
 #include "graph/view.hpp"
@@ -88,6 +89,12 @@ struct election_options {
   /// toggle; the global support::telemetry switches still apply).
   /// Probes never change a number, so this is purely a speed knob.
   bool telemetry = true;
+  /// Fault plan driven against the trial through a fault_session (not
+  /// owned; must outlive the call). nullptr or an empty plan is
+  /// draw-for-draw bit-identical to a plain run.
+  const fault_plan* faults = nullptr;
+  /// Adversarial scheduler attached for the whole run (not owned).
+  adversary* scheduler = nullptr;
 };
 
 /// The one election runner: any state machine, all knobs in `options`.

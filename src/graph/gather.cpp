@@ -4,6 +4,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "graph/patch.hpp"
 #include "support/parallel.hpp"
 
 namespace beepkit::graph {
@@ -257,6 +258,7 @@ void heard_gather::operator()(std::span<const std::uint64_t> beep,
     case gather_kernel::auto_select:
       break;  // unreachable: resolved above
   }
+  if (patch_ != nullptr && !patch_->empty()) patch_->fix_heard(beep, heard);
   last_ = k;
 }
 

@@ -44,6 +44,8 @@ class tile_executor;
 
 namespace beepkit::graph {
 
+class patch_overlay;
+
 enum class gather_kernel : std::uint8_t {
   auto_select,    ///< topology tag, else density hysteresis (default)
   stencil,        ///< shifted word ops (tagged graphs only)
@@ -96,6 +98,16 @@ class heard_gather {
     exec_ = exec;
     tile_words_ = tile_words;
   }
+
+  /// Attaches a dynamic-topology patch overlay (nullptr detaches). The
+  /// base kernel keeps running against the original topology; after it
+  /// returns, the overlay's fix_heard recomputes every touched node's
+  /// heard bit exactly (see graph/patch.hpp), serially - so the result
+  /// is identical under every kernel, tile size and thread count. An
+  /// empty overlay costs one branch per gather. The overlay must
+  /// outlive this gather (fault sessions own both lifetimes).
+  void set_patch(const patch_overlay* patch) noexcept { patch_ = patch; }
+  [[nodiscard]] const patch_overlay* patch() const noexcept { return patch_; }
 
   /// Pins one kernel (auto_select restores the default dispatch).
   /// Throws std::invalid_argument when the kernel is unavailable for
@@ -170,6 +182,8 @@ class heard_gather {
   support::tile_executor* exec_ = nullptr;
   std::size_t tile_words_ = 0;
   std::vector<std::vector<std::uint64_t>> push_scratch_;
+  // Dynamic-topology post-pass (set_patch); null = no churn.
+  const patch_overlay* patch_ = nullptr;
 };
 
 }  // namespace beepkit::graph

@@ -1,0 +1,156 @@
+#include "graph/patch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace beepkit::graph {
+
+patch_overlay::patch_overlay(topology_view view)
+    : view_(std::move(view)), n_(view_.node_count()) {}
+
+bool patch_overlay::base_has_edge(node_id u, node_id v) const {
+  if (const graph* g = view_.explicit_graph(); g != nullptr) {
+    return g->has_edge(u, v);
+  }
+  node_id nb[4];
+  const std::size_t deg = view_.implicit_neighbors(u, nb);
+  for (std::size_t i = 0; i < deg; ++i) {
+    if (nb[i] == v) return true;
+  }
+  return false;
+}
+
+bool patch_overlay::has_edge(node_id u, node_id v) const {
+  const auto it = nodes_.find(u);
+  if (it == nodes_.end()) return base_has_edge(u, v);
+  return std::binary_search(it->second.neighbors.begin(),
+                            it->second.neighbors.end(), v);
+}
+
+void patch_overlay::rebuild(node_id u) {
+  const auto it = nodes_.find(u);
+  if (it == nodes_.end()) return;
+  node_patch& patch = it->second;
+  patched_words_ -= patch.words.size();
+  if (patch.added.empty() && patch.removed.empty()) {
+    nodes_.erase(it);
+    return;
+  }
+  patch.neighbors.clear();
+  view_.for_each_neighbor(u, [&](node_id v) {
+    if (!std::binary_search(patch.removed.begin(), patch.removed.end(), v)) {
+      patch.neighbors.push_back(v);
+    }
+  });
+  patch.neighbors.insert(patch.neighbors.end(), patch.added.begin(),
+                         patch.added.end());
+  std::sort(patch.neighbors.begin(), patch.neighbors.end());
+  patch.words.clear();
+  patch.masks.clear();
+  for (const node_id v : patch.neighbors) {
+    const auto w = static_cast<std::uint32_t>(v >> 6);
+    const std::uint64_t bit = 1ULL << (v & 63);
+    if (!patch.words.empty() && patch.words.back() == w) {
+      patch.masks.back() |= bit;
+    } else {
+      patch.words.push_back(w);
+      patch.masks.push_back(bit);
+    }
+  }
+  patched_words_ += patch.words.size();
+}
+
+namespace {
+
+void insert_sorted(std::vector<node_id>& values, node_id v) {
+  values.insert(std::lower_bound(values.begin(), values.end(), v), v);
+}
+
+void erase_sorted(std::vector<node_id>& values, node_id v) {
+  const auto it = std::lower_bound(values.begin(), values.end(), v);
+  if (it != values.end() && *it == v) values.erase(it);
+}
+
+}  // namespace
+
+void patch_overlay::apply_delta(node_id u, node_id v, bool add) {
+  node_patch& patch = nodes_[u];  // creates an empty (identity) patch
+  if (add) {
+    if (base_has_edge(u, v)) {
+      erase_sorted(patch.removed, v);  // re-adding a removed base edge
+    } else {
+      insert_sorted(patch.added, v);
+    }
+  } else {
+    if (base_has_edge(u, v)) {
+      insert_sorted(patch.removed, v);
+    } else {
+      erase_sorted(patch.added, v);
+    }
+  }
+  rebuild(u);
+}
+
+void patch_overlay::add_edge(node_id u, node_id v) {
+  if (u == v) {
+    throw std::invalid_argument("patch_overlay::add_edge: self-loop");
+  }
+  if (u >= n_ || v >= n_) {
+    throw std::invalid_argument(
+        "patch_overlay::add_edge: endpoint out of range");
+  }
+  if (has_edge(u, v)) return;
+  apply_delta(u, v, /*add=*/true);
+  apply_delta(v, u, /*add=*/true);
+  ++revision_;
+}
+
+void patch_overlay::remove_edge(node_id u, node_id v) {
+  if (u == v) {
+    throw std::invalid_argument("patch_overlay::remove_edge: self-loop");
+  }
+  if (u >= n_ || v >= n_) {
+    throw std::invalid_argument(
+        "patch_overlay::remove_edge: endpoint out of range");
+  }
+  if (!has_edge(u, v)) return;
+  apply_delta(u, v, /*add=*/false);
+  apply_delta(v, u, /*add=*/false);
+  ++revision_;
+}
+
+bool patch_overlay::toggle_edge(node_id u, node_id v) {
+  if (has_edge(u, v)) {
+    remove_edge(u, v);
+    return false;
+  }
+  add_edge(u, v);
+  return true;
+}
+
+void patch_overlay::clear() {
+  if (nodes_.empty()) return;
+  nodes_.clear();
+  patched_words_ = 0;
+  ++revision_;
+}
+
+void patch_overlay::fix_heard(std::span<const std::uint64_t> beep,
+                              std::span<std::uint64_t> heard) const {
+  for (const auto& [u, patch] : nodes_) {
+    const std::size_t w = u >> 6;
+    const std::uint64_t bit = 1ULL << (u & 63);
+    std::uint64_t h = beep[w] & bit;  // a beeper always hears itself
+    if (h == 0) {
+      for (std::size_t k = 0; k < patch.words.size(); ++k) {
+        if ((beep[patch.words[k]] & patch.masks[k]) != 0) {
+          h = bit;
+          break;
+        }
+      }
+    }
+    heard[w] = (heard[w] & ~bit) | h;
+  }
+}
+
+}  // namespace beepkit::graph

@@ -5,6 +5,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "graph/patch.hpp"
+
 namespace beepkit::stoneage {
 
 namespace {
@@ -155,6 +157,20 @@ void engine::set_gather_kernel(graph::gather_kernel kernel) {
         "census path");
   }
   gather_->force_kernel(kernel);
+}
+
+void engine::set_topology_patch(const graph::patch_overlay* patch) {
+  if (!gather_.has_value()) {
+    throw std::logic_error(
+        "stoneage::engine::set_topology_patch: no packed gather - the "
+        "automaton exposes no beep_machine(), so rounds take the generic "
+        "census path");
+  }
+  if (patch != nullptr && patch->view().node_count() != n_) {
+    throw std::invalid_argument(
+        "stoneage::engine::set_topology_patch: overlay node count mismatch");
+  }
+  gather_->set_patch(patch);
 }
 
 void engine::refresh_counters() {

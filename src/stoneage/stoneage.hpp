@@ -177,6 +177,13 @@ class engine {
   /// and std::logic_error when the automaton exposes no beep_machine()
   /// (no packed gather exists on the generic census path).
   void set_gather_kernel(graph::gather_kernel kernel);
+  /// Attaches a dynamic-topology patch overlay to the fast-path gather
+  /// (nullptr detaches); the overlay's exact per-touched-node fix runs
+  /// after every base kernel, so churn works under every kernel and
+  /// tiling. Same preconditions as set_gather_kernel (std::logic_error
+  /// on the generic census path), std::invalid_argument on a
+  /// node-count mismatch. The overlay must outlive the engine.
+  void set_topology_patch(const graph::patch_overlay* patch);
   /// The kernel the most recent fast-path gather actually ran
   /// (auto_select when the generic census path is in use).
   [[nodiscard]] graph::gather_kernel gather_kernel_used() const noexcept {

@@ -294,6 +294,12 @@ void fold_engine_metrics(const engine_metrics& m, std::string_view prefix) {
   reg.add(p + "_quiet_words_sampled_total", m.quiet_words);
   reg.add(p + "_scanned_words_sampled_total", m.scanned_words);
   reg.add(p + "_sampled_rounds_total", m.sampled_rounds);
+  if (m.faults_applied != 0) {
+    reg.add(p + "_faults_applied_total", m.faults_applied);
+  }
+  if (m.fault_patched_words != 0) {
+    reg.add(p + "_fault_patched_words_total", m.fault_patched_words);
+  }
   reg.merge_histogram(p + "_round_ns", m.round_ns);
   if (m.tile_claims != 0) {
     reg.add(p + "_tile_claims_total", m.tile_claims);

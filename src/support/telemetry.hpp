@@ -124,6 +124,11 @@ struct engine_metrics {
   // Sampled per-round wall time, nanoseconds.
   std::uint64_t sampled_rounds = 0;
   log2_histogram round_ns;
+  // Fault-injection surface (core/faults): crash/restart/corrupt events
+  // applied to this engine, and the cumulative (word, mask) entries the
+  // attached topology patch charged per gather (0 = no churn).
+  std::uint64_t faults_applied = 0;
+  std::uint64_t fault_patched_words = 0;
   // Tile-claim totals from tile_executor, filled at fold time.
   std::uint64_t tile_claims = 0;
   std::uint64_t tile_claimed_words = 0;
