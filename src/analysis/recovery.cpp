@@ -88,17 +88,19 @@ recovery_result measure_recovery(const graph::topology_view& view,
   return result;
 }
 
-algorithm make_faulted_bfw(double p, core::fault_plan plan) {
+algorithm make_faulted_bfw(double p, core::fault_plan plan,
+                           core::engine_exec exec) {
   std::ostringstream name;
   name << "BFW(p=" << p << ")+" << plan.name;
   return {name.str(),
-          [p, plan = std::move(plan)](const graph::topology_view& view,
-                                      std::uint64_t seed,
-                                      std::uint64_t max_rounds) {
+          [p, plan = std::move(plan), exec](const graph::topology_view& view,
+                                            std::uint64_t seed,
+                                            std::uint64_t max_rounds) {
             const core::bfw_machine machine(p);
             core::election_options options;
             options.max_rounds = max_rounds;
             options.faults = &plan;
+            options.exec = exec;
             return core::run_election(view, machine, seed, options);
           }};
 }

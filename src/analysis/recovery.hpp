@@ -79,7 +79,10 @@ struct recovery_options {
 /// BFW with parameter `p` under `plan`, packaged as a named algorithm
 /// so faulted cells drop into the sweep/shard/JSONL/merge machinery
 /// unchanged (the plan is captured by value; trials stay deterministic
-/// in (topology, seed)).
-[[nodiscard]] algorithm make_faulted_bfw(double p, core::fault_plan plan);
+/// in (topology, seed)). `exec` sets the intra-trial tile/thread
+/// configuration - never a number, only wall clock - and is recorded
+/// in each trial's JSONL exec audit fields.
+[[nodiscard]] algorithm make_faulted_bfw(double p, core::fault_plan plan,
+                                         core::engine_exec exec = {});
 
 }  // namespace beepkit::analysis

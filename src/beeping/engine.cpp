@@ -65,6 +65,9 @@ engine::engine(graph::topology_view view, protocol& proto, std::uint64_t seed,
       noise_(noise),
       gather_(view_) {
   const std::size_t n = n_;
+  // NUMA placement must be requested before the first chunk is mapped;
+  // best-effort (no-op off Linux or when mbind is refused).
+  if (config_.numa_interleave) arena_.set_numa_interleave(true);
   // Bind-time fast-path detection: an FSM protocol whose machine
   // compiles to a flat table runs rounds without virtual dispatch.
   fsm_ = dynamic_cast<fsm_protocol*>(&proto);
@@ -189,12 +192,13 @@ engine::~engine() {
 }
 
 void engine::set_parallelism(std::size_t threads, std::size_t tile_words) {
-  tile_words_ = tile_words;
   const std::size_t resolved =
       threads == 0 ? support::resolve_threads(0) : threads;
   if (resolved <= 1) {
     exec_.reset();
     gather_.set_executor(nullptr, 0);
+    tile_words_ = tile_words;
+    rngs_.set_slots(1);
     slot_leaders_.assign(1, 0);
     slot_active_.assign(1, 0);
     slot_dirty_.assign(
@@ -204,11 +208,25 @@ void engine::set_parallelism(std::size_t threads, std::size_t tile_words) {
   if (!exec_ || exec_->thread_count() != resolved) {
     exec_ = std::make_unique<support::tile_executor>(resolved);
   }
+  // tile_words == 0 resolves through the one-shot micro-probe
+  // (whole-range vs L2-sized tiles). The probe result is cached for
+  // the process, so re-applying parallelism - or restarting the trial
+  // via restart_from_protocol - always lands on the same tile size.
+  tile_words_ = tile_words != 0 ? tile_words
+                                : support::autotuned_tile_words(*exec_);
   gather_.set_executor(exec_.get(), tile_words_);
+  // One lazy-store scratch context per executor slot: tiles own
+  // disjoint stream ranges, and the engine syncs all slots after every
+  // tiled round's barrier (see rng_store's class comment).
+  rngs_.set_slots(resolved);
   slot_leaders_.assign(resolved, 0);
   slot_active_.assign(resolved, 0);
   slot_dirty_.assign(
       resolved, std::vector<std::uint64_t>(dirty_ledger_words_.size(), 0));
+}
+
+void engine::distribute_plane_pages() {
+  if (exec_) arena_.distribute_first_touch(*exec_, tile_words_);
 }
 
 // Detects the bit-sliced-counter runs (see plane_chain in the header):
@@ -897,23 +915,47 @@ void engine::refreeze_crashed() {
 
 // Reception noise redraws every silent node's verdict from its own
 // dedicated stream (exactly one draw per silent node, in node order,
-// matching the scalar reference draw for draw).
+// matching the scalar reference draw for draw). Tiled over word
+// ranges: a node's verdict touches only its own word and its own
+// dedicated noise stream, so tiles are fully independent and the
+// result is bit-identical at every (tile, thread) point.
 void engine::apply_noise() {
   const std::size_t n = n_;
-  for (graph::node_id u = 0; u < n; ++u) {
-    if (test_bit(beep_words_, u)) continue;  // own beep is never corrupted
-    const bool neighbor_beeped = test_bit(heard_words_, u);
-    bool heard;
-    if (neighbor_beeped) {
-      heard = !noise_rngs_[u].bernoulli(noise_.miss);
-    } else {
-      heard = noise_rngs_[u].bernoulli(noise_.hallucinate);
+  const std::size_t words = heard_words_.size();
+  const std::uint64_t* const beep = beep_words_.data();
+  std::uint64_t* const heard = heard_words_.data();
+  support::rng* const noise = noise_rngs_.data();
+  const double miss = noise_.miss;
+  const double hallucinate = noise_.hallucinate;
+  const auto noise_range = [&](std::size_t /*slot*/, std::size_t wb,
+                               std::size_t we) {
+    for (std::size_t w = wb; w < we; ++w) {
+      const std::size_t base = w << 6;
+      const std::size_t limit = n - base < 64 ? n - base : 64;
+      const std::uint64_t own = beep[w];
+      std::uint64_t hw = heard[w];
+      for (std::size_t i = 0; i < limit; ++i) {
+        const std::uint64_t mask = 1ULL << i;
+        if ((own & mask) != 0) continue;  // own beep is never corrupted
+        const bool neighbor_beeped = (hw & mask) != 0;
+        const bool h = neighbor_beeped ? !noise[base + i].bernoulli(miss)
+                                       : noise[base + i].bernoulli(hallucinate);
+        hw = h ? (hw | mask) : (hw & ~mask);
+      }
+      heard[w] = hw;
     }
-    const std::uint64_t mask = 1ULL << (u & 63);
-    if (heard) {
-      heard_words_[u >> 6] |= mask;
+  };
+  if (exec_) {
+    exec_->run_tiles(words, tile_words_, noise_range);
+  } else {
+    noise_range(0, 0, words);
+  }
+  namespace tel = support::telemetry;
+  if (tel::compiled_in && telemetry_enabled_ && tel::enabled()) {
+    if (exec_) {
+      ++metrics_.noise_passes_tiled;
     } else {
-      heard_words_[u >> 6] &= ~mask;
+      ++metrics_.noise_passes_serial;
     }
   }
 }
@@ -963,56 +1005,97 @@ void engine::finish_step() {
 // (silent, bot row a draw-free self-loop) keep their state, contribute
 // no bookkeeping deltas, and - crucially - consume no generator draws,
 // so the sweep is draw-for-draw identical to the full virtual loop.
+// Tiled over word ranges when enough words carry work: every write
+// (states, beep counts, beep/active sets) is word-local, draws come
+// from per-node streams, and the leader count folds from per-slot
+// deltas - modular arithmetic makes the negative deltas exact.
 void engine::finish_step_fast() {
   const machine_table& table = *table_;
   state_id* const states = fsm_->raw_states().data();
   const transition_rule* const rules = table.rules.data();
   const std::uint8_t* const meta = table.meta.data();
-  const support::rng_source rngs = rngs_.source();
   std::uint64_t* const beep_counts = beep_counts_.data();
   const std::uint64_t* const heard = heard_words_.data();
   std::uint64_t* const beep = beep_words_.data();
   std::uint64_t* const active = active_words_.data();
+  const std::size_t words = heard_words_.size();
+  // Density gate: per-tile claiming costs a fetch_add plus a barrier,
+  // which a near-empty sweep (late quiet phase) cannot amortize. Count
+  // the populated words first - a read-only scan, so the choice never
+  // changes a draw - and fall back to the inline loop below threshold.
+  constexpr std::size_t kSparseTiledMinWords = 1024;
+  bool tiled = false;
+  if (exec_) {
+    std::size_t populated = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      populated += (heard[w] | active[w]) != 0 ? 1 : 0;
+    }
+    tiled = populated >= kSparseTiledMinWords;
+  }
   // Every current beeper is in the heard set (it hears itself), so the
   // new beep set is rebuilt entirely from visited nodes. Bookkeeping
   // accumulates in locals: the loop stores into std::uint64_t arrays,
   // which would otherwise force the member counters back to memory on
   // every iteration (they may alias under TBAA).
-  std::fill(beep_words_.begin(), beep_words_.end(), 0);
   beep_flags_valid_ = false;
-  std::size_t leaders = leader_count_;
-  const std::size_t words = heard_words_.size();
-  for (std::size_t w = 0; w < words; ++w) {
-    const std::uint64_t heard_bits = heard[w];
-    std::uint64_t bits = heard_bits | active[w];
-    std::uint64_t beep_bits = 0;
-    std::uint64_t active_bits = active[w];
-    while (bits != 0) {
-      const auto offset = static_cast<std::size_t>(std::countr_zero(bits));
-      const std::uint64_t mask = bits & (~bits + 1);
-      bits &= bits - 1;
-      const auto u = static_cast<graph::node_id>((w << 6) + offset);
-      const state_id s = states[u];
-      const transition_rule& rule =
-          rules[(static_cast<std::size_t>(s) << 1) |
-                ((heard_bits & mask) != 0 ? 1U : 0U)];
-      const state_id next = apply_rule(rule, rngs[u]);
-      states[u] = next;
-      // Branchless bookkeeping: wave fronts make beep/identity branches
-      // unpredictable, so fold the flag bits arithmetically instead.
-      const std::uint64_t next_meta = meta[next];
-      const std::uint64_t is_beep = next_meta & machine_table::meta_beep;
-      leaders += (next_meta >> 1) & 1U;
-      leaders -= (meta[s] >> 1) & 1U;
-      beep_counts[u] += is_beep;
-      beep_bits |= mask & (0 - is_beep);
-      active_bits =
-          (active_bits | mask) ^ (mask & (0 - ((next_meta >> 2) & 1U)));
+  std::fill(slot_leaders_.begin(), slot_leaders_.end(), 0);
+  const auto sweep_range = [&](std::size_t slot, std::size_t wb,
+                               std::size_t we) {
+    const support::rng_source rngs = rngs_.source(slot);
+    // Net leader delta for this range; decrements wrap mod 2^64, and
+    // the fold below re-adds every slot's delta, so the sum is exact.
+    std::size_t leaders = 0;
+    for (std::size_t w = wb; w < we; ++w) {
+      const std::uint64_t heard_bits = heard[w];
+      std::uint64_t bits = heard_bits | active[w];
+      std::uint64_t beep_bits = 0;
+      std::uint64_t active_bits = active[w];
+      while (bits != 0) {
+        const auto offset = static_cast<std::size_t>(std::countr_zero(bits));
+        const std::uint64_t mask = bits & (~bits + 1);
+        bits &= bits - 1;
+        const auto u = static_cast<graph::node_id>((w << 6) + offset);
+        const state_id s = states[u];
+        const transition_rule& rule =
+            rules[(static_cast<std::size_t>(s) << 1) |
+                  ((heard_bits & mask) != 0 ? 1U : 0U)];
+        const state_id next = apply_rule(rule, rngs[u]);
+        states[u] = next;
+        // Branchless bookkeeping: wave fronts make beep/identity
+        // branches unpredictable, so fold the flag bits arithmetically.
+        const std::uint64_t next_meta = meta[next];
+        const std::uint64_t is_beep = next_meta & machine_table::meta_beep;
+        leaders += (next_meta >> 1) & 1U;
+        leaders -= (meta[s] >> 1) & 1U;
+        beep_counts[u] += is_beep;
+        beep_bits |= mask & (0 - is_beep);
+        active_bits =
+            (active_bits | mask) ^ (mask & (0 - ((next_meta >> 2) & 1U)));
+      }
+      beep[w] = beep_bits;
+      active[w] = active_bits;
     }
-    beep[w] = beep_bits;
-    active[w] = active_bits;
+    slot_leaders_[slot] += leaders;
+  };
+  if (tiled) {
+    exec_->run_tiles(words, tile_words_, sweep_range);
+    rngs_.sync_all();
+  } else {
+    sweep_range(0, 0, words);
+  }
+  std::size_t leaders = leader_count_;
+  for (std::size_t s = 0; s < slot_leaders_.size(); ++s) {
+    leaders += slot_leaders_[s];
   }
   leader_count_ = leaders;
+  namespace tel = support::telemetry;
+  if (tel::compiled_in && telemetry_enabled_ && tel::enabled()) {
+    if (tiled) {
+      ++metrics_.sparse_rounds_tiled;
+    } else {
+      ++metrics_.sparse_rounds_serial;
+    }
+  }
   if (crashed_count_ != 0) fixup_crashed_vector();
   ++round_;
   notify_round_observers();
@@ -1063,7 +1146,6 @@ void engine::finish_step_plane_impl() {
   const std::size_t q = table.state_count();
   const std::size_t n = n_;
   const std::size_t words = heard_words_.size();
-  const support::rng_source rngs = rngs_.source();
   const std::uint64_t* const heard = heard_words_.data();
   std::uint64_t* const beep = beep_words_.data();
   std::uint64_t* const active = active_words_.data();
@@ -1082,6 +1164,10 @@ void engine::finish_step_plane_impl() {
   std::fill(slot_active_.begin(), slot_active_.end(), 0);
   const auto sweep_range = [&](std::size_t slot, std::size_t wb,
                                std::size_t we) {
+  // Slot-local generator source: in lazy-cursor mode each slot owns a
+  // scratch generator, so concurrent tiles never share mutable state
+  // (post-barrier sync_all writes the cursors back).
+  const support::rng_source rngs = rngs_.source(slot);
   std::uint64_t* const dirty = slot_dirty_[slot].data();
   std::size_t leaders = 0;
   std::size_t active_next = 0;
@@ -1271,6 +1357,11 @@ void engine::finish_step_plane_impl() {
   };
   if (exec_) {
     exec_->run_tiles(words, tile_words_, sweep_range);
+    // Tile->slot assignment is dynamic, so a stream's cursor may sit
+    // cached in any slot's scratch generator; flush them all before
+    // the next round (or a checkpoint) reads streams. No-op in dense
+    // mode.
+    rngs_.sync_all();
   } else {
     sweep_range(0, 0, words);
   }
@@ -1345,12 +1436,17 @@ void engine::finish_step_plane_compiled() {
   std::fill(slot_active_.begin(), slot_active_.end(), 0);
   const auto sweep_range = [&](std::size_t slot, std::size_t wb,
                                std::size_t we) {
-    const sweep_result part = sweep(ctx, slot_dirty_[slot].data(), wb, we);
+    // Per-tile ctx copy with a slot-local generator source (lazy-mode
+    // scratch generators must not be shared across concurrent tiles).
+    plane_ctx tile_ctx = ctx;
+    tile_ctx.rngs = rngs_.source(slot);
+    const sweep_result part = sweep(tile_ctx, slot_dirty_[slot].data(), wb, we);
     slot_leaders_[slot] += part.leaders;
     slot_active_[slot] += part.active;
   };
   if (exec_) {
     exec_->run_tiles(words, tile_words_, sweep_range);
+    rngs_.sync_all();  // flush slot-cached cursors (no-op in dense mode)
   } else {
     sweep_range(0, 0, words);
   }

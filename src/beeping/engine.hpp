@@ -159,6 +159,11 @@ struct engine_config {
   /// mode) - and never leave it. Requires plane capability and an
   /// fsm_protocol.
   bool pin_plane_mode = false;
+  /// Best-effort: interleave the plane arena's pages across all NUMA
+  /// nodes (plane_arena::set_numa_interleave) so 2-socket boxes don't
+  /// serialize tiled rounds on one node's memory controller. Placement
+  /// only - never changes a number. Silently a no-op off Linux.
+  bool numa_interleave = false;
 
   /// The giant-trial bundle: lazy cursors, no ledger, pinned planes.
   [[nodiscard]] static engine_config giant() noexcept {
@@ -398,19 +403,34 @@ class engine : private fsm_protocol::lazy_source {
   }
 
   /// Tiled intra-trial parallelism: rounds split the packed word range
-  /// into tiles of `tile_words` words (0 = one even tile per thread)
-  /// executed by `threads` workers (1 = serial, the default; 0 = one
-  /// per hardware thread). Applies to the stencil/word-CSR/packed
-  /// gather kernels and the plane sweep; never changes any number -
-  /// every (threads, tile_words) point is draw-for-draw bit-identical
-  /// to the serial engine. Callable between rounds at any time.
+  /// into tiles of `tile_words` words executed by `threads` workers
+  /// (1 = serial, the default; 0 = one per hardware thread).
+  /// tile_words == 0 picks the tuned default: a one-shot micro-probe
+  /// (support::autotuned_tile_words, cached per process) contests the
+  /// whole-range even split against L2-sized tiles. Applies to the
+  /// stencil/word-CSR/packed gather kernels, the reception-noise pass,
+  /// the sparse fused sweep (above a density threshold) and the plane
+  /// sweep - the full round loop; never changes any number - every
+  /// (threads, tile_words) point is draw-for-draw bit-identical to the
+  /// serial engine, lazy-cursor giant engines included. Callable
+  /// between rounds at any time.
   void set_parallelism(std::size_t threads, std::size_t tile_words = 0);
   [[nodiscard]] std::size_t parallel_threads() const noexcept {
     return exec_ ? exec_->thread_count() : 1;
   }
+  /// The tile size rounds actually run with (the autotuned resolution
+  /// when set_parallelism was handed 0; 0 here still means whole-range
+  /// even split - the probe chose it).
   [[nodiscard]] std::size_t tile_words() const noexcept {
     return tile_words_;
   }
+
+  /// Tiled first-touch page distribution: re-touches every arena page
+  /// through the tile executor (same-value write-back), so pages not
+  /// yet committed land on the NUMA node of the worker that claims
+  /// their tile. No-op without an executor; never changes a number.
+  /// Call after set_parallelism, before the measured rounds.
+  void distribute_plane_pages();
 
   /// True iff the machine is eligible for the word-parallel plane gear
   /// (compiled table, <= 64 states, little-endian host).

@@ -26,7 +26,7 @@ namespace beepkit::core {
 /// auditability.
 struct engine_exec {
   std::size_t threads = 1;     ///< 1 = serial (default), 0 = hardware.
-  std::size_t tile_words = 0;  ///< 0 = one even tile per worker.
+  std::size_t tile_words = 0;  ///< 0 = autotuned (micro-probe default).
 };
 
 /// Result of one election trial.

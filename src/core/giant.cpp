@@ -298,11 +298,16 @@ giant_result run_giant_trial(const graph::topology_view& view,
   }
 
   beeping::fsm_protocol proto(machine);
-  beeping::engine sim(view, proto, seed, beeping::noise_model{},
-                      beeping::engine_config::giant());
+  beeping::engine_config config = beeping::engine_config::giant();
+  config.numa_interleave = options.numa_interleave;
+  beeping::engine sim(view, proto, seed, beeping::noise_model{}, config);
   if (options.compiled_width != 0) {
     sim.set_compiled_width(options.compiled_width);
   }
+  if (options.threads != 1 || options.tile_words != 0) {
+    sim.set_parallelism(options.threads, options.tile_words);
+  }
+  if (options.first_touch) sim.distribute_plane_pages();
 
   giant_result result;
   result.arena_bytes = sim.arena_bytes_reserved();

@@ -58,6 +58,21 @@ struct giant_options {
   /// Compiled-kernel batch width override; 0 keeps the autotuned
   /// default.
   std::size_t compiled_width = 0;
+  /// Worker threads for the tiled plane rounds (1 = serial, 0 = one
+  /// per hardware thread). Any thread count is bit-identical in
+  /// outcome, round and draw count - checkpoints taken under one
+  /// thread count resume cleanly under another.
+  std::size_t threads = 1;
+  /// Tile size in plane words; 0 = the autotuned default (see
+  /// engine::set_parallelism).
+  std::size_t tile_words = 0;
+  /// Best-effort MPOL_INTERLEAVE on the plane arena's mappings
+  /// (placement only - never changes a number). Linux-only no-op
+  /// elsewhere.
+  bool numa_interleave = false;
+  /// Tiled first-touch prefault of the arena pages before the rounds,
+  /// so pages land on the NUMA node of the worker claiming their tile.
+  bool first_touch = false;
 };
 
 struct giant_result {

@@ -28,6 +28,8 @@
 
 namespace beepkit::support {
 
+class tile_executor;
+
 /// Non-owning view of an arena-backed array of 64-bit words. Mirrors
 /// the slice of the std::vector<std::uint64_t> interface the engines
 /// use (data/size/index/iterate), and models a contiguous sized range,
@@ -72,6 +74,24 @@ class plane_arena {
   /// bytes_touched() the eager RSS bill of the buffers so far.
   void set_prefault(bool on) noexcept { prefault_ = on; }
 
+  /// Best-effort: ask the kernel to interleave the pages of subsequent
+  /// chunks across all online NUMA nodes (raw mbind(MPOL_INTERLEAVE),
+  /// no libnuma). Applied at map time, before first touch, so it wins
+  /// over first-touch placement. Returns false where the syscall is
+  /// unavailable (non-Linux); a failing mbind on a single-node box is
+  /// silently harmless.
+  bool set_numa_interleave(bool on) noexcept;
+  [[nodiscard]] bool numa_interleave() const noexcept { return interleave_; }
+
+  /// Re-touches every page of every chunk, tiled through `exec`: each
+  /// page is read and written back with the same value, so pages that
+  /// are still uncommitted take their write fault on the worker that
+  /// claims the tile and land NUMA-local under the kernel's default
+  /// first-touch policy. Already-committed pages keep contents and
+  /// placement. Call between set_parallelism and the measured rounds;
+  /// the caller must guarantee no concurrent access to the buffers.
+  void distribute_first_touch(tile_executor& exec, std::size_t tile_words);
+
   /// Address space reserved across all chunks (what ulimit -v sees).
   [[nodiscard]] std::size_t bytes_reserved() const noexcept {
     return reserved_;
@@ -95,6 +115,7 @@ class plane_arena {
   };
 
   std::byte* map_chunk(std::size_t bytes, bool want_huge);
+  void apply_interleave(void* base, std::size_t bytes) noexcept;
   void release() noexcept;
 
   std::vector<chunk> chunks_;
@@ -103,6 +124,7 @@ class plane_arena {
   std::size_t reserved_ = 0;
   std::size_t touched_ = 0;
   bool prefault_ = false;
+  bool interleave_ = false;
 };
 
 }  // namespace beepkit::support

@@ -1,5 +1,7 @@
 #include "support/build_info.hpp"
 
+#include <thread>
+
 #include "support/simd.hpp"
 #include "support/telemetry.hpp"
 
@@ -60,6 +62,7 @@ build_info make_current() {
   info.flags = detect_flags();
   info.isa = simd::isa_name();
   info.telemetry = telemetry::compiled_in;
+  info.hw_threads = std::thread::hardware_concurrency();
   return info;
 }
 
@@ -73,12 +76,14 @@ json build_info::to_json() const {
       {"flags", json(flags)},
       {"isa", json(isa)},
       {"telemetry", json(telemetry)},
+      {"hw_threads", json(static_cast<std::uint64_t>(hw_threads))},
   });
 }
 
 std::string build_info::one_line() const {
   return git_sha + " " + compiler + " " + build_type + " " + flags + " " +
-         isa + (telemetry ? " telemetry=on" : " telemetry=off");
+         isa + (telemetry ? " telemetry=on" : " telemetry=off") + " hw=" +
+         std::to_string(hw_threads);
 }
 
 const build_info& build_info::current() {

@@ -20,11 +20,16 @@ struct build_info {
   std::string flags;       // detectable flags: optimization, sanitizers
   std::string isa;         // support::simd::isa_name()
   bool telemetry = false;  // BEEPKIT_TELEMETRY compiled in?
+  // std::thread::hardware_concurrency() where the artifact was made, so
+  // bench baselines blessed on a 1-hw-thread box are distinguishable
+  // from real thread-scaling parity (0 when undetectable).
+  unsigned hw_threads = 0;
 
   /// {"git_sha":..,"compiler":..,"build_type":..,"flags":..,"isa":..,
-  ///  "telemetry":..} — insertion-ordered, deterministic dump.
+  ///  "telemetry":..,"hw_threads":..} — insertion-ordered,
+  ///  deterministic dump.
   [[nodiscard]] json to_json() const;
-  /// "abc123def456 gcc 13.2.0 Release O2 sse2 telemetry=on"
+  /// "abc123def456 gcc 13.2.0 Release O2 sse2 telemetry=on hw=8"
   [[nodiscard]] std::string one_line() const;
 
   /// The stamp for this binary (computed once).

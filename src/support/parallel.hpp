@@ -176,6 +176,22 @@ class tile_executor {
   std::vector<padded_claims> claims_;
 };
 
+/// Words per tile that keep one tile's plane traffic inside a typical
+/// L2 slice: 8192 words = 64 KiB per touched array, and a plane sweep
+/// touches ~6 arrays (heard/beep/active/leader + planes + ledger), so
+/// one tile streams ~384 KiB.
+inline constexpr std::size_t kL2TileWords = std::size_t{1} << 13;
+
+/// One-shot micro-probe (companion to simd::autotuned_width()): times
+/// a representative tiled read-modify-write sweep at tile_words == 0
+/// (whole-range even split, one tile per worker) against L2-sized
+/// tiles (kL2TileWords) on `exec` and returns the winner (0 or
+/// kL2TileWords). The result is cached for the process - the first
+/// executor to ask decides - so every engine resolves the same default
+/// and restart_from_protocol cannot flip tile sizes mid-run. Near-ties
+/// within 2% keep the whole-range split (fewest claims).
+[[nodiscard]] std::size_t autotuned_tile_words(tile_executor& exec) noexcept;
+
 /// One-shot convenience over tile_executor: body(slot, begin, end)
 /// over tiles of `tile_words` words covering [0, words), executed by
 /// `threads` workers (same contract as tile_executor::run_tiles).

@@ -98,32 +98,44 @@ rng_store rng_store::lazy(std::uint64_t root_seed, std::size_t count,
   return store;
 }
 
-rng& rng_store::acquire(std::size_t stream) noexcept {
-  sync();
-  active_ = stream;
-  scratch_ = root_.substream(stream);
+rng& rng_store::acquire(std::size_t slot, std::size_t stream) noexcept {
+  sync(slot);
+  slot_state& s = slots_[slot];
+  s.active = stream;
+  s.scratch = root_.substream(stream);
   const std::uint32_t cursor = cursors_[stream];
   if (cursor != 0) {
     if (mode_ == draw_mode::coins) {
-      scratch_.discard_coins(cursor);
+      s.scratch.discard_coins(cursor);
     } else {
-      scratch_.discard_u64(cursor);
+      s.scratch.discard_u64(cursor);
     }
   }
-  return scratch_;
+  return s.scratch;
 }
 
-void rng_store::sync() noexcept {
-  if (active_ == npos) return;
+void rng_store::sync(std::size_t slot) noexcept {
+  slot_state& s = slots_[slot];
+  if (s.active == npos) return;
   const std::uint64_t count = mode_ == draw_mode::coins
-                                  ? scratch_.coins_consumed()
-                                  : scratch_.u64_draws();
-  cursors_[active_] = static_cast<std::uint32_t>(count);
-  active_ = npos;
+                                  ? s.scratch.coins_consumed()
+                                  : s.scratch.u64_draws();
+  cursors_[s.active] = static_cast<std::uint32_t>(count);
+  s.active = npos;
+}
+
+void rng_store::sync_all() noexcept {
+  if (!lazy_) return;
+  for (std::size_t slot = 0; slot < slots_.size(); ++slot) sync(slot);
+}
+
+void rng_store::set_slots(std::size_t slots) {
+  sync_all();
+  slots_.resize(slots == 0 ? 1 : slots);
 }
 
 std::span<const std::uint32_t> rng_store::cursors() {
-  sync();
+  sync_all();
   return cursors_;
 }
 
@@ -131,7 +143,7 @@ void rng_store::set_cursors(std::span<const std::uint32_t> cursors) {
   if (!lazy_ || cursors.size() != cursors_.size()) {
     throw std::invalid_argument("rng_store: cursor size mismatch");
   }
-  active_ = npos;
+  for (slot_state& s : slots_) s.active = npos;
   std::copy(cursors.begin(), cursors.end(), cursors_.begin());
 }
 
@@ -139,7 +151,7 @@ std::span<std::uint32_t> rng_store::cursors_mutable() {
   if (!lazy_) {
     throw std::logic_error("rng_store: dense mode has no cursor array");
   }
-  sync();
+  sync_all();
   return cursors_;
 }
 
@@ -149,7 +161,7 @@ std::uint64_t rng_store::total_draws() {
     for (const rng& stream : dense_) total += stream.coins_consumed();
     return total;
   }
-  sync();
+  sync_all();
   std::uint64_t total = 0;
   for (const std::uint32_t cursor : cursors_) total += cursor;
   return total;

@@ -203,10 +203,18 @@ enum class draw_mode : std::uint8_t { coins, raw64 };
 ///    randomness. Reconstruction replays cursor/64 words, which stays
 ///    cheap because a BFW node only draws while it waits in W-black.
 ///
-/// Lazy mode serves one stream at a time (the engines' plane sweeps
-/// draw in ascending node order, so this is a cache hit in the common
-/// case) and is single-threaded by contract; dense mode has the exact
-/// sharing contract of the vector it replaces.
+/// Lazy mode serves one stream at a time *per slot* (the engines' plane
+/// sweeps draw in ascending node order, so this is a cache hit in the
+/// common case). A slot is a thread context: tiled sweeps give every
+/// executor slot its own cache-line-aligned scratch generator via
+/// at(slot, stream). Concurrent use is race-free as long as slots touch
+/// disjoint stream ranges (tiles own disjoint words, hence disjoint
+/// nodes): each slot writes only its own scratch plus the cursors of
+/// streams it acquired. After a tiled round's join barrier the engine
+/// must call sync_all() - tile->slot assignment is dynamic, so a cursor
+/// left cached in one slot's scratch would be stale-read by another
+/// slot next round. Dense mode has the exact sharing contract of the
+/// vector it replaces.
 class rng_store {
  public:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
@@ -223,10 +231,30 @@ class rng_store {
     return lazy_ ? cursors_.size() : dense_.size();
   }
 
-  rng& operator[](std::size_t stream) noexcept {
-    if (!lazy_) return dense_[stream];
-    return stream == active_ ? scratch_ : acquire(stream);
+  /// Number of independent scratch slots (>= 1; slot 0 always exists).
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return slots_.size();
   }
+  /// Grows/shrinks the slot array to `slots` (clamped to >= 1). Syncs
+  /// every active scratch stream back into the cursors first, so no
+  /// draws are lost when contexts disappear.
+  void set_slots(std::size_t slots);
+
+  rng& operator[](std::size_t stream) noexcept { return at(0, stream); }
+
+  /// The stream, reconstructed in (or served from) the given slot's
+  /// scratch context. Lazy mode only distinguishes slots; dense mode
+  /// ignores the slot and indexes the shared array.
+  rng& at(std::size_t slot, std::size_t stream) noexcept {
+    if (!lazy_) return dense_[stream];
+    slot_state& s = slots_[slot];
+    return stream == s.active ? s.scratch : acquire(slot, stream);
+  }
+
+  /// Folds every slot's active scratch stream back into the cursor
+  /// array and deactivates it. Must run after each tiled round's join
+  /// barrier (see class comment); no-op in dense mode.
+  void sync_all() noexcept;
 
   /// Lazy mode: the per-stream draw cursors with the active scratch
   /// stream folded back in - the complete serializable state of every
@@ -249,12 +277,22 @@ class rng_store {
   /// zero, exactly as bernoulli() never touched the dense coin account.
   [[nodiscard]] std::uint64_t total_coins();
 
-  /// The draw-loop view of this store (see rng_source below).
-  [[nodiscard]] struct rng_source source() noexcept;
+  /// The draw-loop view of this store, bound to one scratch slot (see
+  /// rng_source below). Tiled sweeps call source(slot) inside the tile
+  /// body so each executor slot draws through its own context.
+  [[nodiscard]] struct rng_source source(std::size_t slot = 0) noexcept;
 
  private:
-  rng& acquire(std::size_t stream) noexcept;
-  void sync() noexcept;
+  /// One thread context: its own scratch generator plus which stream
+  /// currently lives in it. Cache-line-aligned so concurrent slots
+  /// never false-share.
+  struct alignas(64) slot_state {
+    rng scratch{0};
+    std::size_t active = npos;
+  };
+
+  rng& acquire(std::size_t slot, std::size_t stream) noexcept;
+  void sync(std::size_t slot) noexcept;
 
   bool lazy_ = false;
   draw_mode mode_ = draw_mode::coins;
@@ -262,26 +300,28 @@ class rng_store {
   // Lazy representation:
   rng root_{0};
   std::vector<std::uint32_t> cursors_;
-  rng scratch_{0};
-  std::size_t active_ = npos;
+  std::vector<slot_state> slots_ = std::vector<slot_state>(1);
 
   friend struct rng_source;
 };
 
 /// The indirection the engines' draw loops go through: dense engines
 /// expose the raw stream array (one predictable branch over the
-/// historical direct indexing), giant engines the lazy store.
+/// historical direct indexing), giant engines the lazy store. `slot`
+/// selects the lazy store's scratch context; dense mode ignores it.
 struct rng_source {
   rng* dense = nullptr;
   rng_store* store = nullptr;
+  std::size_t slot = 0;
 
   rng& operator[](std::size_t stream) const noexcept {
-    return dense != nullptr ? dense[stream] : (*store)[stream];
+    return dense != nullptr ? dense[stream] : store->at(slot, stream);
   }
 };
 
-inline rng_source rng_store::source() noexcept {
-  return lazy_ ? rng_source{nullptr, this} : rng_source{dense_.data(), nullptr};
+inline rng_source rng_store::source(std::size_t slot) noexcept {
+  return lazy_ ? rng_source{nullptr, this, slot}
+               : rng_source{dense_.data(), nullptr, 0};
 }
 
 }  // namespace beepkit::support

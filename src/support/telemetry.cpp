@@ -300,6 +300,14 @@ void fold_engine_metrics(const engine_metrics& m, std::string_view prefix) {
   if (m.fault_patched_words != 0) {
     reg.add(p + "_fault_patched_words_total", m.fault_patched_words);
   }
+  if (m.noise_passes_tiled + m.noise_passes_serial != 0) {
+    reg.add(p + "_noise_passes_tiled_total", m.noise_passes_tiled);
+    reg.add(p + "_noise_passes_serial_total", m.noise_passes_serial);
+  }
+  if (m.sparse_rounds_tiled + m.sparse_rounds_serial != 0) {
+    reg.add(p + "_sparse_rounds_tiled_total", m.sparse_rounds_tiled);
+    reg.add(p + "_sparse_rounds_serial_total", m.sparse_rounds_serial);
+  }
   reg.merge_histogram(p + "_round_ns", m.round_ns);
   if (m.tile_claims != 0) {
     reg.add(p + "_tile_claims_total", m.tile_claims);

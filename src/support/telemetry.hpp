@@ -129,6 +129,15 @@ struct engine_metrics {
   // attached topology patch charged per gather (0 = no churn).
   std::uint64_t faults_applied = 0;
   std::uint64_t fault_patched_words = 0;
+  // Per-pass execution shape of the two formerly-serial per-node
+  // loops: a pass counts as tiled when it went through the tile
+  // executor, serial when it ran inline (no executor, or the sparse
+  // density threshold chose the serial loop). tiled + serial = passes
+  // run, so "zero serial remnants" is checkable per trial.
+  std::uint64_t noise_passes_tiled = 0;
+  std::uint64_t noise_passes_serial = 0;
+  std::uint64_t sparse_rounds_tiled = 0;
+  std::uint64_t sparse_rounds_serial = 0;
   // Tile-claim totals from tile_executor, filled at fold time.
   std::uint64_t tile_claims = 0;
   std::uint64_t tile_claimed_words = 0;

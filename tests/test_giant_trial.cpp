@@ -19,6 +19,7 @@
 #include "graph/view.hpp"
 #include "support/arena.hpp"
 #include "support/codec.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/simd.hpp"
 
@@ -62,6 +63,46 @@ TEST(PlaneArena, MoveTransfersOwnership) {
   support::plane_arena moved = std::move(arena);
   EXPECT_EQ(buf[7], 1234U);
   EXPECT_GE(moved.bytes_reserved(), 800U);
+}
+
+TEST(PlaneArena, NumaInterleaveIsBestEffortAndHarmless) {
+  // Placement-only knob: allocations under interleave must still be
+  // zeroed, aligned and writable (on non-NUMA kernels mbind simply
+  // fails and the mapping stays first-touch).
+  support::plane_arena arena;
+  const bool active = arena.set_numa_interleave(true);
+  EXPECT_EQ(arena.numa_interleave(), active);
+  const auto buf = arena.alloc_words(1 << 19);  // dedicated mmap chunk
+  for (const std::size_t i : {std::size_t{0}, buf.size() - 1}) {
+    EXPECT_EQ(buf[i], 0U) << i;
+  }
+  buf[0] = 77;
+  buf[buf.size() - 1] = ~0ULL;
+  EXPECT_EQ(buf[0], 77U);
+  // Turning it off always succeeds.
+  EXPECT_TRUE(arena.set_numa_interleave(false));
+  EXPECT_FALSE(arena.numa_interleave());
+}
+
+TEST(PlaneArena, FirstTouchDistributionPreservesContents) {
+  // The tiled first-touch pass re-touches every page with a same-value
+  // write-back: placement may move, bytes may not.
+  support::plane_arena arena;
+  const auto a = arena.alloc_words(1 << 16);
+  const auto b = arena.alloc_words(333);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = i * 0x9e3779b97f4a7c15ULL + 1;
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = ~i;
+  support::tile_executor exec(4);
+  for (const std::size_t tile_words : {std::size_t{0}, std::size_t{64},
+                                       std::size_t{1 << 13}}) {
+    arena.distribute_first_touch(exec, tile_words);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], i * 0x9e3779b97f4a7c15ULL + 1) << i;
+    }
+    for (std::size_t i = 0; i < b.size(); ++i) ASSERT_EQ(b[i], ~i) << i;
+  }
 }
 
 // --- codecs -----------------------------------------------------------
@@ -169,6 +210,45 @@ TEST(RngStore, CursorsRestoreExactGeneratorState) {
   std::copy(saved.begin(), saved.end(), dest.begin());
   for (std::size_t s = 0; s < 5; ++s) {
     EXPECT_EQ(inplace[s].coin(), expected[s]) << "stream " << s;
+  }
+}
+
+TEST(RngStore, SlotScratchContextsMatchDenseDrawForDraw) {
+  // Tiled sweeps serve each executor slot from its own scratch
+  // generator; whichever slot reconstructs a stream must continue its
+  // sequence exactly, and sync_all() must fold every slot's cached
+  // cursor back before the next round re-partitions tiles.
+  support::rng_store dense = support::rng_store::dense(42, 12);
+  support::rng_store lazy =
+      support::rng_store::lazy(42, 12, support::draw_mode::coins);
+  lazy.set_slots(3);
+  ASSERT_EQ(lazy.slot_count(), 3U);
+  // Round 1: disjoint stream ranges per slot (the tiling invariant),
+  // drawn through at(slot, stream) in a scrambled slot order.
+  const std::size_t owner1[12] = {2, 2, 2, 2, 0, 0, 0, 0, 1, 1, 1, 1};
+  for (std::size_t s = 0; s < 12; ++s) {
+    for (int k = 0; k < 3; ++k) {
+      ASSERT_EQ(dense[s].coin(), lazy.at(owner1[s], s).coin())
+          << "round 1 stream " << s;
+    }
+  }
+  lazy.sync_all();
+  // Round 2: streams are re-dealt across slots - stale scratch from
+  // round 1 would surface here if sync_all missed a slot.
+  const std::size_t owner2[12] = {1, 0, 2, 1, 2, 1, 2, 0, 0, 2, 0, 1};
+  for (std::size_t s = 0; s < 12; ++s) {
+    for (int k = 0; k < 2; ++k) {
+      ASSERT_EQ(dense[s].coin(), lazy.at(owner2[s], s).coin())
+          << "round 2 stream " << s;
+    }
+  }
+  lazy.sync_all();
+  EXPECT_EQ(dense.total_draws(), lazy.total_draws());
+  EXPECT_EQ(dense.total_coins(), lazy.total_coins());
+  // Shrinking back to one slot syncs and keeps the sequences intact.
+  lazy.set_slots(1);
+  for (std::size_t s = 0; s < 12; ++s) {
+    ASSERT_EQ(dense[s].coin(), lazy[s].coin()) << "post-shrink " << s;
   }
 }
 
@@ -360,6 +440,89 @@ TEST(GiantTrial, JournalTruncatedMidCheckpointFallsBackToPrevious) {
   EXPECT_EQ(resumed.rounds, straight.rounds);
   EXPECT_EQ(resumed.draws, straight.draws);
   std::remove(path.c_str());
+}
+
+// --- tiled giant rounds ----------------------------------------------
+
+TEST(GiantTrial, ThreadedTrialIsBitIdenticalToSerial) {
+  const auto view = topology_view::implicit({topology::kind::grid, 17, 31});
+  const core::bfw_machine machine(0.5);
+  const auto serial =
+      core::run_giant_trial(view, machine, 1234, {.max_rounds = 500000});
+  ASSERT_TRUE(serial.converged);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    core::giant_options options;
+    options.max_rounds = 500000;
+    options.threads = threads;
+    options.tile_words = 1;  // worst case: one word per tile
+    const auto tiled = core::run_giant_trial(view, machine, 1234, options);
+    EXPECT_TRUE(tiled.converged) << threads;
+    EXPECT_EQ(tiled.rounds, serial.rounds) << threads;
+    EXPECT_EQ(tiled.leader, serial.leader) << threads;
+    EXPECT_EQ(tiled.draws, serial.draws) << threads;
+  }
+}
+
+TEST(GiantTrial, KillAndResumeAcrossThreadCounts) {
+  // Checkpoints are thread-count independent: kill a 4-thread run and
+  // resume it serially (and vice versa); both must land on the
+  // uninterrupted trajectory - outcome, round and draw count.
+  const auto view = topology_view::implicit({topology::kind::grid, 17, 31});
+  const core::bfw_machine machine(0.5);
+  const auto straight =
+      core::run_giant_trial(view, machine, 77, {.max_rounds = 500000});
+  ASSERT_TRUE(straight.converged);
+  ASSERT_GT(straight.rounds, 40U);
+
+  const struct {
+    const char* name;
+    std::size_t kill_threads;
+    std::size_t resume_threads;
+  } cases[] = {{"t4_to_serial", 4, 1}, {"serial_to_t4", 1, 4}};
+  for (const auto& c : cases) {
+    const std::string path = temp_path(std::string("xthreads_") + c.name +
+                                       ".jsonl");
+    std::remove(path.c_str());
+    core::giant_options first;
+    first.max_rounds = 500000;
+    first.checkpoint_path = path;
+    first.checkpoint_every = 16;
+    first.stop_after_round = straight.rounds / 2;
+    first.threads = c.kill_threads;
+    const auto killed = core::run_giant_trial(view, machine, 77, first);
+    EXPECT_TRUE(killed.stopped_early) << c.name;
+
+    core::giant_options second;
+    second.max_rounds = 500000;
+    second.checkpoint_path = path;
+    second.resume = true;
+    second.threads = c.resume_threads;
+    second.tile_words = 4;
+    const auto resumed = core::run_giant_trial(view, machine, 77, second);
+    EXPECT_TRUE(resumed.converged) << c.name;
+    EXPECT_EQ(resumed.rounds, straight.rounds) << c.name;
+    EXPECT_EQ(resumed.leader, straight.leader) << c.name;
+    EXPECT_EQ(resumed.draws, straight.draws) << c.name;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(GiantTrial, NumaAndFirstTouchOptionsNeverChangeNumbers) {
+  // Placement knobs are placement-only: interleave + tiled first-touch
+  // must reproduce the plain trial bit for bit.
+  const auto view = topology_view::implicit({topology::kind::grid, 9, 23});
+  const core::bfw_machine machine(0.5);
+  const auto plain =
+      core::run_giant_trial(view, machine, 1234, {.max_rounds = 500000});
+  core::giant_options options;
+  options.max_rounds = 500000;
+  options.threads = 2;
+  options.numa_interleave = true;
+  options.first_touch = true;
+  const auto placed = core::run_giant_trial(view, machine, 1234, options);
+  EXPECT_EQ(placed.rounds, plain.rounds);
+  EXPECT_EQ(placed.leader, plain.leader);
+  EXPECT_EQ(placed.draws, plain.draws);
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "beeping/engine.hpp"
@@ -475,12 +476,17 @@ TEST_F(TelemetryTest, BuildInfoIsStamped) {
   EXPECT_FALSE(info.compiler.empty());
   EXPECT_FALSE(info.isa.empty());
   EXPECT_EQ(info.telemetry, tel::compiled_in);
+  EXPECT_EQ(info.hw_threads, std::thread::hardware_concurrency());
   const std::string line = info.one_line();
   EXPECT_NE(line.find(info.git_sha), std::string::npos);
   EXPECT_NE(line.find(info.compiler), std::string::npos);
+  EXPECT_NE(line.find(" hw=" + std::to_string(info.hw_threads)),
+            std::string::npos);
   const support::json j = info.to_json();
   ASSERT_TRUE(j.is_object());
   EXPECT_EQ(j.find("git_sha")->as_string(), info.git_sha);
+  ASSERT_NE(j.find("hw_threads"), nullptr);
+  EXPECT_EQ(j.find("hw_threads")->as_u64(), info.hw_threads);
 }
 
 }  // namespace

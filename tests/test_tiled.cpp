@@ -32,6 +32,7 @@
 #include "graph/generators.hpp"
 #include "stoneage/stoneage.hpp"
 #include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 namespace beepkit {
 namespace {
@@ -221,12 +222,146 @@ TEST(TiledEngineBitIdentityTest, TimeoutBfwRippleCarryTiledMatchesSerial) {
 }
 
 TEST(TiledEngineBitIdentityTest, ReceptionNoiseTiledMatchesSerial) {
+  // The tiled noise pass over the full acceptance matrix: every
+  // word-boundary topology x {1, 2, 8} threads x {1 word, 64 words,
+  // whole-range} tiles, draws included (each node owns a dedicated
+  // noise stream, so the tiled pass must replay the serial draw
+  // sequence exactly).
   const core::bfw_machine machine(0.5);
   const noise_model noise{0.1, 0.05};
-  expect_tiled_matches_serial(graph::make_path(65), machine, {8, 1}, 30,
-                              noise, "noisy path65");
-  expect_tiled_matches_serial(graph::make_grid(8, 16), machine, {2, 64}, 30,
-                              noise, "noisy grid8x16");
+  for (const auto& c : boundary_graphs()) {
+    for (const tile_config& cfg : tile_configs()) {
+      expect_tiled_matches_serial(
+          c.g, machine, cfg, 30, noise,
+          "noisy " + c.label + " threads=" + std::to_string(cfg.threads) +
+              " tile=" + std::to_string(cfg.tile_words));
+    }
+  }
+}
+
+TEST(TiledEngineBitIdentityTest, ReceptionNoiseTiledUnderForcedKernels) {
+  // Noise stacked on the forced gather kernels: the noise pass runs
+  // between the gather and the sweep, so every kernel x tile x thread
+  // point must still be draw-for-draw serial-identical.
+  const core::bfw_machine machine(0.5);
+  const noise_model noise{0.08, 0.03};
+  for (const graph::gather_kernel kernel :
+       {graph::gather_kernel::word_csr_push,
+        graph::gather_kernel::packed_pull}) {
+    for (const tile_config& cfg : tile_configs()) {
+      fsm_protocol serial_proto(machine);
+      fsm_protocol tiled_proto(machine);
+      const auto g = graph::make_complete_binary_tree(127);
+      engine serial(g, serial_proto, 19, noise);
+      engine tiled(g, tiled_proto, 19, noise);
+      serial.set_gather_kernel(kernel);
+      tiled.set_gather_kernel(kernel);
+      tiled.set_parallelism(cfg.threads, cfg.tile_words);
+      serial.run_rounds(25);
+      tiled.run_rounds(25);
+      ASSERT_EQ(tiled_proto.states(), serial_proto.states())
+          << graph::gather_kernel_name(kernel) << " threads=" << cfg.threads
+          << " tile=" << cfg.tile_words;
+      ASSERT_EQ(tiled.total_coins_consumed(), serial.total_coins_consumed());
+    }
+  }
+}
+
+TEST(TiledEngineBitIdentityTest, NoisePassReportsTiledExecution) {
+  // Acceptance: with an executor attached the noise pass goes through
+  // the tile executor every round - zero serial per-node remnants.
+  const core::bfw_machine machine(0.5);
+  const noise_model noise{0.1, 0.05};
+  fsm_protocol proto(machine);
+  engine sim(graph::make_path(128), proto, 7, noise);
+  sim.set_parallelism(2, 1);
+  sim.run_rounds(20);
+  if (support::telemetry::compiled_in) {
+    const auto& metrics = sim.telemetry_metrics();
+    EXPECT_EQ(metrics.noise_passes_tiled, 20U);
+    EXPECT_EQ(metrics.noise_passes_serial, 0U);
+  }
+}
+
+TEST(TiledEngineBitIdentityTest, SparseSweepTiledAboveDensityThreshold) {
+  // A 65-state machine is beyond the 6-plane gear, so every fast-path
+  // round is the sparse fused sweep; at 2^17 nodes (2048 words, all
+  // active from round 0) the populated-word count clears the tiled
+  // threshold. The tiled sweep must match the serial engine
+  // draw-for-draw and report tiled execution (zero serial sparse
+  // rounds).
+  const core::timeout_bfw_machine machine(0.5, 60);
+  ASSERT_GT(machine.state_count(), 64U);
+  const auto g = graph::make_path(std::size_t{1} << 17);
+  for (const tile_config& cfg :
+       {tile_config{2, 0}, tile_config{8, 4096}, tile_config{3, 1}}) {
+    fsm_protocol serial_proto(machine);
+    fsm_protocol tiled_proto(machine);
+    engine serial(g, serial_proto, 23);
+    engine tiled(g, tiled_proto, 23);
+    tiled.set_parallelism(cfg.threads, cfg.tile_words);
+    ASSERT_TRUE(tiled.fast_path_active());
+    serial.run_rounds(8);
+    tiled.run_rounds(8);
+    ASSERT_EQ(tiled.plane_rounds(), 0U);  // sparse gear, never the planes
+    ASSERT_EQ(tiled_proto.states(), serial_proto.states())
+        << "threads=" << cfg.threads << " tile=" << cfg.tile_words;
+    ASSERT_EQ(tiled.leader_count(), serial.leader_count());
+    ASSERT_EQ(tiled.total_coins_consumed(), serial.total_coins_consumed());
+    if (support::telemetry::compiled_in) {
+      const auto& metrics = tiled.telemetry_metrics();
+      EXPECT_EQ(metrics.sparse_rounds_tiled, 8U);
+      EXPECT_EQ(metrics.sparse_rounds_serial, 0U);
+    }
+  }
+}
+
+TEST(TiledEngineBitIdentityTest, SparseSweepFallsBackBelowThreshold) {
+  // A 128-node instance is 2 words - far under the density gate - so
+  // the sparse rounds run the inline loop even with an executor
+  // attached, and the telemetry says so.
+  const core::timeout_bfw_machine machine(0.5, 60);
+  fsm_protocol proto(machine);
+  engine sim(graph::make_path(128), proto, 23);
+  sim.set_parallelism(4, 1);
+  sim.run_rounds(10);
+  if (support::telemetry::compiled_in) {
+    const auto& metrics = sim.telemetry_metrics();
+    EXPECT_EQ(metrics.sparse_rounds_tiled, 0U);
+    EXPECT_EQ(metrics.sparse_rounds_serial, 10U);
+  }
+}
+
+TEST(TiledEngineConfigTest, AutotunedTileWordsIsStableAndValid) {
+  support::tile_executor exec(2);
+  const std::size_t tile_words = support::autotuned_tile_words(exec);
+  EXPECT_TRUE(tile_words == 0 || tile_words == support::kL2TileWords)
+      << tile_words;
+  // One-shot probe: repeated calls return the cached choice.
+  EXPECT_EQ(support::autotuned_tile_words(exec), tile_words);
+  // The probe's own tile claims must not leak into engine telemetry.
+  for (const auto& claims : exec.claim_counts()) {
+    EXPECT_EQ(claims.tiles, 0U);
+    EXPECT_EQ(claims.words, 0U);
+  }
+}
+
+TEST(TiledEngineConfigTest, TileSizeSurvivesRestartFromProtocol) {
+  // set_parallelism(t, 0) resolves the tuned default; a protocol
+  // restart must keep running with the exact same tile size (the probe
+  // is process-cached, so re-resolving is also stable).
+  const core::bfw_machine machine(0.5);
+  fsm_protocol proto(machine);
+  engine sim(graph::make_grid(8, 16), proto, 5);
+  sim.set_parallelism(2, 0);
+  const std::size_t resolved = sim.tile_words();
+  sim.run_rounds(10);
+  sim.restart_from_protocol();
+  EXPECT_EQ(sim.tile_words(), resolved);
+  sim.set_parallelism(2, 0);
+  EXPECT_EQ(sim.tile_words(), resolved);
+  sim.run_rounds(5);
+  EXPECT_EQ(sim.round(), 5U);
 }
 
 TEST(TiledEngineBitIdentityTest, ForcedKernelsMatchUnderTiling) {

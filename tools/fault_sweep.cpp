@@ -13,8 +13,14 @@
 //    CI bit-exactness check for faulted runs.
 //
 //   ./build/tools/fault_sweep [--trials 8] [--seed 11] [--threads 0]
+//                             [--engine-threads 1] [--tile-words 0]
 //                             [--shard i/N] [--jsonl out.jsonl] [--resume]
 //   ./build/tools/fault_sweep --differential [--seed 11]
+//
+// --threads parallelizes across trials; --engine-threads/--tile-words
+// set the intra-trial tiled execution of each engine (bit-identical at
+// any setting) and are recorded in the JSONL exec audit fields
+// (exec_threads / exec_tile_words).
 #include <cstdio>
 #include <deque>
 #include <exception>
@@ -157,6 +163,10 @@ int main(int argc, char** argv) {
   if (args.has("differential")) return run_differential(seed);
 
   const auto trials = static_cast<std::size_t>(args.get_int("trials", 8));
+  core::engine_exec exec;
+  exec.threads =
+      static_cast<std::size_t>(args.get_int("engine-threads", 1));
+  exec.tile_words = static_cast<std::size_t>(args.get_int("tile-words", 0));
   std::printf("=== fault_sweep: faulted BFW cells on the sharded sweep ===\n\n");
 
   std::deque<analysis::instance> instances;
@@ -165,7 +175,8 @@ int main(int argc, char** argv) {
                             std::uint64_t horizon_scale) {
     instances.push_back(std::move(inst));
     const auto& stored = instances.back();
-    cells.push_back({&stored, analysis::make_faulted_bfw(0.5, std::move(plan)),
+    cells.push_back({&stored,
+                     analysis::make_faulted_bfw(0.5, std::move(plan), exec),
                      trials, seed,
                      horizon_scale *
                          core::default_horizon(stored.g, stored.diameter)});

@@ -41,7 +41,8 @@ std::uint64_t peak_rss_kib() {
 
 int main(int argc, char** argv) {
   using namespace beepkit;
-  const support::cli args(argc, argv, {"resume", "help"});
+  const support::cli args(argc, argv,
+                          {"resume", "numa-interleave", "first-touch", "help"});
   if (args.has("help")) {
     std::printf(
         "usage: giant_trial --topology SPEC [options]\n"
@@ -53,7 +54,12 @@ int main(int argc, char** argv) {
         "  --checkpoint-every R   rounds between snapshots (default 0)\n"
         "  --resume               resume from the journal's last snapshot\n"
         "  --stop-after-round R   stop early with a forced snapshot\n"
-        "  --compiled-width W     force kernel batch width (1/2/4/8)\n");
+        "  --compiled-width W     force kernel batch width (1/2/4/8)\n"
+        "  --threads T            tiled round workers (1 = serial, 0 = all\n"
+        "                         hardware threads); any T is bit-identical\n"
+        "  --tile-words W         tile size in words (0 = autotuned)\n"
+        "  --numa-interleave      interleave arena pages across NUMA nodes\n"
+        "  --first-touch          tiled first-touch prefault of the arena\n");
     return 0;
   }
 
@@ -78,6 +84,11 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("stop-after-round", 0));
   options.compiled_width =
       static_cast<std::size_t>(args.get_int("compiled-width", 0));
+  options.threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  options.tile_words =
+      static_cast<std::size_t>(args.get_int("tile-words", 0));
+  options.numa_interleave = args.has("numa-interleave");
+  options.first_touch = args.has("first-touch");
   const double p = args.get_double("p", 0.5);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
@@ -100,6 +111,10 @@ int main(int argc, char** argv) {
         {"stopped_early", json(result.stopped_early)},
         {"arena_bytes", json(static_cast<std::uint64_t>(result.arena_bytes))},
         {"peak_rss_kib", json(peak_rss_kib())},
+        {"exec_threads",
+         json(static_cast<std::uint64_t>(options.threads))},
+        {"exec_tile_words",
+         json(static_cast<std::uint64_t>(options.tile_words))},
     });
     std::printf("GIANT_RESULT %s\n", summary.dump().c_str());
   } catch (const std::exception& e) {
